@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-full report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results \
+	       test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

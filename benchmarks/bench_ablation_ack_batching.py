@@ -1,0 +1,37 @@
+"""Ablation (ours) — control-plane ACK batching.
+
+The control plane batches stability reports (the paper's single-threaded
+design "perform[s] a batch of actions, then report[s] them via stability
+upcalls").  This ablation sweeps the flush interval to expose the
+trade-off it buys: fewer control frames against later frontier detection.
+"""
+
+from repro.bench import format_table
+from repro.bench.runners import run_ack_batching
+from conftest import full_scale
+
+
+def test_ack_batching_tradeoff(benchmark, report):
+    messages = 500 if full_scale() else 150
+    rows = benchmark.pedantic(
+        lambda: run_ack_batching(messages=messages), rounds=1, iterations=1
+    )
+    report.add(
+        format_table(
+            ["flush interval ms", "mean detection lag ms", "control frames"],
+            [
+                (
+                    f"{r['interval_ms']:.1f}",
+                    f"{r['mean_detect_latency_ms']:.2f}",
+                    int(r["control_frames"]),
+                )
+                for r in rows
+            ],
+            title="Ablation: control-plane flush interval vs detection lag",
+        )
+    )
+    # Larger intervals -> strictly fewer frames, monotonically higher lag.
+    lags = [r["mean_detect_latency_ms"] for r in rows]
+    frames = [r["control_frames"] for r in rows]
+    assert lags == sorted(lags)
+    assert frames == sorted(frames, reverse=True)

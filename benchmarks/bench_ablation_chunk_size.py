@@ -1,0 +1,60 @@
+"""Ablation (ours) — the data plane's 8 KB split threshold.
+
+The paper fixes "packets whose upper bound is 8KB" without justifying the
+constant.  This sweep shows the trade it sits on: small chunks pay
+per-message header overhead on the wire but give fine-grained frontier
+progress (many small advances, prompt partial-progress visibility); large
+chunks are cheap on the wire but make the frontier move in coarse jumps.
+"""
+
+from repro.bench import format_table
+from repro.bench.runners import run_chunk_size_ablation
+from conftest import full_scale
+
+
+def test_chunk_size_tradeoff(benchmark, report):
+    file_bytes = 16_000_000 if full_scale() else 4_000_000
+    rows = benchmark.pedantic(
+        lambda: run_chunk_size_ablation(file_bytes=file_bytes),
+        rounds=1,
+        iterations=1,
+    )
+    report.add(
+        format_table(
+            [
+                "chunk bytes",
+                "file sync s",
+                "messages",
+                "frontier advances",
+                "control frames",
+            ],
+            [
+                (
+                    int(r["chunk_bytes"]),
+                    f"{r['file_sync_s']:.3f}",
+                    int(r["messages"]),
+                    int(r["frontier_advances"]),
+                    int(r["control_frames"]),
+                )
+                for r in rows
+            ],
+            title=f"Ablation: chunk size, one {file_bytes / 1e6:.0f} MB file",
+        )
+    )
+    by_chunk = {int(r["chunk_bytes"]): r for r in rows}
+    # Smaller chunks -> more messages and finer frontier progress.
+    assert by_chunk[1024]["messages"] > by_chunk[8192]["messages"]
+    assert (
+        by_chunk[1024]["frontier_advances"]
+        > by_chunk[65536]["frontier_advances"]
+    )
+    # 1 KB chunks pay visible header overhead on the wire vs 8 KB.
+    assert by_chunk[1024]["file_sync_s"] > by_chunk[8192]["file_sync_s"]
+    # Beyond 8 KB the wire gain is marginal (header already ~0.3%).
+    gain = 1 - by_chunk[524288]["file_sync_s"] / by_chunk[8192]["file_sync_s"]
+    assert gain < 0.05
+    report.add(
+        "8 KB sits where header overhead is already negligible while the "
+        "frontier still advances at fine granularity — consistent with the "
+        "paper's choice."
+    )

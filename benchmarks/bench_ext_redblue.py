@@ -1,0 +1,60 @@
+"""Extension (ours) — Gemini-style RedBlue vs the predicate continuum.
+
+The paper's opening example of rigidity: "the RedBlue consistency options
+in Gemini ... support only strong and eventual consistency semantics."
+We implement RedBlue over this repository's substrates (blue = local +
+eventual through Stabilizer; red = a Multi-Paxos commit) and measure the
+gap it leaves: an application needing cross-region durability must buy
+the full red tier, while a Stabilizer predicate (MajorityRegions) gets
+that durability at a fraction of the latency.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.runners import run_redblue_comparison
+from conftest import full_scale
+
+
+def test_redblue_two_levels_vs_predicates(benchmark, report):
+    operations = 30 if full_scale() else 10
+    result = benchmark.pedantic(
+        lambda: run_redblue_comparison(operations=operations),
+        rounds=1,
+        iterations=1,
+    )
+    report.add(
+        format_table(
+            ["consistency level", "latency ms", "durability"],
+            [
+                ("blue (local apply)", f"{result['blue_local_ms']:.2f}", "none yet"),
+                (
+                    "blue (full convergence)",
+                    f"{result['blue_convergence_ms']:.2f}",
+                    "eventual, unconfirmed",
+                ),
+                (
+                    "Stabilizer MajorityRegions",
+                    f"{result['stabilizer_majority_regions_ms']:.2f}",
+                    "2 of 3 remote regions, confirmed",
+                ),
+                (
+                    "red (Paxos commit)",
+                    f"{result['red_commit_ms']:.2f}",
+                    "node-majority, totally ordered",
+                ),
+            ],
+            title="Extension: RedBlue's two levels vs a predicate in between",
+        )
+    )
+    report.add_data("result", result)
+    # The gap RedBlue cannot fill: confirmed cross-region durability
+    # strictly cheaper than the red tier.
+    assert (
+        result["stabilizer_majority_regions_ms"] < result["red_commit_ms"]
+    )
+    assert result["blue_local_ms"] == 0.0
+    report.add(
+        "RedBlue offers nothing between 'unconfirmed' and the red tier; "
+        "the stability frontier prices durability anywhere in between"
+    )

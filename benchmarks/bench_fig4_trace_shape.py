@@ -1,0 +1,48 @@
+"""Fig. 4 — the Dropbox trace's file-size-over-time shape.
+
+The published trace: 16:40:45 -> 16:57:08 (983 s), 3.87 GB total,
+517,294 messages after the 8 KB split, with a handful of >100 MB files
+producing the dense periods.  The synthesizer must match all of it.
+"""
+
+import pytest
+
+from repro.bench import format_series
+from repro.workloads import synthesize_trace, trace_stats
+from repro.workloads.dropbox_trace import GIB
+from conftest import full_scale
+
+
+def test_fig4_trace_shape(benchmark, report):
+    scale = 1.0 if full_scale() else 0.25
+    records = benchmark.pedantic(
+        lambda: synthesize_trace(scale=scale), rounds=1, iterations=1
+    )
+    stats = trace_stats(records)
+    report.add(
+        f"scale={scale}: {int(stats['files'])} sync requests, "
+        f"{stats['bytes'] / GIB:.3f} GiB, {int(stats['messages'])} messages "
+        f"after the 8 KB split, window {stats['duration_s']:.0f} s"
+    )
+    report.add(
+        f"paper (scale=1): 3.87 GB, 517,294 messages, 983 s window, "
+        f"largest files >100 MB"
+    )
+    # Downsampled size-vs-time rendering (the Fig. 4 bars).
+    buckets = {}
+    for r in records:
+        buckets.setdefault(int(r.time_s // (983 * scale / 40)), 0)
+        buckets[int(r.time_s // (983 * scale / 40))] += r.size_bytes
+    series = [(k * 983 * scale / 40, v / 1e6) for k, v in sorted(buckets.items())]
+    report.add(
+        format_series(
+            series,
+            x_label="time (s)",
+            y_label="MB submitted",
+            title="Fig. 4: sync volume over time (40 buckets)",
+        )
+    )
+    assert stats["bytes"] == pytest.approx(3.87 * GIB * scale, rel=0.001)
+    assert stats["messages"] == pytest.approx(517_294 * scale, rel=0.05)
+    huge = [r for r in records if r.size_bytes > 100e6 * scale]
+    assert len(huge) == 3

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper, prints the
+comparison, and writes it to ``benchmarks/results/<name>.txt`` so the
+report survives pytest's output capturing.
+
+Set ``REPRO_FULL=1`` to run the full-scale workloads (the complete
+517 k-message trace, 10,000 messages per pub/sub rate, 100 MB files);
+the default is a shape-preserving scaled run that finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+class Reporter:
+    """Collects report text (and optional structured data), then prints
+    it and saves both to disk: ``<name>.txt`` and ``<name>.json``."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._chunks = []
+        self._data = {}
+
+    def add(self, text: str) -> None:
+        self._chunks.append(text)
+
+    def add_data(self, key: str, value) -> None:
+        """Attach machine-readable results (saved as JSON alongside)."""
+        self._data[key] = value
+
+    def flush(self) -> None:
+        import json
+
+        body = "\n".join(self._chunks) + "\n"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(body)
+        if self._data:
+            (RESULTS_DIR / f"{self.name}.json").write_text(
+                json.dumps(self._data, indent=2, default=str)
+            )
+        print(f"\n===== {self.name} =====")
+        print(body)
+
+
+@pytest.fixture()
+def report(request):
+    reporter = Reporter(request.node.name.replace("test_", "", 1))
+    yield reporter
+    reporter.flush()

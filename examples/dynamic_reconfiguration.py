@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Dynamic predicate reconfiguration (the Fig. 8 scenario).
+
+A reliable-broadcast publisher at Utah streams 8 KB messages; a client on
+the slowest site (Clemson) subscribes and unsubscribes every five
+seconds.  The broker rewrites the reliable predicate on each transition,
+so the publisher's end-to-end latency drops the moment the slow site
+leaves the observation list — without interrupting the data flow.
+
+Run:  python examples/dynamic_reconfiguration.py
+"""
+
+from repro import ReliableBroadcast, StabilizerBroker, SyntheticPayload
+from repro.bench.runners import build_network
+from repro.bench.topologies import CLOUDLAB_SENDER, cloudlab_topology
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.workloads import constant_rate
+
+SLOWEST = "CLEM"
+RATE = 80.0
+SECONDS = 20
+
+
+def main() -> None:
+    topo = cloudlab_topology()
+    sim, net = build_network(topo)
+    config = StabilizerConfig.from_topology(
+        topo, CLOUDLAB_SENDER, control_interval_s=0.001, control_batch=4
+    )
+    cluster = StabilizerCluster(net, config)
+    brokers = {n: StabilizerBroker(cluster[n]) for n in topo.node_names()}
+
+    # Persistent subscribers everywhere except the toggling one.
+    for site in ("UT2", "WI", "MA"):
+        brokers[site].subscribe(lambda *a: None)
+    sim.run(until=0.5)
+
+    app = ReliableBroadcast(brokers[CLOUDLAB_SENDER])
+
+    def toggler():
+        subscription = None
+        while True:
+            if subscription is None:
+                subscription = brokers[SLOWEST].subscribe(lambda *a: None)
+                print(f"t={sim.now - start:5.1f}s  {SLOWEST} subscribes   "
+                      f"-> predicate watches {sorted(brokers[CLOUDLAB_SENDER].active_sites())}")
+            else:
+                subscription.unsubscribe()
+                subscription = None
+                print(f"t={sim.now - start:5.1f}s  {SLOWEST} unsubscribes "
+                      f"-> predicate watches {sorted(brokers[CLOUDLAB_SENDER].active_sites())}")
+            yield 5.0
+
+    start = sim.now
+    process = sim.spawn(toggler(), name="toggler")
+    process.add_callback(lambda _e: None)
+    constant_rate(
+        sim, RATE, int(RATE * SECONDS),
+        lambda i: app.broadcast(SyntheticPayload(8192)),
+    )
+    sim.run(until=start + SECONDS + 2.0)
+    process.interrupt("done")
+    sim.run(until=sim.now + 0.1)
+
+    print("\nmean reliable-delivery latency per 5-second window:")
+    for window_start in range(0, SECONDS, 5):
+        mean_s = app.latency.window_mean(window_start, window_start + 5)
+        print(f"  [{window_start:2d},{window_start + 5:2d}) s : "
+              f"{mean_s * 1e3:6.2f} ms")
+    print("\n(the ~3 ms drop in alternate windows is Clemson leaving the "
+          "observation list; Massachusetts is only 3 ms faster)")
+
+
+if __name__ == "__main__":
+    main()

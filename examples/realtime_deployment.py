@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Run the identical Stabilizer stack in real time (wall clock).
+
+Everything else in this repository runs on the deterministic simulator;
+this example paces the same protocol stack against the wall clock — the
+in-process equivalent of the paper's "real deployment" mode, with the
+link model acting as the latency injector their testbed built with
+``tc``.  A client thread drives the deployment through the thread-safe
+``post()`` API while the event loop runs.
+
+Run:  python examples/realtime_deployment.py
+"""
+
+import threading
+import time
+
+from repro import (
+    NetemSpec,
+    RealtimeScheduler,
+    StabilizerCluster,
+    StabilizerConfig,
+    Topology,
+)
+
+NODES = ("frankfurt", "virginia", "singapore")
+
+
+def main() -> None:
+    topo = Topology("realtime")
+    for name in NODES:
+        topo.add_node(name, group=name)
+    topo.set_link_symmetric("frankfurt", "virginia", NetemSpec(45, 200))
+    topo.set_link_symmetric("frankfurt", "singapore", NetemSpec(85, 120))
+    topo.set_link_symmetric("virginia", "singapore", NetemSpec(95, 120))
+
+    # speedup=1.0 would run in true real time; 5x keeps the demo short.
+    scheduler = RealtimeScheduler(speedup=5.0)
+    net = topo.build(scheduler)
+    config = StabilizerConfig.from_topology(
+        topo,
+        "frankfurt",
+        predicates={
+            "one": "MAX($ALLWNODES - $MYWNODE)",
+            "all": "MIN($ALLWNODES - $MYWNODE)",
+        },
+        control_interval_s=0.002,
+    )
+    cluster = StabilizerCluster(net, config)
+    frankfurt = cluster["frankfurt"]
+
+    results = []
+    done = threading.Event()
+
+    def client() -> None:
+        """Runs on its own thread, like an application using the library."""
+        wall_start = time.monotonic()
+
+        def send_and_track():
+            seq = frankfurt.send(b"realtime write")
+            sent_wall = time.monotonic()
+            for key in ("one", "all"):
+                frankfurt.waitfor(seq, key).add_callback(
+                    lambda _e, k=key: results.append(
+                        (k, (time.monotonic() - sent_wall) * 1e3)
+                    )
+                )
+
+        for _ in range(3):
+            scheduler.post(send_and_track)
+            time.sleep(0.3)
+        time.sleep(0.3)
+        scheduler.stop()
+        done.set()
+        print(f"client finished after {time.monotonic() - wall_start:.2f} s wall")
+
+    loop = scheduler.run_in_thread(until=60.0)
+    threading.Thread(target=client, daemon=True).start()
+    loop.join(timeout=30.0)
+    done.wait(timeout=5.0)
+
+    print("\nwall-clock time until each stability level "
+          f"(virtual latencies / {scheduler.speedup:.0f}x speedup):")
+    for key, wall_ms in results:
+        print(f"  {key:4s} after {wall_ms:7.2f} ms wall")
+    print("\nvirtual RTTs: virginia 90 ms, singapore 170 ms -> at 5x, "
+          "'one' lands near 18 ms and 'all' near 34 ms of wall time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a reproduction of *Stabilizer: Geo-Replication with
+User-defined Consistency* (ICDCS 2022).
+
+The public API mirrors the paper's library surface:
+
+- :class:`Stabilizer` — the geo-replication library (data plane + control
+  plane + stability-frontier engine); :class:`StabilizerConfig` /
+  :class:`StabilizerCluster` for deployment.
+- The stability-frontier DSL — ``register_predicate`` /
+  ``change_predicate`` take predicate source strings;
+  :func:`standard_predicates` generates the paper's Table III set.
+- Applications — :class:`WanKVStore`, :class:`FileBackupService`,
+  :class:`QuorumKV`, :class:`StabilizerBroker` (+ :class:`PulsarCluster`
+  as the comparison baseline and :class:`PaxosCluster` for Fig. 6).
+- Substrates — :class:`Simulator` / :class:`RealtimeScheduler` event
+  loops, :class:`Topology` / :class:`NetemSpec` network emulation,
+  :class:`ObjectStore` local storage.
+
+Quick start::
+
+    from repro import NetemSpec, Simulator, StabilizerCluster, \
+        StabilizerConfig, Topology
+
+    topo = Topology()
+    topo.add_node("paris", "eu");  topo.add_node("oregon", "us")
+    topo.set_default(NetemSpec(latency_ms=70, rate_mbit=100))
+    sim = Simulator()
+    cluster = StabilizerCluster(
+        topo.build(sim),
+        StabilizerConfig.from_topology(
+            topo, "paris",
+            predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+        ),
+    )
+    seq = cluster["paris"].send(b"hello, WAN")
+    sim.run_until_triggered(cluster["paris"].waitfor(seq, "all"))
+"""
+
+from repro.apps import FileBackupService, QuorumKV, WanKVStore
+from repro.core import (
+    Stabilizer,
+    StabilizerCluster,
+    StabilizerConfig,
+    build_cluster,
+)
+from repro.dsl import CompiledPredicate, PredicateCompiler, standard_predicates
+from repro.errors import ReproError
+from repro.net import NetemSpec, Network, Topology
+from repro.paxos import PaxosCluster
+from repro.pubsub import PulsarCluster, ReliableBroadcast, StabilizerBroker
+from repro.runtime import RealtimeScheduler
+from repro.sim import Simulator
+from repro.storage import AppendLog, ObjectStore
+from repro.transport.messages import SyntheticPayload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppendLog",
+    "CompiledPredicate",
+    "FileBackupService",
+    "NetemSpec",
+    "Network",
+    "ObjectStore",
+    "PaxosCluster",
+    "PredicateCompiler",
+    "PulsarCluster",
+    "QuorumKV",
+    "RealtimeScheduler",
+    "ReliableBroadcast",
+    "ReproError",
+    "Simulator",
+    "Stabilizer",
+    "StabilizerBroker",
+    "StabilizerCluster",
+    "StabilizerConfig",
+    "SyntheticPayload",
+    "Topology",
+    "WanKVStore",
+    "build_cluster",
+    "standard_predicates",
+]

@@ -1,0 +1,169 @@
+"""Gemini-style RedBlue consistency, built on this repository's substrates.
+
+The paper's opening argument: "the RedBlue consistency options in Gemini,
+a widely popular replication tool, support only strong and eventual
+consistency semantics" — exactly two levels, against Stabilizer's
+continuum.  To make the comparison concrete we implement RedBlue itself:
+
+- **Blue operations** are globally commutative: they apply locally at
+  once and replicate asynchronously through Stabilizer's data plane (the
+  eventual tier).  Classic example: a bank deposit.
+- **Red operations** need a total order: they are serialized through the
+  Multi-Paxos group and applied at every site in commit order (the strong
+  tier).  Classic example: a withdrawal, which must not overdraw.
+
+Operations are *named* and registered at every site (Gemini's shadow
+operations): an operation is a pure function ``fn(state, args) -> state``
+over the replicated state dictionary.  Blue functions must commute with
+each other and with every red function's effect — the application's
+responsibility, as in Gemini; the tests demonstrate both a correct use
+(counters) and why a non-commuting op must be red (overdraft checks).
+
+The extension benchmark contrasts this two-level system with Stabilizer's
+predicates: RedBlue forces every "needs durability" operation to pay the
+full Paxos quorum price, where a stability frontier lets it pick any
+intermediate point.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict
+
+from repro.core.stabilizer import Stabilizer
+from repro.errors import ReproError
+from repro.paxos.replica import PaxosReplica
+from repro.sim.events import Event
+
+State = Dict[str, Any]
+OpFn = Callable[[State, Any], State]
+
+
+class RedBlueError(ReproError):
+    """RedBlue layer misuse (unknown op, wrong color, rejected op)."""
+
+
+class RedBlueKV:
+    """One site's replica of a RedBlue-consistent state machine."""
+
+    def __init__(self, stabilizer: Stabilizer, paxos: PaxosReplica):
+        if stabilizer.name != paxos.name:
+            raise RedBlueError("stabilizer and paxos replica must share a node")
+        self.stabilizer = stabilizer
+        self.paxos = paxos
+        self.sim = stabilizer.sim
+        self.name = stabilizer.name
+        self.state: State = {}
+        self._blue_ops: Dict[str, OpFn] = {}
+        self._red_ops: Dict[str, OpFn] = {}
+        self.blue_applied = 0
+        self.red_applied = 0
+        self.red_rejected = 0
+        self._red_outcomes: Dict[int, bool] = {}
+        self._pending_red: Dict[int, tuple] = {}
+        stabilizer.on_delivery(self._on_blue_delivery)
+        paxos.on_apply = self._on_red_commit
+
+    # ------------------------------------------------------------------ registration
+    def register_blue(self, name: str, fn: OpFn) -> None:
+        """Register a commutative operation (every site must do this)."""
+        if name in self._blue_ops or name in self._red_ops:
+            raise RedBlueError(f"operation {name!r} already registered")
+        self._blue_ops[name] = fn
+
+    def register_red(self, name: str, fn: OpFn) -> None:
+        """Register a totally-ordered operation.
+
+        A red ``fn`` may raise :class:`RedBlueError` to *reject* the
+        operation (e.g. an overdraft); rejection is deterministic, so
+        every site converges on the same outcome.
+        """
+        if name in self._blue_ops or name in self._red_ops:
+            raise RedBlueError(f"operation {name!r} already registered")
+        self._red_ops[name] = fn
+
+    # ------------------------------------------------------------------ execution
+    def execute_blue(self, name: str, args: Any = None) -> int:
+        """Apply locally now; replicate eventually.  Returns the
+        Stabilizer sequence number carrying the op."""
+        fn = self._blue_ops.get(name)
+        if fn is None:
+            raise RedBlueError(
+                f"{name!r} is not a blue operation (red ops need execute_red)"
+            )
+        self._apply_blue(name, args)
+        encoded = json.dumps({"op": name, "args": args}).encode()
+        return self.stabilizer.send(encoded, meta=("redblue", name))
+
+    def execute_red(self, name: str, args: Any = None) -> Event:
+        """Serialize through Paxos; the event succeeds with the op's
+        outcome dict ``{accepted, instance, committed_at}`` once this
+        site has applied the committed operation."""
+        if name not in self._red_ops:
+            raise RedBlueError(
+                f"{name!r} is not a red operation (blue ops need execute_blue)"
+            )
+        encoded = json.dumps({"op": name, "args": args}).encode()
+        submit_event = self.paxos.submit(encoded, meta=("redblue", self.name))
+        outcome = self.sim.event()
+
+        def on_commit(event: Event) -> None:
+            instance = event.value["instance"]
+            # The apply happens through on_apply in instance order; by the
+            # time our own commit event fires, self-apply already ran (the
+            # leader applies at quorum).  Look the verdict up.
+            verdict = self._red_outcomes.get(instance)
+            if verdict is None:
+                # Not yet applied locally (commit raced apply): defer.
+                self._pending_red[instance] = (outcome, event.value)
+                return
+            outcome.succeed({**event.value, "accepted": verdict})
+
+        submit_event.add_callback(on_commit)
+        return outcome
+
+    # ------------------------------------------------------------------ appliers
+    def _apply_blue(self, name: str, args: Any) -> None:
+        fn = self._blue_ops.get(name)
+        if fn is None:
+            raise RedBlueError(f"blue operation {name!r} not registered here")
+        self.state = fn(dict(self.state), args)
+        self.blue_applied += 1
+
+    def _on_blue_delivery(self, origin: str, seq: int, payload, meta) -> None:
+        if not (isinstance(meta, tuple) and meta and meta[0] == "redblue"):
+            return
+        record = json.loads(bytes(payload))
+        self._apply_blue(record["op"], record["args"])
+
+    def _on_red_commit(self, instance: int, payload, meta) -> None:
+        record = json.loads(bytes(payload))
+        fn = self._red_ops.get(record["op"])
+        if fn is None:
+            raise RedBlueError(f"red operation {record['op']!r} not registered here")
+        try:
+            self.state = fn(dict(self.state), record["args"])
+            accepted = True
+            self.red_applied += 1
+        except RedBlueError:
+            accepted = False
+            self.red_rejected += 1
+        self._red_outcomes[instance] = accepted
+        pending = self._pending_red.pop(instance, None)
+        if pending is not None:
+            outcome, value = pending
+            outcome.succeed({**value, "accepted": accepted})
+
+    # ------------------------------------------------------------------ reads
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.state.get(key, default)
+
+
+def build_redblue_sites(
+    stabilizers: Dict[str, Stabilizer], paxos_replicas: Dict[str, PaxosReplica]
+) -> Dict[str, RedBlueKV]:
+    """One RedBlue replica per site, over existing substrates."""
+    return {
+        name: RedBlueKV(stabilizers[name], paxos_replicas[name])
+        for name in stabilizers
+    }

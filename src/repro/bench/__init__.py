@@ -1,0 +1,25 @@
+"""Benchmark harness: topology presets, experiment runners, reporting.
+
+Every table and figure of the paper's evaluation has a runner in
+:mod:`repro.bench.runners`; the modules under ``benchmarks/`` call them,
+print the regenerated rows/series next to the paper's reported numbers,
+and assert the qualitative shape (who wins, where the knees fall).
+"""
+
+from repro.bench.reporting import Comparison, format_series, format_table
+from repro.bench.topologies import (
+    TABLE1_OBSERVED,
+    TABLE2_OBSERVED,
+    cloudlab_topology,
+    ec2_topology,
+)
+
+__all__ = [
+    "Comparison",
+    "TABLE1_OBSERVED",
+    "TABLE2_OBSERVED",
+    "cloudlab_topology",
+    "ec2_topology",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,121 @@
+"""Series analysis used by benchmarks and post-processing.
+
+Small, well-tested building blocks for the questions the evaluation keeps
+asking: where are the load spikes (Fig. 5), where does a latency curve's
+knee sit (Fig. 7), and how do two series compare window by window
+(Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.monitor import Series
+
+
+def spike_count(
+    series: Series, enter_frac: float = 0.45, exit_frac: float = 0.3
+) -> int:
+    """Count excursions above ``enter_frac`` of the maximum, with
+    hysteresis: a spike ends only when the series dips below
+    ``exit_frac`` of the maximum (shoulder noise is not double-counted).
+    """
+    if not 0 < exit_frac <= enter_frac <= 1:
+        raise ValueError("need 0 < exit_frac <= enter_frac <= 1")
+    top = series.max()
+    if not series or top <= 0 or math.isnan(top):
+        return 0
+    spikes = 0
+    inside = False
+    for _x, y in series:
+        if y > top * enter_frac and not inside:
+            spikes += 1
+            inside = True
+        elif y <= top * exit_frac and inside:
+            inside = False
+    return spikes
+
+
+def spike_intervals(
+    series: Series, enter_frac: float = 0.45, exit_frac: float = 0.3
+) -> List[Tuple[float, float]]:
+    """The (start, end) x-ranges of each spike (same rule as above)."""
+    top = series.max()
+    if not series or top <= 0:
+        return []
+    intervals: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    last_x = None
+    for x, y in series:
+        last_x = x
+        if y > top * enter_frac and start is None:
+            start = x
+        elif y <= top * exit_frac and start is not None:
+            intervals.append((start, x))
+            start = None
+    if start is not None and last_x is not None:
+        intervals.append((start, last_x))
+    return intervals
+
+
+def saturation_knee(
+    rates: Sequence[float], latencies: Sequence[float], factor: float = 2.0
+) -> Optional[float]:
+    """The first rate where latency exceeds ``factor`` times the floor.
+
+    The Fig. 7 question: where does queueing take over?  The floor is the
+    lowest-rate latency.  Returns None if the curve never takes off.
+    """
+    if len(rates) != len(latencies) or not rates:
+        raise ValueError("rates and latencies must be equal-length, non-empty")
+    floor = latencies[0]
+    if floor <= 0 or math.isnan(floor):
+        raise ValueError("latency floor must be positive")
+    for rate, latency in zip(rates, latencies):
+        if latency > floor * factor:
+            return rate
+    return None
+
+
+def windowed_means(series: Series, width: float) -> Dict[float, float]:
+    """Mean per fixed-width time window, keyed by window start."""
+    if width <= 0:
+        raise ValueError("window width must be positive")
+    out: Dict[float, float] = {}
+    if not series:
+        return out
+    end = series.times[-1]
+    start = 0.0
+    while start <= end:
+        value = series.window_mean(start, start + width)
+        if not math.isnan(value):
+            out[start] = value
+        start += width
+    return out
+
+
+def alternation_score(
+    series: Series, width: float, phase_offset: float = 0.0
+) -> float:
+    """How strongly windowed means alternate high/low (Fig. 8's toggling).
+
+    Returns mean(even windows) - mean(odd windows); positive when the
+    even-indexed windows (the "subscribed" phases, given the offset) are
+    slower.  Zero-ish for a flat series.
+    """
+    means = windowed_means(series, width)
+    even, odd = [], []
+    for start, value in means.items():
+        index = round((start - phase_offset) / width)
+        (even if index % 2 == 0 else odd).append(value)
+    if not even or not odd:
+        return 0.0
+    return sum(even) / len(even) - sum(odd) / len(odd)
+
+
+def ccdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Complementary CDF points (value, P[X > value]) for tail plots."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, 1.0 - (i + 1) / n) for i, v in enumerate(ordered)]

@@ -1,0 +1,225 @@
+"""The paper's reported numbers, as structured data, with verdict logic.
+
+`python -m repro report` (and tests) compare regenerated results against
+these expectations.  Two kinds of checks:
+
+- **exact** — network-bound quantities the emulation must match within a
+  tolerance (Table I/II matrices, Fig. 3/Fig. 8 latencies);
+- **shape** — orderings and qualitative findings (who wins, what grows,
+  what overlaps), which must hold even where absolute numbers are
+  substrate-dependent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple
+
+
+class Expectation(NamedTuple):
+    experiment: str  # "table1", "fig6", ...
+    metric: str
+    paper_value: str  # as reported, for display
+    check: Callable[[dict], bool]  # result-dict -> holds?
+    measured: Callable[[dict], str]  # result-dict -> display string
+    kind: str = "shape"  # "exact" | "shape"
+
+
+class Verdict(NamedTuple):
+    experiment: str
+    metric: str
+    paper_value: str
+    measured_value: str
+    kind: str
+    holds: bool
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value * 1e3:.2f} ms"
+
+
+EXPECTATIONS: List[Expectation] = [
+    # ---------------------------------------------------------------- Fig. 3
+    Expectation(
+        experiment="fig3",
+        metric="quorum read latency ~ WI RTT",
+        paper_value="~35.6 ms (comparable to Wisconsin's RTT)",
+        check=lambda r: all(
+            abs(lat - r["rtt_s"]["WI"]) / r["rtt_s"]["WI"] < 0.25
+            for lat in r["latency_s"].values()
+        ),
+        measured=lambda r: _fmt_ms(
+            sum(r["latency_s"].values()) / len(r["latency_s"])
+        ),
+        kind="exact",
+    ),
+    Expectation(
+        experiment="fig3",
+        metric="latency rises slightly with size",
+        paper_value="slight increase 1 KB -> 64 KB",
+        check=lambda r: (
+            r["latency_s"][max(r["latency_s"])]
+            > r["latency_s"][min(r["latency_s"])]
+        ),
+        measured=lambda r: (
+            f"{_fmt_ms(r['latency_s'][min(r['latency_s'])])} -> "
+            f"{_fmt_ms(r['latency_s'][max(r['latency_s'])])}"
+        ),
+    ),
+    # ---------------------------------------------------------------- Fig. 5
+    Expectation(
+        experiment="fig5",
+        metric="strength ordering of mean latency",
+        paper_value="weaker levels less impacted than stronger",
+        check=lambda r: (
+            r["series"]["OneWNode"].mean()
+            <= r["series"]["OneRegion"].mean()
+            <= r["series"]["MajorityRegions"].mean()
+            <= r["series"]["AllRegions"].mean()
+            <= r["series"]["AllWNodes"].mean()
+        ),
+        measured=lambda r: " <= ".join(
+            f"{key}:{r['series'][key].mean():.2f}s"
+            for key in ("OneWNode", "MajorityRegions", "AllWNodes")
+        ),
+    ),
+    Expectation(
+        experiment="fig5",
+        metric="MajorityWNodes more vulnerable than MajorityRegions",
+        paper_value="MajorityWNodes > MajorityRegions under spikes",
+        check=lambda r: (
+            r["series"]["MajorityWNodes"].mean()
+            > r["series"]["MajorityRegions"].mean()
+        ),
+        measured=lambda r: (
+            f"{r['series']['MajorityWNodes'].mean():.2f}s vs "
+            f"{r['series']['MajorityRegions'].mean():.2f}s"
+        ),
+    ),
+    # ---------------------------------------------------------------- Fig. 6
+    Expectation(
+        experiment="fig6",
+        metric="MajorityRegions beats PhxPaxos at every size",
+        paper_value="24.75% mean improvement",
+        check=lambda r: all(
+            r["sync_time_s"]["MajorityRegions"][s] < r["sync_time_s"]["PhxPaxos"][s]
+            for s in r["sizes"]
+        )
+        and r["improvement_vs_paxos"] > 0.10,
+        measured=lambda r: f"{r['improvement_vs_paxos'] * 100:.1f}% mean improvement",
+    ),
+    Expectation(
+        experiment="fig6",
+        metric="PhxPaxos overlaps MajorityWNodes",
+        paper_value="the two curves mostly overlap",
+        check=lambda r: all(
+            abs(
+                r["sync_time_s"]["PhxPaxos"][s]
+                - r["sync_time_s"]["MajorityWNodes"][s]
+            )
+            / r["sync_time_s"]["PhxPaxos"][s]
+            < 0.25
+            for s in r["sizes"]
+        ),
+        measured=lambda r: "within 25% at every size",
+    ),
+    Expectation(
+        experiment="fig6",
+        metric="gap grows with file size",
+        paper_value="difference becomes larger as the file becomes larger",
+        check=lambda r: (
+            r["sync_time_s"]["PhxPaxos"][r["sizes"][-1]]
+            - r["sync_time_s"]["MajorityRegions"][r["sizes"][-1]]
+        )
+        > (
+            r["sync_time_s"]["PhxPaxos"][r["sizes"][0]]
+            - r["sync_time_s"]["MajorityRegions"][r["sizes"][0]]
+        ),
+        measured=lambda r: (
+            f"gap {(r['sync_time_s']['PhxPaxos'][r['sizes'][0]] - r['sync_time_s']['MajorityRegions'][r['sizes'][0]]) * 1e3:.1f} ms"
+            f" -> {(r['sync_time_s']['PhxPaxos'][r['sizes'][-1]] - r['sync_time_s']['MajorityRegions'][r['sizes'][-1]]) * 1e3:.1f} ms"
+        ),
+    ),
+    # ---------------------------------------------------------------- Fig. 7
+    Expectation(
+        experiment="fig7",
+        metric="identical WAN throughput bottleneck",
+        paper_value="both systems bottleneck at the same throughput",
+        check=lambda r: all(
+            abs(
+                max(r["stabilizer"][rate][site]["throughput_mbit"] for rate in r["stabilizer"])
+                - max(r["pulsar"][rate][site]["throughput_mbit"] for rate in r["pulsar"])
+            )
+            / max(r["stabilizer"][rate][site]["throughput_mbit"] for rate in r["stabilizer"])
+            < 0.1
+            for site in ("WI", "CLEM", "MA")
+        ),
+        measured=lambda r: ", ".join(
+            f"{site}:{max(r['stabilizer'][rate][site]['throughput_mbit'] for rate in r['stabilizer']):.0f}Mbit"
+            for site in ("WI", "CLEM", "MA")
+        ),
+    ),
+    Expectation(
+        experiment="fig7",
+        metric="Pulsar LAN latency grows with rate (GC), Stabilizer flat",
+        paper_value="Pulsar shows growth in latency on LAN",
+        check=lambda r: (
+            r["pulsar"][max(r["pulsar"])]["UT2"]["latency_ms"]
+            > 3 * r["pulsar"][min(r["pulsar"])]["UT2"]["latency_ms"]
+            and r["stabilizer"][max(r["stabilizer"])]["UT2"]["latency_ms"]
+            < 2 * r["stabilizer"][min(r["stabilizer"])]["UT2"]["latency_ms"]
+        ),
+        measured=lambda r: (
+            f"pulsar {r['pulsar'][min(r['pulsar'])]['UT2']['latency_ms']:.2f} -> "
+            f"{r['pulsar'][max(r['pulsar'])]['UT2']['latency_ms']:.2f} ms; "
+            f"stabilizer flat"
+        ),
+    ),
+    # ---------------------------------------------------------------- Fig. 8
+    Expectation(
+        experiment="fig8",
+        metric="all-sites vs three-sites gap",
+        paper_value="~3 ms (MA only 3 ms faster than CLEM)",
+        check=lambda r: abs(
+            (r["all_sites"].mean() - r["three_sites"].mean()) * 1e3 - 3.0
+        )
+        < 1.5,
+        measured=lambda r: _fmt_ms(r["all_sites"].mean() - r["three_sites"].mean()),
+        kind="exact",
+    ),
+    Expectation(
+        experiment="fig8",
+        metric="changing predicate tracks subscription state",
+        paper_value="latency drops when the slowest site leaves",
+        check=lambda r: r["changing"].window_mean(1, 5)
+        > r["changing"].window_mean(6, 10),
+        measured=lambda r: (
+            f"{_fmt_ms(r['changing'].window_mean(1, 5))} subscribed vs "
+            f"{_fmt_ms(r['changing'].window_mean(6, 10))} unsubscribed"
+        ),
+    ),
+]
+
+
+def verdicts_for(experiment: str, result: dict) -> List[Verdict]:
+    """Evaluate every expectation registered for ``experiment``."""
+    out = []
+    for exp in EXPECTATIONS:
+        if exp.experiment != experiment:
+            continue
+        try:
+            holds = bool(exp.check(result))
+            measured = exp.measured(result)
+        except (KeyError, ZeroDivisionError, ValueError) as err:
+            holds = False
+            measured = f"<error: {err}>"
+        out.append(
+            Verdict(exp.experiment, exp.metric, exp.paper_value, measured, exp.kind, holds)
+        )
+    return out
+
+
+def experiments() -> List[str]:
+    seen: Dict[str, None] = {}
+    for exp in EXPECTATIONS:
+        seen.setdefault(exp.experiment, None)
+    return list(seen)

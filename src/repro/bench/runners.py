@@ -1,0 +1,827 @@
+"""Experiment runners: one function per table/figure of the evaluation.
+
+Each runner builds a fresh simulation, drives the workload, and returns
+plain data structures.  The modules under ``benchmarks/`` print them next
+to the paper's numbers; tests assert the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.topologies import (
+    CLOUDLAB_SENDER,
+    EC2_SENDER,
+    cloudlab_topology,
+    ec2_topology,
+)
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.dsl.compiler import PredicateCompiler
+from repro.dsl.interpreter import evaluate_ir
+from repro.dsl.semantics import DslContext
+from repro.dsl.stdlib import standard_predicates
+from repro.net.probe import network_matrix
+from repro.net.tc import NetemSpec
+from repro.net.topology import Network, Topology
+from repro.paxos import PaxosCluster
+from repro.pubsub import PulsarCluster, ReliableBroadcast, StabilizerBroker
+from repro.sim import Simulator
+from repro.sim.monitor import Series, mean
+from repro.sim.rng import RngRegistry
+from repro.transport.chunker import CHUNK_BYTES
+from repro.transport.messages import SyntheticPayload
+from repro.workloads.dropbox_trace import TraceRecord, synthesize_trace
+from repro.workloads.rates import constant_rate
+
+
+def build_network(topology: Topology, seed: int = 0) -> Tuple[Simulator, Network]:
+    sim = Simulator()
+    return sim, topology.build(sim, RngRegistry(seed))
+
+
+def _cluster(
+    net: Network,
+    local: str,
+    predicates: Optional[Dict[str, str]] = None,
+    **kwargs,
+) -> StabilizerCluster:
+    config = StabilizerConfig.from_topology(
+        net.topology, local, predicates=predicates or {}, **kwargs
+    )
+    return StabilizerCluster(net, config)
+
+
+# ---------------------------------------------------------------------------
+# Tables I and II: the emulated network matches the published matrix.
+# ---------------------------------------------------------------------------
+
+
+def run_network_matrix(topology: Topology, src: str) -> Dict[str, Dict[str, float]]:
+    """RTT + throughput from ``src`` to every node (probe-measured)."""
+    _sim, net = build_network(topology)
+    return network_matrix(net, src, ping_count=5)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: quorum read latency vs message size.
+# ---------------------------------------------------------------------------
+
+QUORUM_MEMBERS = ("UT1", "WI", "CLEM")
+
+
+def run_quorum_read(
+    sizes_bytes: Sequence[int] = tuple(1024 * 2**i for i in range(7)),
+    reads_per_size: int = 5,
+) -> Dict[str, object]:
+    """The Fig. 3 experiment: quorum {UT1, WI, CLEM}, Nr = Nw = 2, writer
+    at UT2, reader at UT1; returns read latencies and RTT reference lines."""
+    from repro.apps import QuorumKV, WanKVStore
+
+    latencies: Dict[int, float] = {}
+    for size in sizes_bytes:
+        sim, net = build_network(cloudlab_topology())
+        cluster = _cluster(net, "UT2", control_interval_s=0.001)
+        stores = {n: WanKVStore(cluster[n]) for n in net.topology.node_names()}
+        quorums = {
+            n: QuorumKV(stores[n], list(QUORUM_MEMBERS), nw=2, nr=2)
+            for n in net.topology.node_names()
+        }
+        _result, written = quorums["UT2"].write(f"key-{size}", SyntheticPayload(size))
+        sim.run_until_triggered(written, limit=10.0)
+        sim.run(until=sim.now + 1.0)  # let all mirrors settle
+        samples = []
+        for _ in range(reads_per_size):
+            start = sim.now
+            done = quorums["UT1"].read(f"key-{size}")
+            sim.run_until_triggered(done, limit=10.0)
+            samples.append(sim.now - start)
+            sim.run(until=sim.now + 0.2)
+        latencies[size] = mean(samples)
+    # RTT reference lines, as measured by ping in the same network.
+    _sim, net = build_network(cloudlab_topology())
+    from repro.net.probe import measure_rtt
+
+    rtts = {
+        site: measure_rtt(net, "UT1", site, count=3).mean()
+        for site in ("UT2", "WI", "CLEM", "MA")
+    }
+    return {"latency_s": latencies, "rtt_s": rtts}
+
+
+# ---------------------------------------------------------------------------
+# Section VI-A microbenchmark: DSL compile/compute overhead.
+# ---------------------------------------------------------------------------
+
+
+def synthesize_predicate(operators: int, operands: int) -> str:
+    """A predicate with exactly the given operator and operand counts.
+
+    Mirrors the paper's sweep (1–5 operators, 5–20 operands), using
+    KTH_MIN — their most expensive operator.
+    """
+    if operators < 1 or operands < operators:
+        raise ValueError("need at least one operand per operator")
+    share = operands // operators
+    extra = operands % operators
+    groups: List[List[int]] = []
+    node = 1
+    for i in range(operators):
+        count = share + (1 if i < extra else 0)
+        groups.append(list(range(node, node + count)))
+        node += count
+    # Innermost first: KTH_MIN(1, $a, $b), wrapped by successive operators
+    # that take the inner predicate as one of their arguments.
+    source = None
+    for group in groups:
+        args = ", ".join(f"${n}" for n in group)
+        if source is None:
+            source = f"KTH_MIN(1, {args})"
+        else:
+            source = f"KTH_MIN(1, {args}, {source})"
+    return source
+
+
+def run_dsl_microbench(
+    operator_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    operand_counts: Sequence[int] = (5, 10, 15, 20),
+    evaluations: int = 20_000,
+) -> List[Dict[str, float]]:
+    """Compile and evaluation cost per (operators, operands) cell."""
+    nodes = [f"n{i}" for i in range(1, 21)]
+    ctx = DslContext(nodes, {"az": nodes}, "n1")
+    table = [[i * 10, i * 5] for i in range(1, 21)]
+    rows = []
+    for operators in operator_counts:
+        for operands in operand_counts:
+            if operands < operators:
+                continue
+            source = synthesize_predicate(operators, operands)
+            compiler = PredicateCompiler(ctx)  # fresh: no cache effects
+            predicate = compiler.compile(source)
+            started = time.perf_counter()
+            for _ in range(evaluations):
+                predicate.evaluate(table)
+            compiled_s = (time.perf_counter() - started) / evaluations
+            started = time.perf_counter()
+            interp_runs = max(evaluations // 10, 1)
+            for _ in range(interp_runs):
+                evaluate_ir(predicate.ir, table)
+            interp_s = (time.perf_counter() - started) / interp_runs
+            rows.append(
+                {
+                    "operators": operators,
+                    "operands": operands,
+                    "compile_ms": predicate.compile_time_s * 1e3,
+                    "eval_us": compiled_s * 1e6,
+                    "interp_eval_us": interp_s * 1e6,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: trace-driven stability-frontier latency.
+# ---------------------------------------------------------------------------
+
+
+def run_trace_experiment(
+    scale: float = 0.05,
+    seed: int = 7,
+    record_every: int = 1,
+    trace: Optional[Sequence[TraceRecord]] = None,
+) -> Dict[str, object]:
+    """Replay the Dropbox trace on the EC2 emulation; for each of the six
+    Table III predicates, record when each message first satisfied it."""
+    records = list(trace) if trace is not None else synthesize_trace(scale, seed)
+    topo = ec2_topology()
+    sim, net = build_network(topo)
+    predicates = standard_predicates(topo.groups(), EC2_SENDER)
+    cluster = _cluster(
+        net,
+        EC2_SENDER,
+        control_interval_s=0.01,
+        control_batch=64,
+        control_fanout="origin",  # only the sender evaluates predicates here
+    )
+    sender = cluster[EC2_SENDER]
+    for key, source in predicates.items():
+        sender.register_predicate(key, source)
+    send_times: List[float] = []  # send_times[seq - 1]
+    results = {key: Series(key) for key in predicates}
+
+    def monitor_for(key: str):
+        series = results[key]
+
+        def monitor(origin: str, frontier: int, old: int) -> None:
+            start = max(old + 1, 1)
+            for seq in range(start, frontier + 1):
+                if (seq - 1) % record_every:
+                    continue
+                if seq - 1 < len(send_times):
+                    series.record(seq, sim.now - send_times[seq - 1])
+
+        return monitor
+
+    for key in predicates:
+        sender.monitor_stability_frontier(key, monitor_for(key))
+
+    def driver():
+        for record in records:
+            delay = record.time_s - sim.now
+            if delay > 0:
+                yield delay
+            before = sender.last_sent_seq()
+            sender.send(SyntheticPayload(record.size_bytes))
+            after = sender.last_sent_seq()
+            send_times.extend([sim.now] * (after - before))
+
+    process = sim.spawn(driver(), name="trace-driver")
+    process.add_callback(lambda _e: None)
+    sim.run_until_triggered(process, limit=1e9)
+    # Drain: strongest predicate must cover the last chunk.
+    last_seq = sender.last_sent_seq()
+    done = sender.waitfor(last_seq, "AllWNodes")
+    sim.run_until_triggered(done, limit=sim.now + 600.0)
+    sim.run(until=sim.now + 1.0)
+    return {
+        "series": results,
+        "messages": last_seq,
+        "trace_files": len(records),
+        "duration_s": sim.now,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: per-file synchronization time, Stabilizer predicates vs Paxos.
+# ---------------------------------------------------------------------------
+
+FIG6_PREDICATES = ("MajorityRegions", "MajorityWNodes", "OneWNode")
+
+
+def file_sync_time_stabilizer(size_bytes: int, predicate_key: str) -> float:
+    """Time to synchronize one file under one predicate, on an idle WAN."""
+    topo = ec2_topology()
+    sim, net = build_network(topo)
+    predicates = standard_predicates(topo.groups(), EC2_SENDER)
+    cluster = _cluster(
+        net, EC2_SENDER, predicates=predicates, control_interval_s=0.002
+    )
+    sender = cluster[EC2_SENDER]
+    start = sim.now
+    seq = sender.send(SyntheticPayload(size_bytes))
+    done = sender.waitfor(seq, predicate_key)
+    sim.run_until_triggered(done, limit=3600.0)
+    return sim.now - start
+
+
+def file_sync_time_paxos(size_bytes: int, window: int = 128) -> float:
+    """Time for Multi-Paxos to commit one file (split into 8 KB commands)."""
+    topo = ec2_topology()
+    sim, net = build_network(topo)
+    cluster = PaxosCluster(net, leader=EC2_SENDER, window=window)
+    warmup = cluster.submit(SyntheticPayload(64))
+    sim.run_until_triggered(warmup, limit=10.0)  # Phase 1 out of the way
+    chunks = max(1, math.ceil(size_bytes / CHUNK_BYTES))
+    start = sim.now
+    events = [
+        cluster["NC-1"].submit(SyntheticPayload(min(CHUNK_BYTES, size_bytes)))
+        for _ in range(chunks)
+    ]
+    last = events[-1]
+    sim.run_until_triggered(last, limit=start + 3600.0)
+    return sim.now - start
+
+
+def run_file_sync(
+    sizes_bytes: Sequence[int] = (10**3, 10**4, 10**5, 10**6, 10**7, 10**8),
+    predicates: Sequence[str] = FIG6_PREDICATES,
+) -> Dict[str, object]:
+    results: Dict[str, Dict[int, float]] = {key: {} for key in predicates}
+    results["PhxPaxos"] = {}
+    for size in sizes_bytes:
+        for key in predicates:
+            results[key][size] = file_sync_time_stabilizer(size, key)
+        results["PhxPaxos"][size] = file_sync_time_paxos(size)
+    # The paper's headline: MajorityRegions vs PhxPaxos mean improvement.
+    improvements = [
+        1.0 - results["MajorityRegions"][size] / results["PhxPaxos"][size]
+        for size in sizes_bytes
+    ]
+    return {
+        "sync_time_s": results,
+        "improvement_vs_paxos": mean(improvements),
+        "sizes": list(sizes_bytes),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: pub/sub latency and throughput vs sending rate.
+# ---------------------------------------------------------------------------
+
+PUBSUB_SITES = ("UT2", "WI", "CLEM", "MA")
+PUBSUB_MESSAGE_BYTES = 8 * 1024
+
+
+def _pubsub_stats(
+    send_times: Dict[int, float],
+    ack_times: Dict[Tuple[str, int], float],
+    arrivals: Dict[str, List[float]],
+    start: float,
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    total_bytes = len(send_times) * PUBSUB_MESSAGE_BYTES
+    for site in PUBSUB_SITES:
+        lats = [
+            ack_times[(site, seq)] - sent
+            for seq, sent in send_times.items()
+            if (site, seq) in ack_times
+        ]
+        site_arrivals = arrivals.get(site, [])
+        if site_arrivals:
+            span = max(site_arrivals[-1] - start, 1e-9)
+            thp = len(site_arrivals) * PUBSUB_MESSAGE_BYTES * 8.0 / span
+        else:
+            thp = 0.0
+        out[site] = {
+            "latency_ms": mean(lats) * 1e3 if lats else float("nan"),
+            "delivered": float(len(site_arrivals)),
+            "throughput_mbit": thp / 1e6,
+        }
+    return out
+
+
+def run_pubsub_stabilizer(rate: float, messages: int) -> Dict[str, Dict[str, float]]:
+    sim, net = build_network(cloudlab_topology())
+    cluster = _cluster(
+        net, CLOUDLAB_SENDER, control_interval_s=0.0002, control_batch=2
+    )
+    brokers = {n: StabilizerBroker(cluster[n]) for n in net.topology.node_names()}
+    arrivals: Dict[str, List[float]] = {site: [] for site in PUBSUB_SITES}
+    for site in PUBSUB_SITES:
+        brokers[site].subscribe(
+            lambda origin, seq, payload, meta, _s=site: arrivals[_s].append(sim.now)
+        )
+    sim.run(until=1.0)  # let subscriptions spread
+    publisher = brokers[CLOUDLAB_SENDER]
+    # Publisher-side per-site ack tracking, through per-site predicates.
+    ack_times: Dict[Tuple[str, int], float] = {}
+    for site in PUBSUB_SITES:
+        key = f"site_{site}"
+        publisher.stabilizer.register_predicate(key, f"MAX($WNODE_{site})")
+
+        def monitor(origin, frontier, old, _site=site):
+            for seq in range(old + 1, frontier + 1):
+                ack_times[(_site, seq)] = sim.now
+
+        publisher.stabilizer.monitor_stability_frontier(key, monitor)
+    start = sim.now
+    constant_rate(
+        sim,
+        rate,
+        messages,
+        lambda i: publisher.publish(SyntheticPayload(PUBSUB_MESSAGE_BYTES)),
+    )
+    sim.run(until=start + messages / rate + 120.0)
+    return _pubsub_stats(publisher.send_times, ack_times, arrivals, start)
+
+
+def run_pubsub_pulsar(
+    rate: float, messages: int, gc_enabled: bool = True
+) -> Dict[str, Dict[str, float]]:
+    sim, net = build_network(cloudlab_topology())
+    cluster = PulsarCluster(net, gc_enabled=gc_enabled, buffer_fix=True)
+    arrivals: Dict[str, List[float]] = {site: [] for site in PUBSUB_SITES}
+    for site in PUBSUB_SITES:
+        cluster[site].subscribe(
+            lambda origin, seq, payload, meta, _s=site: arrivals[_s].append(sim.now)
+        )
+    publisher = cluster[CLOUDLAB_SENDER]
+    start = sim.now
+    constant_rate(
+        sim,
+        rate,
+        messages,
+        lambda i: publisher.publish(SyntheticPayload(PUBSUB_MESSAGE_BYTES)),
+    )
+    sim.run(until=start + messages / rate + 120.0)
+    return _pubsub_stats(publisher.send_times, publisher.ack_times, arrivals, start)
+
+
+def run_pubsub_sweep(
+    rates: Sequence[float] = (250, 500, 1000, 2000, 4000, 8000, 16000),
+    messages: int = 2000,
+) -> Dict[str, Dict[float, Dict[str, Dict[str, float]]]]:
+    return {
+        "stabilizer": {r: run_pubsub_stabilizer(r, messages) for r in rates},
+        "pulsar": {r: run_pubsub_pulsar(r, messages) for r in rates},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: dynamic predicate reconfiguration.
+# ---------------------------------------------------------------------------
+
+ALL_SITES_PREDICATE = "MIN($ALLWNODES - $MYWNODE)"
+THREE_SITES_PREDICATE = "KTH_MAX(3, $ALLWNODES - $MYWNODE)"
+SLOWEST_SITE = "CLEM"
+
+
+def _reconfig_static(predicate: str, messages: int, rate: float) -> Series:
+    sim, net = build_network(cloudlab_topology())
+    cluster = _cluster(
+        net,
+        CLOUDLAB_SENDER,
+        predicates={"p": predicate},
+        control_interval_s=0.001,
+        control_batch=4,
+    )
+    sender = cluster[CLOUDLAB_SENDER]
+    series = Series(predicate)
+    send_times: List[float] = []
+
+    def monitor(origin, frontier, old):
+        for seq in range(old + 1, frontier + 1):
+            if seq - 1 < len(send_times):
+                sent = send_times[seq - 1]
+                series.record(sent, sim.now - sent)
+
+    sender.monitor_stability_frontier("p", monitor)
+
+    def send(_i):
+        send_times.append(sim.now)
+        sender.send(SyntheticPayload(PUBSUB_MESSAGE_BYTES))
+
+    start = sim.now
+    constant_rate(sim, rate, messages, send)
+    sim.run(until=start + messages / rate + 30.0)
+    return series
+
+
+def _reconfig_changing(messages: int, rate: float, toggle_every_s: float) -> Dict[str, object]:
+    sim, net = build_network(cloudlab_topology())
+    cluster = _cluster(
+        net, CLOUDLAB_SENDER, control_interval_s=0.001, control_batch=4
+    )
+    brokers = {n: StabilizerBroker(cluster[n]) for n in net.topology.node_names()}
+    for site in PUBSUB_SITES:
+        if site != SLOWEST_SITE:
+            brokers[site].subscribe(lambda *a: None)
+    sim.run(until=0.5)
+    app = ReliableBroadcast(brokers[CLOUDLAB_SENDER])
+    toggles: List[Tuple[float, str]] = []
+
+    def toggler():
+        subscription = None
+        while True:
+            if subscription is None:
+                subscription = brokers[SLOWEST_SITE].subscribe(lambda *a: None)
+                toggles.append((sim.now, "subscribe"))
+            else:
+                subscription.unsubscribe()
+                subscription = None
+                toggles.append((sim.now, "unsubscribe"))
+            yield toggle_every_s
+
+    toggle_process = sim.spawn(toggler(), name="clem-toggler")
+    toggle_process.add_callback(lambda _e: None)
+    start = sim.now
+    constant_rate(
+        sim,
+        rate,
+        messages,
+        lambda i: app.broadcast(SyntheticPayload(PUBSUB_MESSAGE_BYTES)),
+    )
+    sim.run(until=start + messages / rate + 10.0)
+    toggle_process.interrupt("experiment over")
+    sim.run(until=sim.now + 0.1)
+    # Report latencies against time-from-first-send.
+    series = Series("changing")
+    for t, latency in app.latency:
+        series.record(t - start, latency)
+    return {
+        "series": series,
+        "toggles": [(t - start, kind) for t, kind in toggles],
+        "start": start,
+    }
+
+
+def run_reconfig(
+    messages: int = 1600, rate: float = 80.0, toggle_every_s: float = 5.0
+) -> Dict[str, object]:
+    all_sites = _reconfig_static(ALL_SITES_PREDICATE, messages, rate)
+    three_sites = _reconfig_static(THREE_SITES_PREDICATE, messages, rate)
+    changing = _reconfig_changing(messages, rate, toggle_every_s)
+    return {
+        "all_sites": all_sites,
+        "three_sites": three_sites,
+        "changing": changing["series"],
+        "toggles": changing["toggles"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Extension: RedBlue (Gemini) two-level consistency vs the predicate continuum.
+# ---------------------------------------------------------------------------
+
+
+def run_redblue_comparison(operations: int = 15) -> Dict[str, float]:
+    """Compare Gemini-style RedBlue against Stabilizer predicates.
+
+    RedBlue offers exactly two levels: blue (local now, eventual
+    convergence) and red (a Paxos commit over a node-counted majority).
+    Stabilizer's continuum offers points in between — here
+    MajorityRegions, which is durable across regions yet cheaper than the
+    node-majority red tier on the Fig. 2 topology.
+    """
+    from repro.apps.redblue import build_redblue_sites
+
+    topo = ec2_topology()
+    sim, net = build_network(topo)
+    predicates = standard_predicates(topo.groups(), EC2_SENDER)
+    cluster = _cluster(net, EC2_SENDER, control_interval_s=0.002)
+    paxos = PaxosCluster(net, leader=EC2_SENDER)
+    sites = build_redblue_sites(
+        {n: cluster[n] for n in topo.node_names()},
+        {n: paxos[n] for n in topo.node_names()},
+    )
+    for site in sites.values():
+        site.register_blue("add", lambda s, a: {**s, "n": s.get("n", 0) + a})
+        site.register_red("set", lambda s, a: {**s, "n": a})
+    hq = sites[EC2_SENDER]
+    hq.stabilizer.register_predicate(
+        "MajorityRegions", predicates["MajorityRegions"]
+    )
+    hq.stabilizer.register_predicate("AllWNodes", predicates["AllWNodes"])
+    warmup = paxos.submit(b'{"op": "set", "args": 0}')
+    sim.run_until_triggered(warmup, limit=10.0)
+
+    # Blue: local apply is free; convergence = every site has the op.
+    blue_convergence = []
+    for _ in range(operations):
+        start = sim.now
+        seq = hq.execute_blue("add", 1)
+        done = hq.stabilizer.waitfor(seq, "AllWNodes")
+        sim.run_until_triggered(done, limit=30.0)
+        blue_convergence.append(sim.now - start)
+        sim.run(until=sim.now + 0.05)
+
+    # Red: a Paxos commit (node-counted majority).
+    red_commit = []
+    for _ in range(operations):
+        start = sim.now
+        done = hq.execute_red("set", 7)
+        sim.run_until_triggered(done, limit=30.0)
+        red_commit.append(sim.now - start)
+        sim.run(until=sim.now + 0.05)
+
+    # The continuum point RedBlue cannot express: region-majority durable.
+    majority_regions = []
+    for _ in range(operations):
+        start = sim.now
+        seq = hq.stabilizer.send(SyntheticPayload(256))
+        done = hq.stabilizer.waitfor(seq, "MajorityRegions")
+        sim.run_until_triggered(done, limit=30.0)
+        majority_regions.append(sim.now - start)
+        sim.run(until=sim.now + 0.05)
+
+    return {
+        "blue_local_ms": 0.0,
+        "blue_convergence_ms": mean(blue_convergence) * 1e3,
+        "red_commit_ms": mean(red_commit) * 1e3,
+        "stabilizer_majority_regions_ms": mean(majority_regions) * 1e3,
+        "operations": float(operations),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Extension: scaling the number of WAN nodes.
+# ---------------------------------------------------------------------------
+
+
+def run_scalability(
+    node_counts: Sequence[int] = (4, 8, 16, 32),
+    messages: int = 30,
+    rate: float = 50.0,
+) -> List[Dict[str, float]]:
+    """Geo-replication factor sweep (the paper sized its DSL microbench
+    "for small to large cloud applications"; this sizes the whole stack).
+
+    Uniform 30 ms / 100 Mbit links, nodes paired into regions.  Reports
+    mean AllWNodes detection latency (should stay flat: the ACK path is
+    one RTT regardless of fan-out), control frames (grows with n), and
+    predicate evaluations at the sender.
+    """
+    rows = []
+    for count in node_counts:
+        topo = Topology(f"scale-{count}")
+        for i in range(count):
+            topo.add_node(f"s{i}", group=f"region{i // 2}")
+        topo.set_default(NetemSpec(latency_ms=30, rate_mbit=100))
+        sim, net = build_network(topo)
+        cluster = _cluster(
+            net,
+            "s0",
+            control_interval_s=0.002,
+            control_fanout="origin",
+        )
+        sender = cluster["s0"]
+        sender.register_predicate("all", "MIN($ALLWNODES - $MYWNODE)")
+        send_times: List[float] = []
+        latencies: List[float] = []
+
+        def monitor(origin, frontier, old):
+            for seq in range(old + 1, frontier + 1):
+                if seq - 1 < len(send_times):
+                    latencies.append(sim.now - send_times[seq - 1])
+
+        sender.monitor_stability_frontier("all", monitor)
+
+        def send(_i):
+            send_times.append(sim.now)
+            sender.send(SyntheticPayload(PUBSUB_MESSAGE_BYTES))
+
+        constant_rate(sim, rate, messages, send)
+        sim.run(until=messages / rate + 10.0)
+        total_frames = sum(node.controlplane.frames_sent for node in cluster)
+        rows.append(
+            {
+                "nodes": float(count),
+                "all_wnodes_ms": mean(latencies) * 1e3,
+                "completed": float(len(latencies)),
+                # The ACK stream proper: reports arriving at the origin.
+                "ack_frames_at_sender": float(sender.controlplane.frames_received),
+                # Includes full-mesh heartbeats, which are quadratic by
+                # design (every node proves liveness to every other).
+                "total_control_frames": float(total_frames),
+                "sender_evaluations": float(sender.engine.evaluations),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Extension: frontier latency under regional cross-traffic.
+# ---------------------------------------------------------------------------
+
+
+def run_cross_traffic(
+    fractions: Sequence[float] = (0.0, 0.6, 0.95),
+    messages: int = 80,
+    rate: float = 40.0,
+    congested_region: str = "North Virginia",
+) -> List[Dict[str, float]]:
+    """Congest one region's links and measure per-predicate latency.
+
+    An extension beyond the paper: node-counted consistency models
+    (MajorityWNodes, AllWNodes) must wait on the congested region, while
+    MajorityRegions — which any two healthy regions satisfy — barely
+    notices.  Quantifies the value of topology-aware predicates under
+    contention, not just under the paper's static bandwidth differences.
+    """
+    from repro.net.crosstraffic import congest_region
+
+    keys = ("MajorityRegions", "MajorityWNodes", "AllWNodes")
+    rows: List[Dict[str, float]] = []
+    for fraction in fractions:
+        topo = ec2_topology()
+        sim, net = build_network(topo)
+        predicates = standard_predicates(topo.groups(), EC2_SENDER)
+        cluster = _cluster(
+            net, EC2_SENDER, control_interval_s=0.002, control_fanout="origin"
+        )
+        sender = cluster[EC2_SENDER]
+        for key in keys:
+            sender.register_predicate(key, predicates[key])
+        if fraction > 0:
+            congest_region(net, congested_region, fraction, from_node=EC2_SENDER)
+        send_times: List[float] = []
+        latencies: Dict[str, List[float]] = {key: [] for key in keys}
+
+        def monitor_for(key):
+            def monitor(origin, frontier, old):
+                for seq in range(old + 1, frontier + 1):
+                    if seq - 1 < len(send_times):
+                        latencies[key].append(sim.now - send_times[seq - 1])
+
+            return monitor
+
+        for key in keys:
+            sender.monitor_stability_frontier(key, monitor_for(key))
+
+        def send(_i):
+            send_times.append(sim.now)
+            sender.send(SyntheticPayload(PUBSUB_MESSAGE_BYTES))
+
+        constant_rate(sim, rate, messages, send)
+        sim.run(until=messages / rate + 60.0)
+        row: Dict[str, float] = {"fraction": fraction}
+        for key in keys:
+            row[f"{key}_ms"] = mean(latencies[key]) * 1e3
+            row[f"{key}_done"] = float(len(latencies[key]))
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation: the 8 KB data-plane chunk size.
+# ---------------------------------------------------------------------------
+
+
+def run_chunk_size_ablation(
+    chunk_sizes: Sequence[int] = (1024, 8 * 1024, 64 * 1024, 512 * 1024),
+    file_bytes: int = 4_000_000,
+) -> List[Dict[str, float]]:
+    """Sweep the split threshold the paper fixes at 8 KB.
+
+    Per chunk size: the time for one ``file_bytes`` file to reach
+    MajorityRegions stability (per-chunk headers cost wire time at small
+    chunks), the number of sequenced messages, how often the frontier
+    advanced (small chunks give fine-grained progress tracking, large
+    chunks coarse jumps), and the control frames spent.
+    """
+    rows = []
+    for chunk in chunk_sizes:
+        topo = ec2_topology()
+        sim, net = build_network(topo)
+        predicates = standard_predicates(topo.groups(), EC2_SENDER)
+        cluster = _cluster(
+            net,
+            EC2_SENDER,
+            predicates=predicates,
+            control_interval_s=0.002,
+            chunk_bytes=chunk,
+        )
+        sender = cluster[EC2_SENDER]
+        advances = [0]
+        sender.monitor_stability_frontier(
+            "MajorityRegions",
+            lambda origin, new, old: advances.__setitem__(0, advances[0] + 1),
+        )
+        start = sim.now
+        big_seq = sender.send(SyntheticPayload(file_bytes))
+        big_done = sender.waitfor(big_seq, "MajorityRegions")
+        sim.run_until_triggered(big_done, limit=3600.0)
+        frames = sum(node.controlplane.frames_sent for node in cluster)
+        rows.append(
+            {
+                "chunk_bytes": float(chunk),
+                "file_sync_s": sim.now - start,
+                "messages": float(big_seq),
+                "frontier_advances": float(advances[0]),
+                "control_frames": float(frames),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablation: control-plane ACK batching.
+# ---------------------------------------------------------------------------
+
+
+def run_ack_batching(
+    intervals_s: Sequence[float] = (0.001, 0.005, 0.02, 0.05, 0.1),
+    messages: int = 200,
+    rate: float = 100.0,
+) -> List[Dict[str, float]]:
+    """Sweep the control-plane flush interval: detection lag vs frames."""
+    rows = []
+    for interval in intervals_s:
+        sim, net = build_network(ec2_topology())
+        cluster = _cluster(
+            net,
+            EC2_SENDER,
+            predicates={"one": "MAX($ALLWNODES - $MYWNODE)"},
+            control_interval_s=interval,
+            control_batch=10**9,  # isolate the timer effect
+        )
+        sender = cluster[EC2_SENDER]
+        send_times: List[float] = []
+        latencies: List[float] = []
+
+        def monitor(origin, frontier, old):
+            for seq in range(old + 1, frontier + 1):
+                if seq - 1 < len(send_times):
+                    latencies.append(sim.now - send_times[seq - 1])
+
+        sender.monitor_stability_frontier("one", monitor)
+
+        def send(_i):
+            send_times.append(sim.now)
+            sender.send(SyntheticPayload(1024))
+
+        constant_rate(sim, rate, messages, send)
+        sim.run(until=messages / rate + 10.0)
+        frames = sum(
+            node.controlplane.frames_sent for node in cluster
+        )
+        rows.append(
+            {
+                "interval_ms": interval * 1e3,
+                "mean_detect_latency_ms": mean(latencies) * 1e3,
+                "control_frames": float(frames),
+            }
+        )
+    return rows

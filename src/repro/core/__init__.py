@@ -1,0 +1,38 @@
+"""The Stabilizer library core (the paper's primary contribution).
+
+See :mod:`repro.core.stabilizer` for the facade and the paper's API;
+:mod:`repro.core.frontier` for predicate evaluation; the data and control
+planes live in :mod:`repro.core.dataplane` / :mod:`repro.core.controlplane`.
+"""
+
+from repro.core.acks import AckTable
+from repro.core.cluster import StabilizerCluster, build_cluster
+from repro.core.config import StabilizerConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.dataplane import DataPlane, SendBuffer
+from repro.core.frontier import FrontierEngine
+from repro.core.membership import FailureDetector
+from repro.core.recovery import (
+    load_snapshot,
+    restore_state,
+    save_snapshot,
+    snapshot_state,
+)
+from repro.core.stabilizer import Stabilizer
+
+__all__ = [
+    "AckTable",
+    "ControlPlane",
+    "DataPlane",
+    "FailureDetector",
+    "FrontierEngine",
+    "SendBuffer",
+    "Stabilizer",
+    "StabilizerCluster",
+    "StabilizerConfig",
+    "build_cluster",
+    "load_snapshot",
+    "restore_state",
+    "save_snapshot",
+    "snapshot_state",
+]

@@ -1,0 +1,53 @@
+"""Convenience builder: one Stabilizer per node of a topology.
+
+Experiments and applications almost always want the full deployment; this
+wires a :class:`~repro.core.stabilizer.Stabilizer` at every node of a
+built network, sharing one deployment config.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.core.config import StabilizerConfig
+from repro.core.stabilizer import Stabilizer
+from repro.net.topology import Network
+
+
+class StabilizerCluster:
+    """All Stabilizer instances of one deployment, keyed by node name."""
+
+    def __init__(self, net: Network, base_config: StabilizerConfig):
+        self.net = net
+        self.sim = net.sim
+        self.nodes: Dict[str, Stabilizer] = {}
+        for name in base_config.node_names:
+            self.nodes[name] = Stabilizer(net, base_config.for_node(name))
+
+    def __getitem__(self, name: str) -> Stabilizer:
+        return self.nodes[name]
+
+    def __iter__(self) -> Iterator[Stabilizer]:
+        return iter(self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()
+
+
+def build_cluster(
+    net: Network,
+    local_predicates: Optional[Dict[str, str]] = None,
+    **config_kwargs,
+) -> StabilizerCluster:
+    """Build a cluster over ``net`` with one shared deployment config."""
+    config = StabilizerConfig.from_topology(
+        net.topology,
+        local=net.topology.node_names()[0],
+        predicates=local_predicates,
+        **config_kwargs,
+    )
+    return StabilizerCluster(net, config)

@@ -1,0 +1,197 @@
+"""Stabilizer configuration.
+
+The paper: "Stabilizer configuration file includes a list of data centers
+where the system has been deployed.  Within this list, a subset notation
+designates availability zones.  Thus when Stabilizer is launched it can
+look up its own data center name and convert this to an index number."
+(Section III-C.)  :class:`StabilizerConfig` is that file as an object; it
+also carries predicate definitions to install at launch and the tuning
+knobs of the data/control planes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dsl.semantics import DEFAULT_TYPE, DslContext
+from repro.errors import ConfigError
+
+BUILTIN_TYPES = (DEFAULT_TYPE, "persisted")
+
+
+class StabilizerConfig:
+    """Per-node configuration; see module docstring.
+
+    Parameters
+    ----------
+    node_names:
+        Every WAN node in deployment order (fixes the DSL's ``$k`` index).
+    groups:
+        Availability-zone name -> member node names.
+    local:
+        This node's name (must appear in ``node_names``).
+    predicates:
+        Predicate-key -> DSL source, installed at launch.
+    ack_types:
+        Extra application-defined stability levels beyond the built-in
+        ``received`` and ``persisted`` (e.g. ``verified``).
+    chunk_bytes:
+        Data-plane split threshold (the paper uses 8 KB).
+    control_interval_s / control_batch:
+        Control-plane report batching: a report is flushed at least every
+        ``control_interval_s`` seconds or after ``control_batch`` newly
+        acknowledged messages, whichever comes first.
+    control_fanout:
+        ``"all"`` streams stability reports to every peer (each WAN site
+        evaluates predicates independently); ``"origin"`` reports only to
+        the stream's primary, halving control traffic.
+    failure_timeout_s:
+        Silence threshold after which a peer is suspected (Section III-E's
+        "predicate update timer").
+    """
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        groups: Dict[str, Sequence[str]],
+        local: str,
+        predicates: Optional[Dict[str, str]] = None,
+        ack_types: Sequence[str] = (),
+        chunk_bytes: int = 8 * 1024,
+        control_interval_s: float = 0.005,
+        control_batch: int = 16,
+        control_fanout: str = "all",
+        failure_timeout_s: float = 5.0,
+        max_buffer_bytes: Optional[int] = None,
+    ):
+        if local not in node_names:
+            raise ConfigError(f"local node {local!r} not in node list")
+        if len(set(node_names)) != len(node_names):
+            raise ConfigError("duplicate node names")
+        if chunk_bytes <= 0:
+            raise ConfigError("chunk_bytes must be positive")
+        if control_interval_s <= 0 or control_batch <= 0:
+            raise ConfigError("control batching parameters must be positive")
+        if control_fanout not in ("all", "origin"):
+            raise ConfigError("control_fanout must be 'all' or 'origin'")
+        if failure_timeout_s <= 0:
+            raise ConfigError("failure_timeout_s must be positive")
+        for name in ack_types:
+            if name in BUILTIN_TYPES:
+                raise ConfigError(f"ack type {name!r} is built in")
+        if len(set(ack_types)) != len(ack_types):
+            raise ConfigError("duplicate ack types")
+
+        self.node_names = list(node_names)
+        self.groups = {g: list(m) for g, m in groups.items()}
+        self.local = local
+        self.predicates = dict(predicates or {})
+        self.ack_types = list(ack_types)
+        self.chunk_bytes = chunk_bytes
+        self.control_interval_s = control_interval_s
+        self.control_batch = control_batch
+        self.control_fanout = control_fanout
+        self.failure_timeout_s = failure_timeout_s
+        self.max_buffer_bytes = max_buffer_bytes
+
+    # -- derived views ----------------------------------------------------------
+    @property
+    def local_index(self) -> int:
+        return self.node_names.index(self.local)
+
+    def node_count(self) -> int:
+        return len(self.node_names)
+
+    def node_index(self, name: str) -> int:
+        try:
+            return self.node_names.index(name)
+        except ValueError:
+            raise ConfigError(f"unknown node {name!r}") from None
+
+    def remote_names(self) -> List[str]:
+        return [n for n in self.node_names if n != self.local]
+
+    def type_names(self) -> List[str]:
+        """All stability-type names, in column order."""
+        return list(BUILTIN_TYPES) + list(self.ack_types)
+
+    def type_ids(self) -> Dict[str, int]:
+        return {name: i for i, name in enumerate(self.type_names())}
+
+    def dsl_context(self) -> DslContext:
+        """The context predicates are expanded against at this node."""
+        return DslContext(
+            self.node_names, self.groups, self.local, types=self.type_ids()
+        )
+
+    def for_node(self, local: str) -> "StabilizerConfig":
+        """The same deployment config, viewed from another node."""
+        return StabilizerConfig(
+            node_names=self.node_names,
+            groups=self.groups,
+            local=local,
+            predicates=self.predicates,
+            ack_types=self.ack_types,
+            chunk_bytes=self.chunk_bytes,
+            control_interval_s=self.control_interval_s,
+            control_batch=self.control_batch,
+            control_fanout=self.control_fanout,
+            failure_timeout_s=self.failure_timeout_s,
+            max_buffer_bytes=self.max_buffer_bytes,
+        )
+
+    # -- (de)serialization ----------------------------------------------------
+    def to_json_file(self, path) -> None:
+        """Write the configuration file (the paper's launch-time config,
+        including the DSL predicate definitions)."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_json_file(cls, path, local: Optional[str] = None) -> "StabilizerConfig":
+        """Load a configuration file; ``local`` overrides the node the
+        file was written for (one file can serve a whole deployment)."""
+        import json
+        from pathlib import Path
+
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"cannot load config {path}: {exc}") from exc
+        if local is not None:
+            data["local"] = local
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        return {
+            "node_names": list(self.node_names),
+            "groups": {g: list(m) for g, m in self.groups.items()},
+            "local": self.local,
+            "predicates": dict(self.predicates),
+            "ack_types": list(self.ack_types),
+            "chunk_bytes": self.chunk_bytes,
+            "control_interval_s": self.control_interval_s,
+            "control_batch": self.control_batch,
+            "control_fanout": self.control_fanout,
+            "failure_timeout_s": self.failure_timeout_s,
+            "max_buffer_bytes": self.max_buffer_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StabilizerConfig":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"malformed config dict: {exc}") from exc
+
+    @classmethod
+    def from_topology(cls, topology, local: str, **kwargs) -> "StabilizerConfig":
+        """Derive deployment facts from a :class:`~repro.net.Topology`."""
+        return cls(
+            node_names=topology.node_names(),
+            groups=topology.groups(),
+            local=local,
+            **kwargs,
+        )

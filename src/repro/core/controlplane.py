@@ -1,0 +1,168 @@
+"""The control plane: batched, monotonic stability-report streaming.
+
+Section III-A: control information is held in the message ACK recorder and
+updated on every report; the control plane streams reports "aggressively as
+long as data or receive buffering capacity is available", and monotonicity
+lets a batch of actions be reported with a single upcall — "the upcall for
+Y implies the stability of messages prior to Y".
+
+This module batches local acknowledgments (a flush at least every
+``control_interval_s`` or after ``control_batch`` newly acknowledged
+messages) and applies incoming reports to the per-origin ACK tables,
+notifying the frontier engine through a callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.acks import AckTable
+from repro.core.config import StabilizerConfig
+from repro.errors import StabilizerError
+from repro.transport.endpoint import TransportEndpoint
+from repro.transport.messages import ControlFrame, SyntheticPayload
+
+CONTROL_CHANNEL = "stab.ctrl"
+
+TableUpdateFn = Callable[[str, int], None]  # (origin, updated_node_index)
+HeardFn = Callable[[str], None]
+
+
+class ControlPlane:
+    """See module docstring.  One instance per node."""
+
+    def __init__(
+        self,
+        endpoint: TransportEndpoint,
+        config: StabilizerConfig,
+        tables: Dict[str, AckTable],
+        on_table_update: TableUpdateFn,
+        on_heard: Optional[HeardFn] = None,
+    ):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.config = config
+        self.tables = tables
+        self.on_table_update = on_table_update
+        self.on_heard = on_heard
+        self.local_index = config.local_index
+        self._out_channels = {
+            peer: endpoint.channel(peer, CONTROL_CHANNEL)
+            for peer in config.remote_names()
+        }
+        for peer in config.remote_names():
+            channel = endpoint.channel(peer, CONTROL_CHANNEL)
+            channel.on_deliver = self._on_control
+        # Pending local reports: origin -> {type_id -> seq}.
+        self._pending: Dict[str, Dict[int, int]] = {}
+        self._pending_count = 0
+        self._flush_timer = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        # Liveness heartbeats: an otherwise-idle node must still prove it
+        # is alive, or the failure detector would suspect every quiet peer.
+        self._heartbeat_interval = config.failure_timeout_s / 3.0
+        self._last_sent_to_any = self.sim.now
+        self._heartbeat_timer = self.sim.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+        self._closed = False
+
+    # -- local acknowledgments ------------------------------------------------------
+    def note_local_ack(self, origin: str, type_id: int, seq: int) -> None:
+        """Record that this node acknowledges ``origin``'s ``seq`` at level
+        ``type_id``; the report is batched for transmission.
+
+        The local ACK table is updated immediately, so predicates at this
+        node observe the acknowledgment without network delay.
+        """
+        table = self.tables.get(origin)
+        if table is None:
+            raise StabilizerError(f"unknown origin stream {origin!r}")
+        if not table.update(self.local_index, type_id, seq):
+            return  # stale: monotonic overwrite means nothing to report
+        self.on_table_update(origin, self.local_index)
+        pending = self._pending.setdefault(origin, {})
+        pending[type_id] = seq
+        self._pending_count += 1
+        if self._pending_count >= self.config.control_batch:
+            self.flush()
+        elif self._flush_timer is None:
+            self._flush_timer = self.sim.call_later(
+                self.config.control_interval_s, self._flush_tick
+            )
+
+    def flush(self) -> None:
+        """Transmit every pending report now."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        self._pending_count = 0
+        for origin, entries in pending.items():
+            frame = ControlFrame(
+                node_index=self.local_index,
+                origin_index=self.config.node_index(origin),
+                entries=entries,
+            )
+            for peer in self._targets(origin):
+                self._out_channels[peer].send(
+                    SyntheticPayload(frame.wire_size()), meta=frame
+                )
+                self.frames_sent += 1
+                self._last_sent_to_any = self.sim.now
+
+    def _targets(self, origin: str):
+        if self.config.control_fanout == "origin":
+            if origin == self.config.local:
+                return []  # nobody to tell: we are the origin
+            return [origin]
+        return list(self._out_channels)
+
+    def _flush_tick(self) -> None:
+        self._flush_timer = None
+        self.flush()
+
+    def _heartbeat_tick(self) -> None:
+        self._heartbeat_timer = None
+        if self._closed:
+            return
+        if self.sim.now - self._last_sent_to_any >= self._heartbeat_interval:
+            frame = ControlFrame(
+                node_index=self.local_index,
+                origin_index=self.local_index,
+                entries={},
+            )
+            for channel in self._out_channels.values():
+                channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+                self.frames_sent += 1
+            self._last_sent_to_any = self.sim.now
+        self._heartbeat_timer = self.sim.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+
+    def close(self) -> None:
+        """Stop timers (the node is shutting down)."""
+        self._closed = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+
+    # -- incoming reports --------------------------------------------------------------
+    def _on_control(self, payload, frame: ControlFrame) -> None:
+        self.frames_received += 1
+        origin = self.config.node_names[frame.origin_index]
+        table = self.tables.get(origin)
+        if table is None:
+            raise StabilizerError(f"control report for unknown origin {origin!r}")
+        reporter = frame.node_index
+        if self.on_heard is not None:
+            self.on_heard(self.config.node_names[reporter])
+        advanced = table.update_many(reporter, frame.entries)
+        if advanced:
+            self.on_table_update(origin, reporter)

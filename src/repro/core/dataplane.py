@@ -1,0 +1,197 @@
+"""The data plane: aggressive sequenced streaming with a reclaimable buffer.
+
+Section III-B: the data plane "can maximize utilization of WAN bandwidth by
+sending data aggressively as soon as it has been assigned a sequence
+number, but it can also buffer data for later transmission if needed.
+When a message has been delivered everywhere, the buffer space is
+reclaimed."  Large writes are split into ≤ 8 KB chunks (Section VI-B),
+each a separately sequenced message.
+
+One :class:`DataPlane` instance serves one node: it *originates* that
+node's stream (fan-out to every remote peer over reliable FIFO channels)
+and *receives* every remote stream (reassembling objects and reporting
+``received`` acknowledgments to the control plane).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.config import StabilizerConfig
+from repro.errors import StabilizerError
+from repro.transport.chunker import Chunker, Reassembler
+from repro.transport.endpoint import TransportEndpoint
+from repro.transport.messages import Payload, payload_length
+
+DATA_CHANNEL = "stab.data"
+
+# (seq, object_id, chunk_index, chunk_count, user_meta)
+ChunkMeta = Tuple[int, int, int, int, object]
+
+DeliverFn = Callable[[str, int, Payload, object], None]
+ReceivedFn = Callable[[str, int], None]
+
+
+class _BufferEntry:
+    __slots__ = ("seq", "size", "meta")
+
+    def __init__(self, seq: int, size: int, meta):
+        self.seq = seq
+        self.size = size
+        self.meta = meta
+
+
+class SendBuffer:
+    """Retains sent chunks until they are globally delivered."""
+
+    def __init__(self, max_bytes: Optional[int] = None):
+        self.max_bytes = max_bytes
+        self._entries: Dict[int, _BufferEntry] = {}
+        self._bytes = 0
+        self._reclaimed_up_to = 0
+        self.total_reclaimed = 0
+
+    def add(self, seq: int, size: int, meta=None) -> None:
+        if self.max_bytes is not None and self._bytes + size > self.max_bytes:
+            raise StabilizerError(
+                f"send buffer full ({self._bytes}B of {self.max_bytes}B); "
+                "reclaim has not caught up"
+            )
+        self._entries[seq] = _BufferEntry(seq, size, meta)
+        self._bytes += size
+
+    def reclaim_up_to(self, seq: int) -> int:
+        """Release every entry with sequence <= ``seq``; returns count."""
+        released = 0
+        while self._reclaimed_up_to < seq:
+            self._reclaimed_up_to += 1
+            entry = self._entries.pop(self._reclaimed_up_to, None)
+            if entry is not None:
+                self._bytes -= entry.size
+                released += 1
+        self.total_reclaimed += released
+        return released
+
+    def buffered_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DataPlane:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        endpoint: TransportEndpoint,
+        config: StabilizerConfig,
+        on_deliver: Optional[DeliverFn] = None,
+        on_received: Optional[ReceivedFn] = None,
+    ):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.config = config
+        self.on_deliver = on_deliver
+        self.on_received = on_received
+        self.chunker = Chunker(config.chunk_bytes)
+        self.buffer = SendBuffer(config.max_buffer_bytes)
+        self._next_seq = 1  # message sequence numbers are 1-based
+        self._out_channels = {
+            peer: endpoint.channel(peer, DATA_CHANNEL)
+            for peer in config.remote_names()
+        }
+        # Receiving state, per origin.
+        self._reassemblers: Dict[str, Reassembler] = {}
+        self._highest_received: Dict[str, int] = {}
+        for peer in config.remote_names():
+            channel = endpoint.channel(peer, DATA_CHANNEL)
+            channel.on_deliver = self._make_receiver(peer)
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- origin side -------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def send(self, payload: Payload, meta=None) -> Tuple[int, int]:
+        """Stream one application message to every remote peer.
+
+        The payload is split into ≤ ``chunk_bytes`` chunks, each assigned
+        the next sequence number and transmitted immediately.  Returns
+        ``(first_seq, last_seq)``; the message's stability is the
+        stability of ``last_seq``.
+        """
+        chunks = self.chunker.split(payload)
+        first_seq = self._next_seq
+        for chunk in chunks:
+            seq = self._next_seq
+            self._next_seq += 1
+            size = payload_length(chunk.payload)
+            self.buffer.add(seq, size, meta)
+            chunk_meta: ChunkMeta = (
+                seq,
+                chunk.object_id,
+                chunk.chunk_index,
+                chunk.chunk_count,
+                meta,
+            )
+            for channel in self._out_channels.values():
+                channel.send(chunk.payload, meta=chunk_meta)
+            self.messages_sent += 1
+        return first_seq, self._next_seq - 1
+
+    def last_sent_seq(self) -> int:
+        return self._next_seq - 1
+
+    def reclaim_up_to(self, seq: int) -> int:
+        """Called by the facade once ``seq`` is delivered everywhere."""
+        return self.buffer.reclaim_up_to(seq)
+
+    # -- receiving side ------------------------------------------------------------
+    def highest_received(self, origin: str) -> int:
+        return self._highest_received.get(origin, 0)
+
+    def _make_receiver(self, origin: str):
+        def receive(payload: Payload, meta: ChunkMeta) -> None:
+            self._on_chunk(origin, payload, meta)
+
+        return receive
+
+    def _on_chunk(self, origin: str, payload: Payload, meta: ChunkMeta) -> None:
+        seq, object_id, chunk_index, chunk_count, user_meta = meta
+        last = self._highest_received.get(origin)
+        if last is None and seq != 1:
+            # First contact with a stream already in progress: a mirror
+            # joining (or rejoining after losing its state) adopts the
+            # origin's position.  Earlier messages belong to state
+            # transfer, not the live stream — but adoption must start at
+            # an object boundary or the first object could never complete.
+            if chunk_index != 0:
+                raise StabilizerError(
+                    f"origin {origin!r}: joined mid-object (chunk "
+                    f"{chunk_index + 1}/{chunk_count} of object {object_id})"
+                )
+            last = seq - 1
+        expected = (last or 0) + 1
+        if seq != expected:
+            raise StabilizerError(
+                f"origin {origin!r}: chunk seq {seq} arrived out of order "
+                f"(expected {expected}); the FIFO transport is broken"
+            )
+        self._highest_received[origin] = seq
+        self.messages_received += 1
+        if chunk_count == 1:
+            complete: Optional[Payload] = payload
+        else:
+            reassembler = self._reassemblers.setdefault(origin, Reassembler())
+            from repro.transport.chunker import Chunk
+
+            complete = reassembler.feed(
+                Chunk(object_id, chunk_index, chunk_count, payload)
+            )
+        if self.on_received is not None:
+            self.on_received(origin, seq)
+        if complete is not None and self.on_deliver is not None:
+            self.on_deliver(origin, seq, complete, user_meta)

@@ -1,0 +1,202 @@
+"""The frontier engine: predicate registry, monitors, and waiters.
+
+Each incoming stability report drives "the re-evaluation of stability
+frontier predicates, with each WAN site independently evaluating its
+predicates as they evolve over time" (Section I).  The engine owns:
+
+- the predicate registry (``register_predicate`` / ``change_predicate``);
+- the *active* predicate key applications switch between;
+- frontier values per (origin stream, predicate key);
+- monitors — callbacks fired with each new frontier value;
+- waiters — one-shot callbacks released once a frontier reaches a target.
+
+The engine is deliberately runtime-agnostic: it never touches the
+simulator.  The Stabilizer facade adapts waiters to events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.acks import AckTable
+from repro.dsl.compiler import CompiledPredicate, PredicateCompiler
+from repro.dsl.semantics import DslContext
+from repro.errors import PredicateNotFound, StabilizerError
+
+MonitorFn = Callable[[str, int, int], None]  # (origin, frontier, old_frontier)
+WaiterFn = Callable[[], None]
+
+
+class _Waiter:
+    __slots__ = ("seq", "callback", "released")
+
+    def __init__(self, seq: int, callback: WaiterFn):
+        self.seq = seq
+        self.callback = callback
+        self.released = False
+
+
+class FrontierEngine:
+    """See module docstring.  One engine per Stabilizer instance."""
+
+    def __init__(self, ctx: DslContext, origins: Iterable[str]):
+        self.ctx = ctx
+        self.compiler = PredicateCompiler(ctx)
+        self._predicates: Dict[str, CompiledPredicate] = {}
+        self._active_key: Optional[str] = None
+        # frontier[(origin, key)] -> last evaluated value.
+        self._frontiers: Dict[Tuple[str, str], int] = {}
+        self._monitors: Dict[str, List[MonitorFn]] = {}
+        self._waiters: Dict[Tuple[str, str], List[_Waiter]] = {}
+        self._origins = list(origins)
+        self.evaluations = 0
+
+    # -- registry ---------------------------------------------------------------
+    def register_predicate(self, key: str, source: str) -> CompiledPredicate:
+        """JIT-compile ``source`` and install it under ``key``.
+
+        Registering an existing key is an error; use
+        :meth:`change_predicate` to redefine.
+        """
+        if key in self._predicates:
+            raise StabilizerError(
+                f"predicate {key!r} already registered; use change_predicate"
+            )
+        predicate = self.compiler.compile(source)
+        self._predicates[key] = predicate
+        if self._active_key is None:
+            self._active_key = key
+        return predicate
+
+    def change_predicate(self, key: str, source: Optional[str] = None) -> None:
+        """Switch the active predicate to ``key``; optionally redefine it.
+
+        With ``source`` given, the predicate under ``key`` is recompiled —
+        the dynamic-reconfiguration path of Section VI-D.  The paper notes
+        a redefinition may move the frontier backwards ("there might be a
+        gap when the predicate shifts"); monitors stay silent until the new
+        frontier exceeds the highest value already reported.
+        """
+        if source is not None:
+            self._predicates[key] = self.compiler.compile(source)
+        elif key not in self._predicates:
+            raise PredicateNotFound(f"no predicate registered under {key!r}")
+        self._active_key = key
+
+    def unregister_predicate(self, key: str) -> None:
+        if key not in self._predicates:
+            raise PredicateNotFound(f"no predicate registered under {key!r}")
+        del self._predicates[key]
+        if self._active_key == key:
+            self._active_key = next(iter(self._predicates), None)
+
+    @property
+    def active_key(self) -> Optional[str]:
+        return self._active_key
+
+    def predicate(self, key: str) -> CompiledPredicate:
+        predicate = self._predicates.get(key)
+        if predicate is None:
+            raise PredicateNotFound(f"no predicate registered under {key!r}")
+        return predicate
+
+    def predicate_keys(self) -> List[str]:
+        return list(self._predicates)
+
+    def _resolve_key(self, key: Optional[str]) -> str:
+        if key is not None:
+            return key
+        if self._active_key is None:
+            raise PredicateNotFound("no predicates registered")
+        return self._active_key
+
+    # -- monitors and waiters ------------------------------------------------------
+    def monitor_stability_frontier(self, key: str, fn: MonitorFn) -> None:
+        """Call ``fn(origin, frontier, old)`` whenever ``key`` advances."""
+        self.predicate(key)  # validate
+        self._monitors.setdefault(key, []).append(fn)
+
+    def add_waiter(
+        self, origin: str, seq: int, callback: WaiterFn, key: Optional[str] = None
+    ) -> None:
+        """Run ``callback`` once frontier(origin, key) >= seq.
+
+        Fires immediately (synchronously) if already satisfied.
+        """
+        key = self._resolve_key(key)
+        self.predicate(key)
+        if self.frontier(origin, key) >= seq:
+            callback()
+            return
+        self._waiters.setdefault((origin, key), []).append(_Waiter(seq, callback))
+
+    def frontier(self, origin: str, key: Optional[str] = None) -> int:
+        key = self._resolve_key(key)
+        return self._frontiers.get((origin, key), 0)
+
+    # -- evaluation --------------------------------------------------------------
+    def reevaluate(
+        self,
+        origin: str,
+        table: AckTable,
+        updated_node: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Re-run predicates for ``origin``'s stream against ``table``.
+
+        With ``updated_node`` given, predicates that do not read that
+        node's row are skipped (the common case: one control report only
+        moves one row).  Returns the keys that advanced with their new
+        frontier values.
+        """
+        advanced: Dict[str, int] = {}
+        rows = table.table
+        for key, predicate in self._predicates.items():
+            if updated_node is not None and not predicate.depends_on(updated_node):
+                continue
+            self.evaluations += 1
+            value = predicate.evaluate(rows)
+            slot = (origin, key)
+            old = self._frontiers.get(slot, 0)
+            if value == old:
+                continue
+            self._frontiers[slot] = value
+            if value < old:
+                continue  # predicate was redefined; hold reports until caught up
+            advanced[key] = value
+            for monitor in self._monitors.get(key, ()):
+                monitor(origin, value, old)
+            self._release_waiters(slot, value)
+        return advanced
+
+    def _release_waiters(self, slot: Tuple[str, str], frontier: int) -> None:
+        waiters = self._waiters.get(slot)
+        if not waiters:
+            return
+        still_waiting = []
+        for waiter in waiters:
+            if waiter.seq <= frontier:
+                waiter.released = True
+                waiter.callback()
+            else:
+                still_waiting.append(waiter)
+        if still_waiting:
+            self._waiters[slot] = still_waiting
+        else:
+            del self._waiters[slot]
+
+    def pending_waiters(self) -> int:
+        return sum(len(ws) for ws in self._waiters.values())
+
+    # -- persistence ----------------------------------------------------------------
+    def snapshot_frontiers(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for (origin, key), value in self._frontiers.items():
+            out.setdefault(origin, {})[key] = value
+        return out
+
+    def restore_frontiers(self, data: Dict[str, Dict[str, int]]) -> None:
+        for origin, per_key in data.items():
+            for key, value in per_key.items():
+                slot = (origin, key)
+                if value > self._frontiers.get(slot, 0):
+                    self._frontiers[slot] = value

@@ -1,0 +1,85 @@
+"""Failure detection for Section III-E.
+
+"The crashed secondary node can be observed by a predicate update timer or
+the data transmission failure information.  The primary can adjust the
+predicate to eliminate the impact."  The detector tracks when each peer
+was last heard from (any data or control arrival) and suspects peers whose
+silence exceeds the configured timeout — but only once traffic has
+actually been exchanged, so an idle system does not generate false alarms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.config import StabilizerConfig
+from repro.sim.kernel import Simulator
+
+SuspectFn = Callable[[str], None]
+
+
+class FailureDetector:
+    """Timer-based peer liveness tracking."""
+
+    def __init__(self, sim: Simulator, config: StabilizerConfig):
+        self.sim = sim
+        self.config = config
+        self.timeout_s = config.failure_timeout_s
+        self._last_heard: Dict[str, float] = {}
+        self._suspected: Set[str] = set()
+        self._on_suspect: List[SuspectFn] = []
+        self._on_recover: List[SuspectFn] = []
+        self._timer = None
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.sim.call_later(self.timeout_s / 2, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- observations -----------------------------------------------------------------
+    def heard_from(self, peer: str) -> None:
+        """Any arrival from ``peer`` proves it alive right now."""
+        self._last_heard[peer] = self.sim.now
+        if peer in self._suspected:
+            self._suspected.discard(peer)
+            for callback in self._on_recover:
+                callback(peer)
+
+    def on_suspect(self, callback: SuspectFn) -> None:
+        self._on_suspect.append(callback)
+
+    def on_recover(self, callback: SuspectFn) -> None:
+        self._on_recover.append(callback)
+
+    def suspected(self) -> Set[str]:
+        return set(self._suspected)
+
+    def is_suspected(self, peer: str) -> bool:
+        return peer in self._suspected
+
+    def last_heard(self, peer: str) -> Optional[float]:
+        return self._last_heard.get(peer)
+
+    # -- internals ---------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._timer = None
+        if not self._running:
+            return
+        now = self.sim.now
+        for peer, last in self._last_heard.items():
+            if peer in self._suspected:
+                continue
+            if now - last > self.timeout_s:
+                self._suspected.add(peer)
+                for callback in self._on_suspect:
+                    callback(peer)
+        self._timer = self.sim.call_later(self.timeout_s / 2, self._tick)

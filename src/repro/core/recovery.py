@@ -1,0 +1,75 @@
+"""Snapshot/restore of Stabilizer state (Section III-E).
+
+"The Derecho object store can also persist the stability frontier
+information, which can be used for Stabilizer recovery."  We persist the
+ACK tables, frontier values and the outgoing sequence counter as JSON; a
+restarted node loads the snapshot after the integrated system's own
+recovery logic runs (the paper's view-change analogue is the caller
+rebuilding the node and then invoking :func:`restore_state`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.stabilizer import Stabilizer
+from repro.errors import StabilizerError
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_state(stabilizer: Stabilizer) -> dict:
+    """Capture everything a restarted node needs to resume its role."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "config": stabilizer.config.to_dict(),
+        "next_seq": stabilizer.dataplane.next_seq,
+        "tables": {
+            origin: table.snapshot()
+            for origin, table in stabilizer.tables.items()
+        },
+        "frontiers": stabilizer.engine.snapshot_frontiers(),
+    }
+
+
+def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
+    """Load ``snapshot`` into a freshly constructed node.
+
+    The node must have been built with the same deployment config (node
+    list and groups); its sequence counter resumes after the last persisted
+    message so the stream never reuses a number.
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise StabilizerError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    config = snapshot["config"]
+    if config["node_names"] != stabilizer.config.node_names:
+        raise StabilizerError("snapshot is for a different deployment")
+    if config["local"] != stabilizer.config.local:
+        raise StabilizerError(
+            f"snapshot belongs to node {config['local']!r}, "
+            f"not {stabilizer.config.local!r}"
+        )
+    for origin, rows in snapshot["tables"].items():
+        table = stabilizer.tables.get(origin)
+        if table is None:
+            raise StabilizerError(f"snapshot has unknown origin {origin!r}")
+        table.restore(rows)
+    stabilizer.engine.restore_frontiers(snapshot["frontiers"])
+    stabilizer.dataplane._next_seq = max(
+        stabilizer.dataplane._next_seq, int(snapshot["next_seq"])
+    )
+
+
+def save_snapshot(stabilizer: Stabilizer, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(snapshot_state(stabilizer)))
+
+
+def load_snapshot(path: Union[str, Path]) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StabilizerError(f"cannot load snapshot {path}: {exc}") from exc

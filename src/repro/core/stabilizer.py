@@ -1,0 +1,257 @@
+"""The Stabilizer facade: the library's public interface (Section III-D).
+
+One :class:`Stabilizer` instance runs at each WAN node.  It owns the data
+plane (its own outgoing stream plus every incoming stream), the control
+plane, the per-origin ACK tables, the frontier engine and the failure
+detector, and exposes the paper's API:
+
+- ``send(payload)`` — originate a message on this node's stream;
+- ``waitfor(seq, predicate_key)`` — an event that triggers once the
+  stability frontier of the predicate covers ``seq``;
+- ``monitor_stability_frontier(key, fn)`` — frontier-advance callbacks;
+- ``register_predicate(key, source)`` / ``change_predicate(key[, source])``;
+- ``report_stability(type_name, seq, origin)`` — application-defined
+  stability levels (``persisted``, ``verified``, ...);
+- ``get_stability_frontier(key, origin)`` — read the current frontier.
+
+The paper notes the interfaces "only can be called by the system designer
+at the code level with proper logic" — they are not concurrency-hardened
+client APIs, and neither are ours.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.acks import AckTable
+from repro.core.config import StabilizerConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.dataplane import DataPlane
+from repro.core.frontier import FrontierEngine
+from repro.core.membership import FailureDetector
+from repro.errors import StabilizerError
+from repro.net.topology import Network
+from repro.sim.events import Event
+from repro.transport.endpoint import TransportEndpoint
+from repro.transport.messages import Payload
+
+DeliveryFn = Callable[[str, int, Payload, object], None]
+
+
+class Stabilizer:
+    """One node's Stabilizer instance; see module docstring."""
+
+    def __init__(
+        self,
+        net: Network,
+        config: StabilizerConfig,
+        endpoint: Optional[TransportEndpoint] = None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.config = config
+        self.name = config.local
+        self.local_index = config.local_index
+        self.endpoint = endpoint or TransportEndpoint(net, config.local)
+
+        self._type_ids: Dict[str, int] = config.type_ids()
+        type_count = len(self._type_ids)
+        self.tables: Dict[str, AckTable] = {
+            origin: AckTable(config.node_count(), type_count)
+            for origin in config.node_names
+        }
+        self.engine = FrontierEngine(config.dsl_context(), config.node_names)
+        self.detector = FailureDetector(self.sim, config)
+
+        self._delivery_handlers: list = []
+        self.dataplane = DataPlane(
+            self.endpoint,
+            config,
+            on_deliver=self._on_deliver,
+            on_received=self._on_received,
+        )
+        self.controlplane = ControlPlane(
+            self.endpoint,
+            config,
+            self.tables,
+            on_table_update=self._on_table_update,
+            on_heard=self.detector.heard_from,
+        )
+        for key, source in config.predicates.items():
+            self.engine.register_predicate(key, source)
+        self.detector.start()
+
+    # ------------------------------------------------------------------ sending
+    def send(self, payload: Payload, meta=None) -> int:
+        """Originate one message; returns the sequence number that stands
+        for it (its last chunk).  Locally, every stability property holds
+        for it immediately (the Section III-C completeness rule)."""
+        _first, last = self.dataplane.send(payload, meta)
+        table = self.tables[self.name]
+        table.set_all_types(self.local_index, last)
+        self.engine.reevaluate(self.name, table, updated_node=self.local_index)
+        return last
+
+    def last_sent_seq(self) -> int:
+        return self.dataplane.last_sent_seq()
+
+    # ------------------------------------------------------------------ stability API
+    def waitfor(
+        self,
+        seq: int,
+        predicate_key: Optional[str] = None,
+        origin: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Event:
+        """An event that succeeds once ``seq`` satisfies the predicate.
+
+        Mirrors the paper's blocking ``waitfor(sequence-number,
+        predicate-key)``; in simulation the caller yields on the returned
+        event.  ``origin`` defaults to this node's own stream.  With
+        ``timeout_s`` the event instead *fails* with
+        :class:`StabilizerError` if stability is not reached in time —
+        how an application notices it must adjust a predicate after a
+        crash (Section III-E).
+        """
+        event = self.sim.event()
+
+        def release() -> None:
+            if not event.triggered:
+                event.succeed(seq)
+
+        self.engine.add_waiter(
+            origin or self.name, seq, release, key=predicate_key
+        )
+        if timeout_s is not None and not event.triggered:
+            def expire() -> None:
+                if not event.triggered:
+                    event.fail(
+                        StabilizerError(
+                            f"waitfor(seq={seq}, key={predicate_key!r}) "
+                            f"timed out after {timeout_s}s"
+                        )
+                    )
+
+            self.sim.call_later(timeout_s, expire)
+        return event
+
+    def monitor_stability_frontier(self, predicate_key: str, fn) -> None:
+        """Register ``fn(origin, frontier, old_frontier)`` on advances of
+        ``predicate_key`` — the paper's update monitor."""
+        self.engine.monitor_stability_frontier(predicate_key, fn)
+
+    def register_predicate(self, key: str, source: str) -> None:
+        self.engine.register_predicate(key, source)
+        # New predicates see the current table immediately.
+        for origin, table in self.tables.items():
+            self.engine.reevaluate(origin, table)
+
+    def change_predicate(self, key: str, source: Optional[str] = None) -> None:
+        """Switch the active predicate (optionally redefining it) —
+        the dynamic-reconfiguration entry point of Section VI-D."""
+        self.engine.change_predicate(key, source)
+        for origin, table in self.tables.items():
+            self.engine.reevaluate(origin, table)
+
+    def get_stability_frontier(
+        self, predicate_key: Optional[str] = None, origin: Optional[str] = None
+    ) -> int:
+        return self.engine.frontier(origin or self.name, predicate_key)
+
+    def active_predicate_key(self) -> Optional[str]:
+        return self.engine.active_key
+
+    # ------------------------------------------------------------------ ack types
+    def type_id(self, type_name: str) -> int:
+        type_id = self._type_ids.get(type_name)
+        if type_id is None:
+            raise StabilizerError(
+                f"unknown stability type {type_name!r}; "
+                f"known: {', '.join(self._type_ids)}"
+            )
+        return type_id
+
+    def register_stability_type(self, type_name: str) -> int:
+        """Add an application-defined stability level at runtime."""
+        if type_name in self._type_ids:
+            raise StabilizerError(f"stability type {type_name!r} already exists")
+        type_id = None
+        for table in self.tables.values():
+            type_id = table.add_type_column()
+        self._type_ids[type_name] = type_id
+        self.engine.ctx.types[type_name] = type_id
+        self.engine.compiler.invalidate()
+        # Completeness rule: the origin's own row holds every property.
+        own = self.tables[self.name]
+        own.update(self.local_index, type_id, self.last_sent_seq())
+        return type_id
+
+    def report_stability(
+        self, type_name: str, seq: int, origin: Optional[str] = None
+    ) -> None:
+        """Report that this node grants ``origin``'s ``seq`` the
+        application-defined stability level ``type_name``."""
+        self.controlplane.note_local_ack(
+            origin or self.name, self.type_id(type_name), seq
+        )
+
+    # ------------------------------------------------------------------ delivery
+    def on_delivery(self, fn: DeliveryFn) -> None:
+        """Subscribe to remote messages: ``fn(origin, seq, payload, meta)``."""
+        self._delivery_handlers.append(fn)
+
+    # ------------------------------------------------------------------ membership
+    def suspected_nodes(self):
+        return self.detector.suspected()
+
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, float]:
+        """Operational counters (for dashboards and tests)."""
+        return {
+            "messages_sent": self.dataplane.messages_sent,
+            "messages_received": self.dataplane.messages_received,
+            "buffered_bytes": self.dataplane.buffer.buffered_bytes(),
+            "buffer_reclaimed": self.dataplane.buffer.total_reclaimed,
+            "control_frames_sent": self.controlplane.frames_sent,
+            "control_frames_received": self.controlplane.frames_received,
+            "predicate_evaluations": self.engine.evaluations,
+            "pending_waiters": self.engine.pending_waiters(),
+            "suspected_nodes": len(self.detector.suspected()),
+        }
+
+    # ------------------------------------------------------------------ internals
+    def _on_received(self, origin: str, seq: int) -> None:
+        # The origin implicitly holds every property for what it sent.
+        table = self.tables[origin]
+        origin_index = self.config.node_index(origin)
+        if table.set_all_types(origin_index, seq):
+            self.engine.reevaluate(origin, table, updated_node=origin_index)
+        self.detector.heard_from(origin)
+        self.controlplane.note_local_ack(
+            origin, self._type_ids["received"], seq
+        )
+
+    def _on_deliver(self, origin: str, seq: int, payload: Payload, meta) -> None:
+        for handler in self._delivery_handlers:
+            handler(origin, seq, payload, meta)
+
+    def _on_table_update(self, origin: str, node: int) -> None:
+        self.engine.reevaluate(origin, self.tables[origin], updated_node=node)
+        if origin == self.name:
+            self._maybe_reclaim()
+
+    def _maybe_reclaim(self) -> None:
+        """Reclaim send-buffer space once messages are received everywhere."""
+        table = self.tables[self.name]
+        received = self._type_ids["received"]
+        floor = min(
+            table.get(node, received) for node in range(self.config.node_count())
+        )
+        if floor > 0:
+            self.dataplane.reclaim_up_to(floor)
+
+    # ------------------------------------------------------------------ teardown
+    def close(self) -> None:
+        self.detector.stop()
+        self.controlplane.close()
+        self.endpoint.close()

@@ -1,0 +1,155 @@
+"""Abstract syntax tree produced by the parser.
+
+The AST is still untyped and unresolved: ``DollarRef`` carries the raw text
+after ``$`` and suffixes are attached syntactically.  Resolution against a
+deployment (macro expansion, node-name lookup, set/int typing) happens in
+:mod:`repro.dsl.semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class Node:
+    """Base class for AST nodes; carries the source position."""
+
+    __slots__ = ("position",)
+
+    def __init__(self, position: int):
+        self.position = position
+
+    def children(self) -> Tuple["Node", ...]:
+        return ()
+
+    def __eq__(self, other) -> bool:
+        if type(self) is not type(other):
+            return False
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self._compare_slots()
+        )
+
+    def __hash__(self):  # pragma: no cover - AST nodes are not dict keys
+        return id(self)
+
+    @classmethod
+    def _compare_slots(cls) -> Tuple[str, ...]:
+        slots: List[str] = []
+        for klass in cls.__mro__:
+            slots.extend(getattr(klass, "__slots__", ()))
+        return tuple(s for s in slots if s != "position")
+
+
+class IntLiteral(Node):
+    """An integer literal, e.g. the ``2`` in ``KTH_MAX(2, ...)``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, position: int = -1):
+        super().__init__(position)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"IntLiteral({self.value})"
+
+
+class DollarRef(Node):
+    """A ``$``-reference: ``$3``, ``$ALLWNODES``, ``$WNODE_Foo``, ``$AZ_X``."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str, position: int = -1):
+        super().__init__(position)
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"DollarRef(${self.text})"
+
+
+class Suffixed(Node):
+    """``expr.typename`` — selects an acknowledgment type on a set/operand."""
+
+    __slots__ = ("operand", "type_name")
+
+    def __init__(self, operand: Node, type_name: str, position: int = -1):
+        super().__init__(position)
+        self.operand = operand
+        self.type_name = type_name
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Suffixed({self.operand!r}, .{self.type_name})"
+
+
+class Call(Node):
+    """An operator application: ``MAX(...)``, ``KTH_MIN(k, ...)``."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: List[Node], position: int = -1):
+        super().__init__(position)
+        self.op = op
+        self.args = list(args)
+
+    def children(self):
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return f"Call({self.op}, {self.args!r})"
+
+
+class SizeOf(Node):
+    """``SIZEOF(set)`` — the number of WAN nodes in the set."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Node, position: int = -1):
+        super().__init__(position)
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"SizeOf({self.operand!r})"
+
+
+class Arith(Node):
+    """Binary ``+ - * /`` — on integers, or ``-`` as set difference.
+
+    Which meaning ``-`` takes is decided during semantic analysis, once the
+    operand types are known.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node, position: int = -1):
+        super().__init__(position)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"Arith({self.left!r} {self.op} {self.right!r})"
+
+
+class Paren(Node):
+    """Parenthesized expression (kept so suffixes can attach to groups)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Node, position: int = -1):
+        super().__init__(position)
+        self.inner = inner
+
+    def children(self):
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"Paren({self.inner!r})"

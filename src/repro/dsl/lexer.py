@@ -1,0 +1,116 @@
+"""Hand-written scanner for the predicate DSL (the Flex stage)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import DslSyntaxError
+
+# Token kinds.
+OP = "OP"  # MAX MIN KTH_MAX KTH_MIN
+SIZEOF = "SIZEOF"
+DOLLAR = "DOLLAR"  # $ALLWNODES, $3, $WNODE_Foo, $AZ_Wisc, ...
+INT = "INT"
+IDENT = "IDENT"  # suffix names after '.'
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+DOT = "DOT"
+MINUS = "MINUS"
+PLUS = "PLUS"
+STAR = "STAR"
+SLASH = "SLASH"
+EOF = "EOF"
+
+_OPERATORS = {"MAX", "MIN", "KTH_MAX", "KTH_MIN"}
+_SINGLE = {
+    "(": LPAREN,
+    ")": RPAREN,
+    ",": COMMA,
+    ".": DOT,
+    "-": MINUS,
+    "+": PLUS,
+    "*": STAR,
+    "/": SLASH,
+}
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _ident_end(source: str, start: int) -> int:
+    index = start
+    while index < len(source) and (source[index].isalnum() or source[index] == "_"):
+        index += 1
+    return index
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into tokens; raises :class:`DslSyntaxError`.
+
+    The paper typesets ``KTH MAX`` with a space; we accept both ``KTH_MAX``
+    and the two-word form by merging ``KTH`` + ``MAX``/``MIN``.
+    """
+    tokens = list(_raw_tokens(source))
+    merged: List[Token] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if (
+            token.kind == IDENT
+            and token.text.upper() == "KTH"
+            and index + 1 < len(tokens)
+            and tokens[index + 1].kind == OP
+            and tokens[index + 1].text in ("MAX", "MIN")
+        ):
+            merged.append(Token(OP, f"KTH_{tokens[index + 1].text}", token.position))
+            index += 2
+            continue
+        merged.append(token)
+        index += 1
+    return merged
+
+
+def _raw_tokens(source: str) -> Iterator[Token]:
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _SINGLE:
+            yield Token(_SINGLE[char], char, index)
+            index += 1
+            continue
+        if char == "$":
+            end = _ident_end(source, index + 1)
+            if end == index + 1:
+                raise DslSyntaxError("'$' must be followed by a name or index", index, source)
+            yield Token(DOLLAR, source[index + 1 : end], index)
+            index = end
+            continue
+        if char.isdigit():
+            end = index
+            while end < length and source[end].isdigit():
+                end += 1
+            yield Token(INT, source[index:end], index)
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = _ident_end(source, index)
+            text = source[index:end]
+            upper = text.upper()
+            if upper in _OPERATORS:
+                yield Token(OP, upper, index)
+            elif upper == "SIZEOF":
+                yield Token(SIZEOF, upper, index)
+            else:
+                yield Token(IDENT, text, index)
+            index = end
+            continue
+        raise DslSyntaxError(f"unexpected character {char!r}", index, source)
+    yield Token(EOF, "", length)

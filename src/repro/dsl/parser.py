@@ -1,0 +1,137 @@
+"""Recursive-descent parser for the predicate DSL (the Bison stage).
+
+Grammar (operator precedence low to high)::
+
+    predicate  := call EOF
+    expr       := add_expr
+    add_expr   := mul_expr (('+' | '-') mul_expr)*
+    mul_expr   := postfix (('*' | '/') postfix)*
+    postfix    := atom ('.' IDENT)?
+    atom       := INT
+                | DOLLAR
+                | call
+                | SIZEOF '(' expr ')'
+                | '(' expr ')'
+    call       := OP '(' expr (',' expr)* ')'
+
+``-`` is parsed as a generic binary operator; whether it means integer
+subtraction or node-set difference is resolved by the semantic pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl import lexer
+from repro.dsl.ast import Arith, Call, DollarRef, IntLiteral, Node, Paren, SizeOf, Suffixed
+from repro.dsl.lexer import Token, tokenize
+from repro.errors import DslSyntaxError
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != lexer.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            raise DslSyntaxError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                token.position,
+                self.source,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> DslSyntaxError:
+        return DslSyntaxError(message, self.current.position, self.source)
+
+    # -- grammar --------------------------------------------------------------
+    def parse_predicate(self) -> Call:
+        if self.current.kind != lexer.OP:
+            raise self.error(
+                "a predicate must start with MAX, MIN, KTH_MAX or KTH_MIN"
+            )
+        call = self.parse_call()
+        if self.current.kind != lexer.EOF:
+            raise self.error(f"trailing input after predicate: {self.current.text!r}")
+        return call
+
+    def parse_call(self) -> Call:
+        op_token = self.expect(lexer.OP)
+        self.expect(lexer.LPAREN)
+        args = [self.parse_expr()]
+        while self.current.kind == lexer.COMMA:
+            self.advance()
+            args.append(self.parse_expr())
+        self.expect(lexer.RPAREN)
+        return Call(op_token.text, args, op_token.position)
+
+    def parse_expr(self) -> Node:
+        return self.parse_add()
+
+    def parse_add(self) -> Node:
+        node = self.parse_mul()
+        while self.current.kind in (lexer.PLUS, lexer.MINUS):
+            op = self.advance()
+            right = self.parse_mul()
+            node = Arith(op.text, node, right, op.position)
+        return node
+
+    def parse_mul(self) -> Node:
+        node = self.parse_postfix()
+        while self.current.kind in (lexer.STAR, lexer.SLASH):
+            op = self.advance()
+            right = self.parse_postfix()
+            node = Arith(op.text, node, right, op.position)
+        return node
+
+    def parse_postfix(self) -> Node:
+        node = self.parse_atom()
+        if self.current.kind == lexer.DOT:
+            dot = self.advance()
+            name = self.expect(lexer.IDENT)
+            node = Suffixed(node, name.text, dot.position)
+        return node
+
+    def parse_atom(self) -> Node:
+        token = self.current
+        if token.kind == lexer.INT:
+            self.advance()
+            return IntLiteral(int(token.text), token.position)
+        if token.kind == lexer.DOLLAR:
+            self.advance()
+            return DollarRef(token.text, token.position)
+        if token.kind == lexer.OP:
+            return self.parse_call()
+        if token.kind == lexer.SIZEOF:
+            self.advance()
+            self.expect(lexer.LPAREN)
+            inner = self.parse_expr()
+            self.expect(lexer.RPAREN)
+            return SizeOf(inner, token.position)
+        if token.kind == lexer.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(lexer.RPAREN)
+            return Paren(inner, token.position)
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+
+def parse(source: str) -> Call:
+    """Parse predicate ``source`` into an AST; raises on syntax errors."""
+    if not source or not source.strip():
+        raise DslSyntaxError("empty predicate", 0, source)
+    return _Parser(tokenize(source), source).parse_predicate()

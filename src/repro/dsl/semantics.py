@@ -1,0 +1,421 @@
+"""Semantic analysis: expansion of the AST into a typed, resolved IR.
+
+This is the phase where the DSL's macros and variables "will be finally
+expanded to the corresponding operands" (Section III-C).  Against a
+:class:`DslContext` (the deployment topology + registered ACK types) we:
+
+- resolve ``$``-references to concrete node indices;
+- expand macros (``$ALLWNODES``, ``$MYAZWNODES``, ``$MYWNODE``) and
+  variables (``$WNODE_name``, ``$AZ_name``);
+- decide whether each ``-`` is integer subtraction or set difference;
+- attach ACK types from ``.suffixes`` (default ``received``);
+- fold constants, so ``SIZEOF($ALLWNODES)/2 + 1`` becomes a literal;
+- type-check (K parameters must be integers, reductions must not be over
+  empty sets, a constant K must fit the operand count).
+
+The result is an IR tree whose leaves are concrete ``(node, type)`` cells
+of the acknowledgment table — ready for JIT compilation or interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dsl.ast import (
+    Arith,
+    Call,
+    DollarRef,
+    IntLiteral,
+    Node,
+    Paren,
+    SizeOf,
+    Suffixed,
+)
+from repro.errors import DslSemanticError
+
+DEFAULT_TYPE = "received"
+
+MACRO_ALL = "ALLWNODES"
+MACRO_MY_AZ = "MYAZWNODES"
+MACRO_MY = ("MYWNODE", "MYWNODES")  # the paper uses both spellings
+VAR_WNODE = "WNODE_"
+VAR_AZ = "AZ_"
+
+
+def _normalize(name: str) -> str:
+    """Fold the spellings under which a node/zone name may appear."""
+    return name.replace(" ", "_").replace("-", "_")
+
+
+class DslContext:
+    """Everything expansion needs to know about the deployment.
+
+    ``node_names`` fixes the ``$k`` numbering: ``$1`` is the first name.
+    ``groups`` maps an availability-zone name to member node names.
+    ``local`` is the node evaluating the predicate (for ``$MY...`` macros).
+    ``types`` maps ACK type names to their column in the table;
+    ``received`` and ``persisted`` are always present.
+    """
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        groups: Dict[str, Sequence[str]],
+        local: str,
+        types: Optional[Dict[str, int]] = None,
+    ):
+        if local not in node_names:
+            raise DslSemanticError(f"local node {local!r} not in node list")
+        if len(set(node_names)) != len(node_names):
+            raise DslSemanticError("duplicate node names")
+        self.node_names = list(node_names)
+        self.local = local
+        self.local_index = self.node_names.index(local)
+        self._node_index = {
+            _normalize(name): i for i, name in enumerate(self.node_names)
+        }
+        self._groups: Dict[str, Tuple[int, ...]] = {}
+        for group, members in groups.items():
+            indices = []
+            for member in members:
+                key = _normalize(member)
+                if key not in self._node_index:
+                    raise DslSemanticError(
+                        f"group {group!r} member {member!r} is not a node"
+                    )
+                indices.append(self._node_index[key])
+            self._groups[_normalize(group)] = tuple(sorted(indices))
+        self.types: Dict[str, int] = {DEFAULT_TYPE: 0, "persisted": 1}
+        if types:
+            for name, type_id in types.items():
+                self.types[name] = type_id
+
+    # -- lookups ------------------------------------------------------------
+    def all_nodes(self) -> Tuple[int, ...]:
+        return tuple(range(len(self.node_names)))
+
+    def my_az_nodes(self) -> Tuple[int, ...]:
+        my_group = self._group_of(self.local_index)
+        return self._groups[my_group]
+
+    def _group_of(self, index: int) -> str:
+        for group, members in self._groups.items():
+            if index in members:
+                return group
+        raise DslSemanticError(
+            f"node {self.node_names[index]!r} belongs to no availability zone"
+        )
+
+    def node_by_number(self, number: int) -> int:
+        if not 1 <= number <= len(self.node_names):
+            raise DslSemanticError(
+                f"node index ${number} out of range 1..{len(self.node_names)}"
+            )
+        return number - 1
+
+    def node_by_name(self, name: str) -> int:
+        index = self._node_index.get(_normalize(name))
+        if index is None:
+            raise DslSemanticError(
+                f"unknown WAN node {name!r}; known: {', '.join(self.node_names)}"
+            )
+        return index
+
+    def group_by_name(self, name: str) -> Tuple[int, ...]:
+        members = self._groups.get(_normalize(name))
+        if members is None:
+            known = ", ".join(sorted(self._groups))
+            raise DslSemanticError(
+                f"unknown availability zone {name!r}; known: {known}"
+            )
+        return members
+
+    def type_id(self, name: str) -> int:
+        type_id = self.types.get(name)
+        if type_id is None:
+            known = ", ".join(sorted(self.types))
+            raise DslSemanticError(f"unknown ACK type {name!r}; known: {known}")
+        return type_id
+
+
+# ---------------------------------------------------------------------------
+# IR node classes.
+# ---------------------------------------------------------------------------
+
+
+class Ir:
+    """Base class for IR nodes (all integer-valued at runtime)."""
+
+    __slots__ = ()
+
+
+class Leaf(Ir):
+    """One cell of the acknowledgment table: ``table[node][type]``."""
+
+    __slots__ = ("node", "type_id")
+
+    def __init__(self, node: int, type_id: int):
+        self.node = node
+        self.type_id = type_id
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.node}, {self.type_id})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Leaf)
+            and other.node == self.node
+            and other.type_id == self.type_id
+        )
+
+    def __hash__(self):
+        return hash((self.node, self.type_id))
+
+
+class Const(Ir):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Const", self.value))
+
+
+class ArithIr(Ir):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Ir, right: Ir):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"ArithIr({self.left!r} {self.op} {self.right!r})"
+
+
+class ReduceIr(Ir):
+    """``MAX`` / ``MIN`` over a fixed list of integer items."""
+
+    __slots__ = ("op", "items")
+
+    def __init__(self, op: str, items: List[Ir]):
+        self.op = op  # "MAX" | "MIN"
+        self.items = list(items)
+
+    def __repr__(self) -> str:
+        return f"ReduceIr({self.op}, {self.items!r})"
+
+
+class KthIr(Ir):
+    """``KTH_MAX`` / ``KTH_MIN`` with K parameter ``k`` over ``items``."""
+
+    __slots__ = ("op", "k", "items")
+
+    def __init__(self, op: str, k: Ir, items: List[Ir]):
+        self.op = op  # "KTH_MAX" | "KTH_MIN"
+        self.k = k
+        self.items = list(items)
+
+    def __repr__(self) -> str:
+        return f"KthIr({self.op}, k={self.k!r}, {self.items!r})"
+
+
+# A set value during expansion: ordered node indices with an optional
+# ACK-type already applied (None = not yet suffixed).
+_SetValue = Tuple[Tuple[int, ...], Optional[int]]
+_Value = Tuple[str, Union[Ir, _SetValue]]  # ("int", ir) | ("set", setvalue)
+
+
+# ---------------------------------------------------------------------------
+# Expansion.
+# ---------------------------------------------------------------------------
+
+
+def expand(ast: Call, ctx: DslContext) -> Ir:
+    """Expand a parsed predicate into resolved IR (see module docstring)."""
+    if not isinstance(ast, Call):
+        raise DslSemanticError("top-level predicate must be an operator call")
+    kind, value = _expand(ast, ctx)
+    assert kind == "int"  # operator calls always produce integers
+    return value  # type: ignore[return-value]
+
+
+def ir_leaves(ir: Ir) -> List[Leaf]:
+    """All table cells an IR reads (used for dependency tracking)."""
+    out: List[Leaf] = []
+    _collect_leaves(ir, out)
+    return out
+
+
+def _collect_leaves(ir: Ir, out: List[Leaf]) -> None:
+    if isinstance(ir, Leaf):
+        out.append(ir)
+    elif isinstance(ir, ArithIr):
+        _collect_leaves(ir.left, out)
+        _collect_leaves(ir.right, out)
+    elif isinstance(ir, ReduceIr):
+        for item in ir.items:
+            _collect_leaves(item, out)
+    elif isinstance(ir, KthIr):
+        _collect_leaves(ir.k, out)
+        for item in ir.items:
+            _collect_leaves(item, out)
+
+
+def _expand(node: Node, ctx: DslContext) -> _Value:
+    if isinstance(node, IntLiteral):
+        return ("int", Const(node.value))
+    if isinstance(node, DollarRef):
+        return ("set", (_resolve_dollar(node, ctx), None))
+    if isinstance(node, Paren):
+        return _expand(node.inner, ctx)
+    if isinstance(node, Suffixed):
+        return _expand_suffixed(node, ctx)
+    if isinstance(node, SizeOf):
+        return _expand_sizeof(node, ctx)
+    if isinstance(node, Arith):
+        return _expand_arith(node, ctx)
+    if isinstance(node, Call):
+        return ("int", _expand_call(node, ctx))
+    raise DslSemanticError(f"unhandled AST node {type(node).__name__}")
+
+
+def _resolve_dollar(ref: DollarRef, ctx: DslContext) -> Tuple[int, ...]:
+    text = ref.text
+    if text.isdigit():
+        return (ctx.node_by_number(int(text)),)
+    upper = text.upper()
+    if upper == MACRO_ALL:
+        return ctx.all_nodes()
+    if upper == MACRO_MY_AZ:
+        return ctx.my_az_nodes()
+    if upper in MACRO_MY:
+        return (ctx.local_index,)
+    if upper.startswith(VAR_WNODE):
+        return (ctx.node_by_name(text[len(VAR_WNODE):]),)
+    if upper.startswith(VAR_AZ):
+        return ctx.group_by_name(text[len(VAR_AZ):])
+    raise DslSemanticError(
+        f"unknown $-reference ${text}; expected a node index, $ALLWNODES, "
+        "$MYAZWNODES, $MYWNODE, $WNODE_<name> or $AZ_<name>"
+    )
+
+
+def _expand_suffixed(node: Suffixed, ctx: DslContext) -> _Value:
+    kind, value = _expand(node.operand, ctx)
+    if kind != "set":
+        raise DslSemanticError(
+            f"suffix .{node.type_name} can only follow a node set"
+        )
+    members, existing = value  # type: ignore[misc]
+    if existing is not None:
+        raise DslSemanticError("an ACK-type suffix was applied twice")
+    return ("set", (members, ctx.type_id(node.type_name)))
+
+
+def _expand_sizeof(node: SizeOf, ctx: DslContext) -> _Value:
+    kind, value = _expand(node.operand, ctx)
+    if kind != "set":
+        raise DslSemanticError("SIZEOF expects a node set")
+    members, _suffix = value  # type: ignore[misc]
+    return ("int", Const(len(members)))
+
+
+def _expand_arith(node: Arith, ctx: DslContext) -> _Value:
+    left_kind, left = _expand(node.left, ctx)
+    right_kind, right = _expand(node.right, ctx)
+    if node.op == "-" and left_kind == "set" and right_kind == "set":
+        (l_members, l_suffix) = left  # type: ignore[misc]
+        (r_members, r_suffix) = right  # type: ignore[misc]
+        if l_suffix is not None or r_suffix is not None:
+            raise DslSemanticError(
+                "apply the ACK-type suffix after set arithmetic, e.g. "
+                "($A - $B).verified"
+            )
+        removed = set(r_members)
+        result = tuple(m for m in l_members if m not in removed)
+        return ("set", (result, None))
+    if left_kind != "int" or right_kind != "int":
+        raise DslSemanticError(
+            f"operator {node.op!r} needs two integers "
+            f"(got {left_kind} and {right_kind}); only '-' works on node sets"
+        )
+    return ("int", _fold_arith(node.op, left, right))  # type: ignore[arg-type]
+
+
+def _fold_arith(op: str, left: Ir, right: Ir) -> Ir:
+    if isinstance(left, Const) and isinstance(right, Const):
+        if op == "+":
+            return Const(left.value + right.value)
+        if op == "-":
+            return Const(left.value - right.value)
+        if op == "*":
+            return Const(left.value * right.value)
+        if op == "/":
+            if right.value == 0:
+                raise DslSemanticError("division by zero in predicate")
+            return Const(left.value // right.value)
+        raise DslSemanticError(f"unknown arithmetic operator {op!r}")
+    if op == "/" and isinstance(right, Const) and right.value == 0:
+        raise DslSemanticError("division by zero in predicate")
+    return ArithIr(op, left, right)
+
+
+def _flatten_args(args: List[Node], ctx: DslContext) -> List[Ir]:
+    """Turn operator arguments into a flat list of integer items.
+
+    A set argument contributes one :class:`Leaf` per member (with the
+    default ``received`` type if unsuffixed); an integer argument (nested
+    predicate, arithmetic) contributes itself.
+    """
+    items: List[Ir] = []
+    for arg in args:
+        kind, value = _expand(arg, ctx)
+        if kind == "int":
+            items.append(value)  # type: ignore[arg-type]
+        else:
+            members, suffix = value  # type: ignore[misc]
+            type_id = ctx.types[DEFAULT_TYPE] if suffix is None else suffix
+            items.extend(Leaf(member, type_id) for member in members)
+    return items
+
+
+def _expand_call(node: Call, ctx: DslContext) -> Ir:
+    if node.op in ("MAX", "MIN"):
+        items = _flatten_args(node.args, ctx)
+        if not items:
+            raise DslSemanticError(
+                f"{node.op} over an empty node set (did a set difference "
+                "remove every member?)"
+            )
+        if len(items) == 1:
+            return items[0]
+        return ReduceIr(node.op, items)
+    if node.op in ("KTH_MAX", "KTH_MIN"):
+        if len(node.args) < 2:
+            raise DslSemanticError(f"{node.op} needs a K parameter and operands")
+        k_kind, k_value = _expand(node.args[0], ctx)
+        if k_kind != "int":
+            raise DslSemanticError(f"{node.op}: the K parameter must be an integer")
+        items = _flatten_args(node.args[1:], ctx)
+        if not items:
+            raise DslSemanticError(f"{node.op} over an empty node set")
+        if isinstance(k_value, Const):
+            if not 1 <= k_value.value <= len(items):
+                raise DslSemanticError(
+                    f"{node.op}: K={k_value.value} outside 1..{len(items)} "
+                    f"operands"
+                )
+            if k_value.value == 1:
+                # KTH_MAX(1, xs) == MAX(xs); let the compiler emit the cheap form.
+                reduced_op = "MAX" if node.op == "KTH_MAX" else "MIN"
+                return items[0] if len(items) == 1 else ReduceIr(reduced_op, items)
+        return KthIr(node.op, k_value, items)  # type: ignore[arg-type]
+    raise DslSemanticError(f"unknown operator {node.op!r}")

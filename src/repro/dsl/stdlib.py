@@ -1,0 +1,107 @@
+"""Generators for the paper's standard predicates.
+
+Table III defines six consistency models (three at region granularity,
+three at WAN-node granularity) plus Section IV-B's quorum predicates.
+These helpers emit the predicate *source strings* for any topology, so
+applications register them through the normal DSL path — exactly how a
+Stabilizer user would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import DslSemanticError
+
+
+def _normalize(name: str) -> str:
+    return name.replace(" ", "_").replace("-", "_")
+
+
+def remote_groups(groups: Dict[str, Sequence[str]], local: str) -> List[str]:
+    """Group names that do not contain node ``local``, in declaration order."""
+    remote = [g for g, members in groups.items() if local not in members]
+    if len(remote) == len(groups):
+        raise DslSemanticError(f"node {local!r} belongs to no group")
+    return remote
+
+
+def one_region(groups: Dict[str, Sequence[str]], local: str) -> str:
+    """Stable once any WAN node in any *remote* region acknowledged."""
+    maxes = ", ".join(f"MAX($AZ_{_normalize(g)})" for g in remote_groups(groups, local))
+    return f"MAX({maxes})"
+
+
+def majority_regions(groups: Dict[str, Sequence[str]], local: str) -> str:
+    """Stable once a majority of the remote regions acknowledged."""
+    remote = remote_groups(groups, local)
+    k = len(remote) // 2 + 1
+    maxes = ", ".join(f"MAX($AZ_{_normalize(g)})" for g in remote)
+    return f"KTH_MAX({k}, {maxes})"
+
+
+def all_regions(groups: Dict[str, Sequence[str]], local: str) -> str:
+    """Stable once every remote region acknowledged."""
+    maxes = ", ".join(f"MAX($AZ_{_normalize(g)})" for g in remote_groups(groups, local))
+    return f"MIN({maxes})"
+
+
+def remote_wnodes_set(exclude: Sequence[str] = ()) -> str:
+    """The set expression for "every remote node", minus ``exclude``.
+
+    ``exclude`` supports the Section III-E pattern: after a crash "the
+    primary can adjust the predicate to eliminate the impact" — drop the
+    suspected nodes from the observation set.
+    """
+    parts = ["$ALLWNODES - $MYWNODE"]
+    parts.extend(f"$WNODE_{_normalize(name)}" for name in exclude)
+    return " - ".join(parts)
+
+
+def one_wnode(exclude: Sequence[str] = ()) -> str:
+    """Stable once any remote WAN node acknowledged."""
+    return f"MAX({remote_wnodes_set(exclude)})"
+
+
+def majority_wnodes() -> str:
+    """Stable once a majority (counted over all nodes) of the remote
+    WAN nodes acknowledged — Table III's exact formulation."""
+    return "KTH_MAX(SIZEOF($ALLWNODES)/2 + 1, ($ALLWNODES - $MYWNODE))"
+
+
+def all_wnodes(exclude: Sequence[str] = ()) -> str:
+    """Stable once every remote WAN node (minus ``exclude``) acknowledged."""
+    return f"MIN({remote_wnodes_set(exclude)})"
+
+
+def quorum_write() -> str:
+    """Section IV-B write predicate: a write quorum has acknowledged."""
+    return "KTH_MIN(SIZEOF($ALLWNODES)/2 + 1, $ALLWNODES)"
+
+
+def quorum_read() -> str:
+    """Section IV-B read predicate: a read quorum has acknowledged."""
+    return "KTH_MIN(SIZEOF($ALLWNODES)/2, $ALLWNODES)"
+
+
+def az_geo_replicated() -> str:
+    """Section IV-A's example: fully replicated inside the sender's
+    availability zone AND present at one site outside it."""
+    return (
+        "MIN(MIN($MYAZWNODES - $MYWNODE), "
+        "MAX($ALLWNODES - $MYAZWNODES))"
+    )
+
+
+def standard_predicates(
+    groups: Dict[str, Sequence[str]], local: str
+) -> Dict[str, str]:
+    """The six Table III predicates, keyed by the paper's names."""
+    return {
+        "OneRegion": one_region(groups, local),
+        "MajorityRegions": majority_regions(groups, local),
+        "AllRegions": all_regions(groups, local),
+        "OneWNode": one_wnode(),
+        "MajorityWNodes": majority_wnodes(),
+        "AllWNodes": all_wnodes(),
+    }

@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems define narrower classes
+here (rather than in their own modules) to avoid circular imports between
+layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration file or object is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an illegal operation."""
+
+
+class NetworkError(ReproError):
+    """A network-layer failure (unknown host, link down, packet too large)."""
+
+
+class TransportError(ReproError):
+    """A transport-layer failure (channel closed, reassembly error)."""
+
+
+class DslError(ReproError):
+    """Base class for stability-frontier DSL errors."""
+
+
+class DslSyntaxError(DslError):
+    """The predicate source failed lexing or parsing.
+
+    Carries the offending position so tools can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, source: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.source = source
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0 and self.source:
+            pointer = " " * self.position + "^"
+            return f"{base}\n  {self.source}\n  {pointer}"
+        return base
+
+
+class DslSemanticError(DslError):
+    """The predicate parsed but refers to unknown nodes/types or misuses
+    operators (e.g. set difference between an integer and a node set)."""
+
+
+class DslEvaluationError(DslError):
+    """A compiled predicate failed at evaluation time (e.g. a runtime K
+    parameter fell outside the operand count)."""
+
+
+class PredicateNotFound(ReproError):
+    """A predicate key was used before being registered."""
+
+
+class StabilizerError(ReproError):
+    """Stabilizer core runtime error."""
+
+
+class NotPrimaryError(StabilizerError):
+    """A write was attempted at a node that does not own the data item."""
+
+
+class NodeFailedError(ReproError):
+    """An operation was routed to a node that has crashed."""
+
+
+class StorageError(ReproError):
+    """Object-store or log failure (corruption, missing version)."""
+
+
+class PaxosError(ReproError):
+    """Paxos replica failure (no leader, not enough acceptors)."""
+
+
+class PubSubError(ReproError):
+    """Pub/sub broker or client failure."""
+
+
+class QuorumError(ReproError):
+    """A quorum operation could not assemble the required replica set."""

@@ -1,0 +1,35 @@
+"""WAN network emulation substrate.
+
+The paper emulates an Amazon EC2 wide-area deployment with Linux ``tc`` on a
+local Gigabit cluster (Table I) and also uses real CloudLab WAN links
+(Table II).  This package is the equivalent substrate for the simulator:
+
+- :class:`~repro.net.link.Link` models one directed link with propagation
+  latency, serialization bandwidth, a FIFO queue (whose occupancy produces
+  the queueing delay the paper observes at saturation), optional jitter and
+  loss.
+- :class:`~repro.net.topology.Topology` declares nodes, named groups
+  (availability zones / regions) and the link matrix; ``build()`` turns it
+  into a live :class:`~repro.net.topology.Network` on a simulator.
+- :mod:`repro.net.tc` provides the traffic-control shaping used to match the
+  paper's "throttle to half the observed value" methodology.
+- :mod:`repro.net.probe` implements ping/iperf-style measurements used by
+  the Table I / Table II benchmarks.
+"""
+
+from repro.net.link import Link, LinkStats
+from repro.net.packet import Packet
+from repro.net.host import Host
+from repro.net.topology import Network, NodeSpec, Topology
+from repro.net.tc import NetemSpec
+
+__all__ = [
+    "Host",
+    "Link",
+    "LinkStats",
+    "NetemSpec",
+    "Network",
+    "NodeSpec",
+    "Packet",
+    "Topology",
+]

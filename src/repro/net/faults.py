@@ -1,0 +1,98 @@
+"""Scripted fault schedules for failure-injection experiments.
+
+Tests and experiments keep writing the same choreography — "at t=2 crash
+X, at t=5 partition A|B, at t=8 heal".  A :class:`FaultSchedule` declares
+it once and arms it against a network, recording what actually fired so
+assertions can line events up with observations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import NetworkError
+from repro.net.topology import Network
+
+
+class FaultSchedule:
+    """A time-ordered list of fault actions; see module docstring."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.sim = net.sim
+        self._actions: List[Tuple[float, str, tuple]] = []
+        self.fired: List[Tuple[float, str, tuple]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------ declaration
+    def crash(self, at: float, node: str) -> "FaultSchedule":
+        return self._add(at, "crash", (node,))
+
+    def recover(self, at: float, node: str) -> "FaultSchedule":
+        return self._add(at, "recover", (node,))
+
+    def partition(
+        self, at: float, group_a: Iterable[str], group_b: Iterable[str]
+    ) -> "FaultSchedule":
+        return self._add(at, "partition", (tuple(group_a), tuple(group_b)))
+
+    def heal(self, at: float) -> "FaultSchedule":
+        return self._add(at, "heal", ())
+
+    def degrade_link(
+        self, at: float, src: str, dst: str, latency_s=None, bandwidth_bps=None
+    ) -> "FaultSchedule":
+        """Reshape one directed link (a brown-out rather than a cut)."""
+        return self._add(at, "degrade", (src, dst, latency_s, bandwidth_bps))
+
+    def _add(self, at: float, kind: str, args: tuple) -> "FaultSchedule":
+        if self._armed:
+            raise NetworkError("schedule already armed; declare before arm()")
+        if at < 0:
+            raise NetworkError(f"negative fault time: {at}")
+        # Validate node names eagerly so typos fail at declaration.
+        for name in self._node_names(kind, args):
+            self.net.host(name)
+        self._actions.append((at, kind, args))
+        return self
+
+    @staticmethod
+    def _node_names(kind: str, args: tuple):
+        if kind in ("crash", "recover"):
+            return args
+        if kind == "partition":
+            return tuple(args[0]) + tuple(args[1])
+        if kind == "degrade":
+            return args[:2]
+        return ()
+
+    # ------------------------------------------------------------------ execution
+    def arm(self) -> "FaultSchedule":
+        """Schedule every declared action on the simulator."""
+        if self._armed:
+            raise NetworkError("schedule already armed")
+        self._armed = True
+        for at, kind, args in sorted(self._actions):
+            self.sim.call_later(at, self._fire, kind, args)
+        return self
+
+    def _fire(self, kind: str, args: tuple) -> None:
+        if kind == "crash":
+            self.net.crash_node(args[0])
+        elif kind == "recover":
+            self.net.recover_node(args[0])
+        elif kind == "partition":
+            self.net.partition(args[0], args[1])
+        elif kind == "heal":
+            self.net.heal()
+        elif kind == "degrade":
+            src, dst, latency_s, bandwidth_bps = args
+            self.net.link(src, dst).reshape(
+                latency_s=latency_s, bandwidth_bps=bandwidth_bps
+            )
+        else:  # pragma: no cover - unreachable by construction
+            raise NetworkError(f"unknown fault kind {kind!r}")
+        self.fired.append((self.sim.now, kind, args))
+
+    def pending(self) -> int:
+        return len(self._actions) - len(self.fired)

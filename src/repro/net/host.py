@@ -1,0 +1,60 @@
+"""A host: the endpoint that receives packets and dispatches by port."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+
+Handler = Callable[[Packet], None]
+
+
+class Host:
+    """A named endpoint on the network.
+
+    Protocol layers register a handler per *port* (an arbitrary string such
+    as ``"stabilizer"`` or ``"paxos"``).  A crashed host silently drops
+    everything, which is exactly what a remote peer observes.
+    """
+
+    def __init__(self, name: str, index: int):
+        self.name = name
+        self.index = index
+        self.crashed = False
+        self._handlers: Dict[str, Handler] = {}
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def bind(self, port: str, handler: Handler) -> None:
+        """Register ``handler`` for ``port``; rebinding replaces it."""
+        self._handlers[port] = handler
+
+    def unbind(self, port: str) -> None:
+        self._handlers.pop(port, None)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the network when a packet arrives."""
+        if self.crashed:
+            return
+        handler = self._handlers.get(packet.port)
+        if handler is None:
+            raise NetworkError(
+                f"host {self.name!r} has no handler bound for port "
+                f"{packet.port!r}"
+            )
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        handler(packet)
+
+    def crash(self) -> None:
+        """Stop receiving; in-flight and future packets are dropped."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Resume receiving (handlers survive the crash)."""
+        self.crashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<Host {self.name} #{self.index} {state}>"

@@ -1,0 +1,154 @@
+"""Directed link model: serialization bandwidth + propagation latency.
+
+A packet of S bytes entering a link with bandwidth B (bits/s) and one-way
+latency L experiences:
+
+- queueing delay: it waits until the transmitter finishes every packet ahead
+  of it (FIFO; we track ``busy_until``);
+- serialization delay: ``S * 8 / B`` seconds on the wire;
+- propagation delay: ``L`` seconds (plus optional jitter).
+
+This produces the behaviour the paper's evaluation leans on: below the
+bandwidth limit latency is flat at roughly L; above it the queue grows
+without bound and latency "rises sharply" (Fig. 7), and large bursts create
+the spikes of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+
+
+class LinkStats:
+    """Running totals a link keeps about itself."""
+
+    __slots__ = ("packets_sent", "packets_dropped", "bytes_sent", "max_backlog_bytes")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+        self.max_backlog_bytes = 0
+
+
+class Link:
+    """One directed link between two hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        latency_s: float,
+        bandwidth_bps: float,
+        jitter_s: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        up: bool = True,
+    ):
+        if latency_s < 0:
+            raise NetworkError(f"negative latency on {src}->{dst}")
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"non-positive bandwidth on {src}->{dst}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1): {loss_rate}")
+        if (jitter_s > 0 or loss_rate > 0) and rng is None:
+            raise NetworkError("jitter/loss require an rng stream")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency_s = latency_s
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.jitter_s = jitter_s
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.up = up
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._backlog_bytes = 0
+
+    # -- inspection ----------------------------------------------------------
+    def backlog_bytes(self) -> int:
+        """Bytes queued or on the wire right now (sender-side view)."""
+        return self._backlog_bytes
+
+    def queueing_delay(self) -> float:
+        """Seconds a packet submitted now would wait before serialization."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Idle-link end-to-end time for a message of ``size_bytes``."""
+        return self.serialization_delay(size_bytes) + self.latency_s
+
+    # -- transmission ----------------------------------------------------------
+    def transmit(self, packet: Packet, deliver: Callable[[Packet], None]) -> bool:
+        """Enqueue ``packet``; call ``deliver(packet)`` on arrival.
+
+        Returns False (and counts a drop) when the link is down or the
+        packet is randomly lost.  Reliability is the transport's job.
+        """
+        if not self.up:
+            self.stats.packets_dropped += 1
+            return False
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.stats.packets_dropped += 1
+            return False
+
+        start = max(self.sim.now, self._busy_until)
+        done_serializing = start + self.serialization_delay(packet.size_bytes)
+        self._busy_until = done_serializing
+        propagation = self.latency_s
+        if self.jitter_s > 0:
+            propagation += self.rng.uniform(0, self.jitter_s)
+        arrival = done_serializing + propagation
+
+        self._backlog_bytes += packet.size_bytes
+        if self._backlog_bytes > self.stats.max_backlog_bytes:
+            self.stats.max_backlog_bytes = self._backlog_bytes
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+
+        self.sim.call_at(arrival, self._arrive, packet, deliver)
+        return True
+
+    def _arrive(self, packet: Packet, deliver: Callable[[Packet], None]) -> None:
+        self._backlog_bytes -= packet.size_bytes
+        if not self.up:
+            # Link went down while the packet was in flight.
+            self.stats.packets_dropped += 1
+            return
+        deliver(packet)
+
+    # -- dynamic control -------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Bring the link up/down (used for partitions and crash tests)."""
+        self.up = up
+
+    def reshape(
+        self,
+        latency_s: Optional[float] = None,
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        """Change shaping parameters at runtime, like re-running ``tc``."""
+        if latency_s is not None:
+            if latency_s < 0:
+                raise NetworkError("negative latency")
+            self.latency_s = latency_s
+        if bandwidth_bps is not None:
+            if bandwidth_bps <= 0:
+                raise NetworkError("non-positive bandwidth")
+            self.bandwidth_bps = float(bandwidth_bps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.src}->{self.dst} {self.latency_s * 1e3:.2f}ms "
+            f"{self.bandwidth_bps / 1e6:.1f}Mbit/s>"
+        )

@@ -1,0 +1,45 @@
+"""The unit of transmission on a simulated link."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """One packet travelling from ``src`` to ``dst``.
+
+    ``payload`` is an arbitrary Python object (the transport layer puts a
+    frame here); only ``size_bytes`` matters to the network model.  ``port``
+    selects the handler on the destination host, so several protocols
+    (Stabilizer, Paxos, pub/sub) can share one network.
+    """
+
+    __slots__ = ("packet_id", "src", "dst", "port", "payload", "size_bytes", "sent_at")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        size_bytes: int,
+        sent_at: float,
+    ):
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.payload = payload
+        self.size_bytes = int(size_bytes)
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.src}->{self.dst}:{self.port} "
+            f"{self.size_bytes}B>"
+        )

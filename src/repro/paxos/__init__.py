@@ -1,0 +1,23 @@
+"""A from-scratch Multi-Paxos, standing in for PhxPaxos.
+
+The paper's Fig. 6 baseline is PhxPaxos, "a state-of-the-art industrial
+implementation of the Paxos protocol".  What the comparison exercises is
+the protocol's *topology indifference*: a command commits only when a
+majority of all replicas — counted over nodes, never over regions — has
+accepted it.  This package implements that protocol honestly:
+
+- a stable leader (Multi-Paxos) that runs Phase 1 once per ballot and then
+  pipelines Phase 2 ``Accept`` rounds over a bounded window;
+- acceptors with the standard promised/accepted state;
+- learners that apply commands in instance order;
+- leader fail-over via a higher ballot and value recovery from promises.
+
+:class:`~repro.paxos.cluster.PaxosCluster` builds one replica per node of
+a topology; clients submit commands at the leader and receive an event
+that triggers at commit.
+"""
+
+from repro.paxos.cluster import PaxosCluster
+from repro.paxos.replica import PaxosConfig, PaxosReplica
+
+__all__ = ["PaxosCluster", "PaxosConfig", "PaxosReplica"]

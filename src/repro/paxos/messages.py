@@ -1,0 +1,79 @@
+"""Paxos wire messages with realistic sizes.
+
+Ballots are ``(round, node_index)`` pairs ordered lexicographically, the
+standard trick to make every proposer's ballots unique and totally
+ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.transport.messages import Payload, payload_length
+
+Ballot = Tuple[int, int]
+
+PREPARE_BYTES = 24
+PROMISE_BASE_BYTES = 32
+ACCEPT_HEADER_BYTES = 40
+ACCEPTED_BYTES = 32
+COMMIT_BYTES = 24
+NACK_BYTES = 24
+
+
+class Prepare(NamedTuple):
+    ballot: Ballot
+    # The leader only needs promises covering instances it may re-propose.
+    from_instance: int
+
+    def wire_size(self) -> int:
+        return PREPARE_BYTES
+
+
+class Promise(NamedTuple):
+    ballot: Ballot
+    # instance -> (accepted ballot, payload, meta): what this acceptor has
+    # already accepted at or above `from_instance`.
+    accepted: Dict[int, Tuple[Ballot, Payload, object]]
+
+    def wire_size(self) -> int:
+        size = PROMISE_BASE_BYTES
+        for _ballot, payload, _meta in self.accepted.values():
+            size += 24 + payload_length(payload)
+        return size
+
+
+class Accept(NamedTuple):
+    ballot: Ballot
+    instance: int
+    payload: Payload
+    meta: object
+
+    def wire_size(self) -> int:
+        return ACCEPT_HEADER_BYTES + payload_length(self.payload)
+
+
+class Accepted(NamedTuple):
+    ballot: Ballot
+    instance: int
+
+    def wire_size(self) -> int:
+        return ACCEPTED_BYTES
+
+
+class Commit(NamedTuple):
+    # Commits are cumulative: every instance <= `up_to_instance` is chosen.
+    up_to_instance: int
+
+    def wire_size(self) -> int:
+        return COMMIT_BYTES
+
+
+class Nack(NamedTuple):
+    """Rejection carrying the higher promised ballot (prompts a new one)."""
+
+    promised: Ballot
+    instance: Optional[int]
+
+    def wire_size(self) -> int:
+        return NACK_BYTES

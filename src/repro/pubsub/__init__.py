@@ -1,0 +1,28 @@
+"""WAN pub/sub: the Stabilizer prototype and the Pulsar-like baseline.
+
+Section V-B builds a single-topic pub/sub prototype as "a thin layer" over
+Stabilizer: ``publish`` multicasts through the asynchronous data plane,
+``subscribe`` registers a delivery callback, and the broker keeps the
+publisher's stability predicate in sync with the set of *active* brokers
+(those with at least one subscriber) — the dynamic-reconfiguration
+mechanism of Section VI-D.
+
+:mod:`repro.pubsub.pulsar` models the comparison system of Section VI-C:
+Apache Pulsar with non-persistent topics, including the JVM garbage
+-collection pauses the paper blames for Pulsar's LAN latency growth, the
+original silent drop on temporarily inaccessible WAN links, and the
+paper's buffering fix.
+"""
+
+from repro.pubsub.broker import StabilizerBroker, Subscription
+from repro.pubsub.pulsar import GcModel, PulsarBroker, PulsarCluster
+from repro.pubsub.reliable import ReliableBroadcast
+
+__all__ = [
+    "GcModel",
+    "PulsarBroker",
+    "PulsarCluster",
+    "ReliableBroadcast",
+    "StabilizerBroker",
+    "Subscription",
+]

@@ -1,0 +1,14 @@
+"""Real-time runtime: the same Stabilizer stack on a wall clock.
+
+Experiments run on the deterministic simulator; this package provides the
+"real deployment" mode the paper also evaluates in: a
+:class:`~repro.runtime.realtime.RealtimeScheduler` exposes the simulator's
+scheduling interface but paces execution against the wall clock, so the
+identical protocol stack (network model included, acting as the latency
+injector the paper built with ``tc``) runs in real time.  External threads
+interact through the thread-safe :meth:`post`.
+"""
+
+from repro.runtime.realtime import RealtimeScheduler
+
+__all__ = ["RealtimeScheduler"]

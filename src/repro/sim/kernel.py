@@ -1,0 +1,150 @@
+"""The simulation event loop: a virtual clock over a binary heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+
+
+class TimerHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("time", "cancelled", "_fn", "_args")
+
+    def __init__(self, time: float, fn: Callable, args: tuple):
+        self.time = time
+        self.cancelled = False
+        self._fn = fn
+        self._args = args
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+        self._fn = None
+        self._args = ()
+
+
+class Simulator:
+    """Owns the virtual clock and executes callbacks in time order.
+
+    Ties are broken by insertion order, so a run is fully deterministic:
+    the same program produces the same event interleaving every time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._running = False
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling primitives ----------------------------------------------
+    def _schedule_at(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self._now}, target={time})"
+            )
+        handle = TimerHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> TimerHandle:
+        return self._schedule_at(self._now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._schedule_at(self._now + delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        return self._schedule_at(time, fn, *args)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":  # noqa: F821
+        """Start a new process driving ``generator``; see :mod:`.process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- execution -----------------------------------------------------------
+    def _prune_cancelled(self) -> None:
+        """Drop cancelled entries from the heap top, so peeking at
+        ``self._heap[0]`` sees the next event that will actually run."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False when idle."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            fn, args = handle._fn, handle._args
+            handle.cancel()  # mark consumed; releases references
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or virtual time reaches ``until``.
+
+        Returns the virtual time at which the run stopped.  Processes that
+        die with an uncaught exception re-raise it here (fail-fast), unless
+        another process was waiting on them.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while True:
+                self._prune_cancelled()
+                if not self._heap:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the simulation drains or passes
+        ``limit`` first — a convenient guard in tests.
+        """
+        while not event.triggered:
+            self._prune_cancelled()
+            if not self._heap:
+                raise SimulationError("simulation drained before event triggered")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"event not triggered by t={limit}")
+            self.step()
+        return event.value
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled entries in the heap (approximate)."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)

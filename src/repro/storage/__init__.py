@@ -1,0 +1,15 @@
+"""Local storage substrate: a Derecho-object-store-like versioned K/V.
+
+The paper integrates Stabilizer with "the Derecho object store, an
+existing system that efficiently leverages modern data center hardware to
+deliver high-throughput, low-latency, and fault-tolerant distributed
+key-value storage services" (Section V-A).  We implement the piece the
+integration needs — a single-site versioned object store with ``put`` /
+``get`` / ``get_by_time``, watchers and a persistent append-only log —
+from scratch.
+"""
+
+from repro.storage.log import AppendLog, LogRecord
+from repro.storage.objectstore import ObjectStore, Version
+
+__all__ = ["AppendLog", "LogRecord", "ObjectStore", "Version"]

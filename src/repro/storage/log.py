@@ -1,0 +1,101 @@
+"""An append-only, checksummed record log.
+
+The object store's durability primitive: every mutation is appended before
+it is applied, and a restarted store replays the log.  Records are framed
+as ``length | crc32 | payload`` so a torn final write (the classic crash
+mode) is detected and truncated on recovery rather than corrupting state.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+from repro.errors import StorageError
+
+_FRAME = struct.Struct("!II")  # payload length, crc32
+
+
+class LogRecord(NamedTuple):
+    index: int
+    payload: bytes
+
+
+class AppendLog:
+    """See module docstring.
+
+    With ``path=None`` the log is memory-only (used by simulations, where
+    "persistence" is a modelled stability level rather than real I/O).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path is not None else None
+        self._records: List[bytes] = []
+        self._file = None
+        if self.path is not None:
+            if self.path.exists():
+                self._recover()
+            self._file = open(self.path, "ab")
+
+    # -- writes ------------------------------------------------------------
+    def append(self, payload: bytes) -> int:
+        """Append one record; returns its index."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError(
+                f"log payloads are bytes, got {type(payload).__name__}"
+            )
+        payload = bytes(payload)
+        if self._file is not None:
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+            self._file.write(frame + payload)
+            self._file.flush()
+        self._records.append(payload)
+        return len(self._records) - 1
+
+    def sync(self) -> None:
+        """Force bytes to the OS (fsync analogue)."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- reads --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def read(self, index: int) -> bytes:
+        try:
+            return self._records[index]
+        except IndexError:
+            raise StorageError(f"log index {index} out of range") from None
+
+    def records(self) -> Iterator[LogRecord]:
+        for index, payload in enumerate(self._records):
+            yield LogRecord(index, payload)
+
+    # -- recovery ------------------------------------------------------------
+    def _recover(self) -> None:
+        data = self.path.read_bytes()
+        offset = 0
+        good_end = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                break  # torn final record
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # corruption: stop at the last good record
+            self._records.append(payload)
+            offset = end
+            good_end = end
+        if good_end != len(data):
+            # Truncate the torn/corrupt tail so future appends are clean.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)

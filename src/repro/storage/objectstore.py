@@ -1,0 +1,221 @@
+"""A single-site, versioned object store (the Derecho object store's role).
+
+Every ``put`` creates a new immutable version stamped with a monotonic
+version number and a timestamp, supporting the Derecho-style API surface
+the paper's K/V integration uses: ``put``, ``get``, ``get_by_time``, plus
+watchers that the geo-replication layer hooks to learn about local
+updates.  An optional :class:`~repro.storage.log.AppendLog` makes the
+store durable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, NamedTuple, Optional, Union
+
+from repro.errors import StorageError
+from repro.storage.log import AppendLog
+from repro.transport.messages import SyntheticPayload
+
+WatchFn = Callable[[str, "Version"], None]
+
+Value = Union[bytes, SyntheticPayload]
+
+
+class Version(NamedTuple):
+    """One immutable version of one key.
+
+    ``value`` is ``bytes``, or a :class:`SyntheticPayload` when the
+    experiment models content by size only (the paper's "files filled
+    with random bytes").
+    """
+
+    key: str
+    value: Value
+    version: int  # per-key, 1-based
+    timestamp: float  # store-level time of the put
+    tombstone: bool = False
+
+
+class ObjectStore:
+    """See module docstring.
+
+    ``clock`` supplies timestamps (the simulator's ``now`` in experiments,
+    ``time.time`` in the threaded runtime).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        log: Optional[AppendLog] = None,
+    ):
+        self._clock = clock
+        self._log = log
+        self._history: Dict[str, List[Version]] = {}
+        self._watchers: List[WatchFn] = []
+        self.puts = 0
+        if log is not None and len(log):
+            self._replay()
+
+    # -- mutations ------------------------------------------------------------
+    def put(self, key: str, value: Value) -> Version:
+        """Store a new version of ``key``; returns it."""
+        if not isinstance(key, str) or not key:
+            raise StorageError("keys are non-empty strings")
+        if isinstance(value, bytearray):
+            value = bytes(value)
+        elif not isinstance(value, (bytes, SyntheticPayload)):
+            raise StorageError(
+                f"values are bytes or SyntheticPayload, got {type(value).__name__}"
+            )
+        return self._apply(key, value, tombstone=False, record=True)
+
+    def delete(self, key: str) -> Version:
+        """Write a tombstone version (the key's history is preserved)."""
+        if key not in self._history:
+            raise StorageError(f"unknown key {key!r}")
+        return self._apply(key, b"", tombstone=True, record=True)
+
+    def _apply(
+        self,
+        key: str,
+        value: bytes,
+        tombstone: bool,
+        record: bool,
+        timestamp: Optional[float] = None,
+    ) -> Version:
+        history = self._history.setdefault(key, [])
+        next_version = history[-1].version + 1 if history else 1
+        version = Version(
+            key=key,
+            value=value,
+            version=next_version,
+            timestamp=self._clock() if timestamp is None else timestamp,
+            tombstone=tombstone,
+        )
+        history.append(version)
+        self.puts += 1
+        if record and self._log is not None:
+            if isinstance(value, SyntheticPayload):
+                encoded = {"synthetic": value.length}
+            else:
+                encoded = {"value": value.hex()}
+            encoded.update(
+                {
+                    "key": key,
+                    "tombstone": tombstone,
+                    "timestamp": version.timestamp,
+                }
+            )
+            self._log.append(json.dumps(encoded).encode())
+        for watcher in self._watchers:
+            watcher(key, version)
+        return version
+
+    # -- reads ------------------------------------------------------------------
+    def get(self, key: str) -> Version:
+        """The latest version of ``key`` (raises on missing/deleted)."""
+        version = self._latest(key)
+        if version.tombstone:
+            raise StorageError(f"key {key!r} is deleted")
+        return version
+
+    def get_version(self, key: str, version: int) -> Version:
+        history = self._history.get(key)
+        if history:
+            offset = version - history[0].version
+            if 0 <= offset < len(history):
+                return history[offset]
+        raise StorageError(
+            f"no version {version} of key {key!r} (compacted or never written)"
+        )
+
+    def get_by_time(self, key: str, timestamp: float) -> Version:
+        """The version that was current at ``timestamp`` (Derecho's
+        temporal query)."""
+        history = self._history.get(key)
+        if not history:
+            raise StorageError(f"unknown key {key!r}")
+        candidate = None
+        for version in history:
+            if version.timestamp <= timestamp:
+                candidate = version
+            else:
+                break
+        if candidate is None:
+            raise StorageError(
+                f"key {key!r} did not exist at t={timestamp}"
+            )
+        return candidate
+
+    def contains(self, key: str) -> bool:
+        history = self._history.get(key)
+        return bool(history) and not history[-1].tombstone
+
+    def keys(self) -> List[str]:
+        return [k for k in self._history if self.contains(k)]
+
+    def history(self, key: str) -> List[Version]:
+        return list(self._history.get(key, ()))
+
+    def _latest(self, key: str) -> Version:
+        history = self._history.get(key)
+        if not history:
+            raise StorageError(f"unknown key {key!r}")
+        return history[-1]
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        """Live keys starting with ``prefix`` (the K/V apps' namespaces)."""
+        return [k for k in self._history if k.startswith(prefix) and self.contains(k)]
+
+    # -- maintenance ----------------------------------------------------------
+    def compact(self, key: str, keep_versions: int = 1) -> int:
+        """Drop old versions of ``key``, keeping the newest ``keep_versions``.
+
+        Version numbers of the surviving entries are preserved (they stay
+        meaningful to readers holding references); returns how many
+        versions were dropped.  ``get_by_time`` before the retained window
+        will no longer resolve — callers compact only what they may query.
+        """
+        if keep_versions < 1:
+            raise StorageError("must keep at least one version")
+        history = self._history.get(key)
+        if history is None:
+            raise StorageError(f"unknown key {key!r}")
+        drop = max(0, len(history) - keep_versions)
+        if drop:
+            del history[:drop]
+        return drop
+
+    # -- watchers ----------------------------------------------------------------
+    def watch(self, fn: WatchFn) -> None:
+        """Call ``fn(key, version)`` after every applied mutation."""
+        self._watchers.append(fn)
+
+    def unwatch(self, fn: WatchFn) -> None:
+        """Remove a watcher previously added with :meth:`watch`."""
+        try:
+            self._watchers.remove(fn)
+        except ValueError:
+            raise StorageError("watcher was not registered") from None
+
+    # -- recovery -----------------------------------------------------------------
+    def _replay(self) -> None:
+        for record in self._log.records():
+            try:
+                entry = json.loads(record.payload)
+                if "synthetic" in entry:
+                    value: Value = SyntheticPayload(entry["synthetic"])
+                else:
+                    value = bytes.fromhex(entry["value"])
+                self._apply(
+                    entry["key"],
+                    value,
+                    tombstone=entry["tombstone"],
+                    record=False,
+                    timestamp=entry["timestamp"],
+                )
+            except (KeyError, ValueError) as exc:
+                raise StorageError(
+                    f"corrupt log record {record.index}: {exc}"
+                ) from exc

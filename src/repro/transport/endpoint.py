@@ -1,0 +1,74 @@
+"""Per-host transport endpoint: many named channels over one network port.
+
+Every protocol in the reproduction (Stabilizer data/control planes, Paxos,
+pub/sub) builds on named FIFO channels.  An endpoint owns the host's side
+of every channel and demultiplexes incoming packets by channel name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import TransportError
+from repro.net.topology import Network
+from repro.transport.fifo import FifoChannel
+
+TRANSPORT_PORT = "transport"
+
+
+class TransportEndpoint:
+    """One node's attachment point to the reliable-transport layer."""
+
+    def __init__(self, net: Network, node_name: str, port: str = TRANSPORT_PORT):
+        self.net = net
+        self.sim = net.sim
+        self.node_name = node_name
+        self.port = port
+        self._channels: Dict[Tuple[str, str], FifoChannel] = {}
+        net.host(node_name).bind(port, self._on_packet)
+
+    def channel(self, peer: str, name: str, **kwargs) -> FifoChannel:
+        """Get or create the channel to ``peer`` named ``name``.
+
+        Keyword arguments (``rto``, ``ack_every``, ``ack_interval``) apply
+        only at creation time.
+        """
+        if peer == self.node_name:
+            raise TransportError("no loopback channels; deliver locally instead")
+        key = (peer, name)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = FifoChannel(self, peer, name, **kwargs)
+            self._channels[key] = chan
+        elif kwargs:
+            raise TransportError(
+                f"channel {name!r} to {peer} already exists; cannot re-configure"
+            )
+        return chan
+
+    def channels(self) -> Dict[Tuple[str, str], FifoChannel]:
+        return dict(self._channels)
+
+    def close(self) -> None:
+        """Close every channel and unbind from the network."""
+        for chan in self._channels.values():
+            chan.close()
+        self.net.host(self.node_name).unbind(self.port)
+
+    # -- wiring ---------------------------------------------------------------
+    def _send_raw(self, peer: str, frame, size_bytes: int) -> None:
+        self.net.send(self.node_name, peer, self.port, frame, max(size_bytes, 1))
+
+    def _on_packet(self, packet) -> None:
+        frame = packet.payload
+        kind = frame[0]
+        if kind == "data":
+            _, name, seq, payload, meta, epoch = frame
+            chan = self.channel(packet.src, name)
+            chan._handle_data(seq, payload, packet.size_bytes, meta, epoch)
+        elif kind == "ack":
+            _, name, cumulative, epoch = frame
+            chan = self.channel(packet.src, name)
+            chan._handle_ack(cumulative, epoch)
+        else:
+            raise TransportError(f"unknown transport frame kind: {kind!r}")

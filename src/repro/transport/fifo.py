@@ -1,0 +1,258 @@
+"""A reliable, lossless-FIFO channel between one ordered pair of nodes.
+
+The data plane requires "a basic reliability mechanism that ensures
+lossless FIFO delivery" (Section I).  This channel provides it over the
+possibly-lossy link model:
+
+- the sender numbers frames with a transport sequence;
+- the receiver delivers in order, buffering out-of-order arrivals;
+- cumulative ACKs flow back every ``ack_every`` frames or ``ack_interval``
+  seconds, releasing the sender's retransmission buffer;
+- a go-back-N retransmit fires when no progress happens within ``rto``.
+
+With loss-free links (the default in the paper's experiments) the overhead
+is one periodic timer and occasional tiny ACK frames.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import TransportError
+from repro.transport.messages import Payload, payload_length
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transport.endpoint import TransportEndpoint
+
+DeliverFn = Callable[[Payload, object], None]
+
+TRANSPORT_HEADER_BYTES = 24  # seq + channel id + flags, matching messages.py scale
+ACK_FRAME_BYTES = 20
+
+
+class _OutFrame:
+    __slots__ = ("seq", "payload", "size", "meta")
+
+    def __init__(self, seq: int, payload: Payload, size: int, meta):
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+        self.meta = meta
+
+
+class FifoChannel:
+    """One direction of a reliable stream; see module docstring.
+
+    Created through :class:`~repro.transport.endpoint.TransportEndpoint`;
+    both ends share the channel ``name``.
+    """
+
+    def __init__(
+        self,
+        endpoint: "TransportEndpoint",
+        peer: str,
+        name: str,
+        rto: float = 0.5,
+        ack_every: int = 32,
+        ack_interval: float = 0.05,
+        max_inflight_bytes: Optional[int] = None,
+    ):
+        if rto <= 0 or ack_interval <= 0 or ack_every <= 0:
+            raise TransportError("rto, ack_every and ack_interval must be positive")
+        if max_inflight_bytes is not None and max_inflight_bytes <= 0:
+            raise TransportError("max_inflight_bytes must be positive")
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.local = endpoint.node_name
+        self.peer = peer
+        self.name = name
+        self.rto = rto
+        self.ack_every = ack_every
+        self.ack_interval = ack_interval
+
+        self.on_deliver: Optional[DeliverFn] = None
+        self.closed = False
+        # Stream epoch: stamped into every frame.  A restarted node's new
+        # channel carries a later epoch; the receiver resets its stream
+        # state on an epoch change (the TCP-connection-establishment
+        # analogue, required for Section III-E recovery).  Virtual
+        # creation time is monotone and deterministic.
+        self.epoch = self.sim.now
+        self._peer_epoch: Optional[float] = None
+
+        # Sender state.  With ``max_inflight_bytes`` set, frames beyond
+        # the window wait in ``_backlog`` (the data plane's "buffer data
+        # for later transmission if needed") and drain as ACKs free space.
+        self.max_inflight_bytes = max_inflight_bytes
+        self._next_send_seq = 0
+        self._unacked: Dict[int, _OutFrame] = {}
+        self._unacked_bytes = 0
+        self._backlog: List[_OutFrame] = []
+        self._lowest_unacked = 0
+        self._retransmit_timer = None
+        self._last_progress = 0.0
+
+        # Receiver state.
+        self._next_deliver_seq = 0
+        self._ooo: Dict[int, _OutFrame] = {}
+        self._since_ack = 0
+        self._ack_timer = None
+        self._ack_dirty = False
+
+        # Counters for tests and benchmarks.
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.retransmissions = 0
+        self.acks_sent = 0
+
+    # -- sending ------------------------------------------------------------
+    def send(self, payload: Payload, meta=None) -> int:
+        """Queue one frame; returns its transport sequence number."""
+        if self.closed:
+            raise TransportError(f"channel {self.name!r} is closed")
+        seq = self._next_send_seq
+        self._next_send_seq += 1
+        size = payload_length(payload) + TRANSPORT_HEADER_BYTES
+        frame = _OutFrame(seq, payload, size, meta)
+        if (
+            self.max_inflight_bytes is not None
+            and self._unacked_bytes + size > self.max_inflight_bytes
+            and self._unacked  # always let at least one frame fly
+        ):
+            self._backlog.append(frame)
+        else:
+            self._launch(frame)
+        return seq
+
+    def _launch(self, frame: _OutFrame) -> None:
+        self._unacked[frame.seq] = frame
+        self._unacked_bytes += frame.size
+        self._transmit(frame)
+        self.frames_sent += 1
+        if self._retransmit_timer is None:
+            self._arm_retransmit()
+
+    def unacked_count(self) -> int:
+        return len(self._unacked)
+
+    def unacked_bytes(self) -> int:
+        return self._unacked_bytes
+
+    def backlog_count(self) -> int:
+        return len(self._backlog)
+
+    def _transmit(self, frame: _OutFrame) -> None:
+        self.endpoint._send_raw(
+            self.peer,
+            ("data", self.name, frame.seq, frame.payload, frame.meta, self.epoch),
+            frame.size,
+        )
+
+    def _arm_retransmit(self) -> None:
+        self._last_progress = self.sim.now
+        self._retransmit_timer = self.sim.call_later(self.rto, self._check_retransmit)
+
+    def _check_retransmit(self) -> None:
+        self._retransmit_timer = None
+        if self.closed or not self._unacked:
+            return
+        if self.sim.now - self._last_progress >= self.rto:
+            # Go-back-N: resend every unacked frame in order.
+            for seq in sorted(self._unacked):
+                self._transmit(self._unacked[seq])
+                self.retransmissions += 1
+            self._last_progress = self.sim.now
+        self._retransmit_timer = self.sim.call_later(self.rto, self._check_retransmit)
+
+    def _handle_ack(
+        self, cumulative_seq: int, epoch: Optional[float] = None
+    ) -> None:
+        if epoch is not None and epoch != self.epoch:
+            return  # an ack for a previous incarnation of this stream
+        progressed = False
+        while self._lowest_unacked <= cumulative_seq:
+            frame = self._unacked.pop(self._lowest_unacked, None)
+            if frame is not None:
+                self._unacked_bytes -= frame.size
+                progressed = True
+            self._lowest_unacked += 1
+        if progressed:
+            self._last_progress = self.sim.now
+            self._drain_backlog()
+        if not self._unacked and self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+
+    def _drain_backlog(self) -> None:
+        while self._backlog and (
+            self.max_inflight_bytes is None
+            or not self._unacked
+            or self._unacked_bytes + self._backlog[0].size
+            <= self.max_inflight_bytes
+        ):
+            self._launch(self._backlog.pop(0))
+
+    # -- receiving -----------------------------------------------------------
+    def _handle_data(
+        self, seq: int, payload: Payload, size: int, meta, epoch: float = 0.0
+    ) -> None:
+        if self._peer_epoch is None:
+            self._peer_epoch = epoch
+        elif epoch > self._peer_epoch:
+            # The peer restarted with a fresh stream: reset receive state.
+            self._peer_epoch = epoch
+            self._next_deliver_seq = 0
+            self._ooo.clear()
+            self._since_ack = 0
+        elif epoch < self._peer_epoch:
+            return  # a stale frame from before the peer's restart
+        if seq < self._next_deliver_seq:
+            self._mark_ack_needed()  # duplicate: re-ack so sender unblocks
+            return
+        self._ooo[seq] = _OutFrame(seq, payload, size, meta)
+        while self._next_deliver_seq in self._ooo:
+            frame = self._ooo.pop(self._next_deliver_seq)
+            self._next_deliver_seq += 1
+            self.frames_delivered += 1
+            if self.on_deliver is not None:
+                self.on_deliver(frame.payload, frame.meta)
+        self._since_ack += 1
+        self._mark_ack_needed()
+        if self._since_ack >= self.ack_every:
+            self._send_ack()
+
+    def _mark_ack_needed(self) -> None:
+        self._ack_dirty = True
+        if self._ack_timer is None:
+            self._ack_timer = self.sim.call_later(self.ack_interval, self._ack_tick)
+
+    def _ack_tick(self) -> None:
+        self._ack_timer = None
+        if self._ack_dirty:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._ack_dirty = False
+        self._since_ack = 0
+        self.acks_sent += 1
+        self.endpoint._send_raw(
+            self.peer,
+            ("ack", self.name, self._next_deliver_seq - 1, self._peer_epoch),
+            ACK_FRAME_BYTES,
+        )
+
+    # -- teardown ------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FifoChannel {self.local}->{self.peer} {self.name!r} "
+            f"sent={self.frames_sent} unacked={len(self._unacked)}>"
+        )

@@ -1,0 +1,47 @@
+"""Heavy-tailed file-size distributions.
+
+Cloud-storage sync traffic is dominated by small files with a long tail of
+large ones; the synthesizer draws from a bounded log-normal by default.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigError
+
+
+def bounded_lognormal(
+    rng: random.Random,
+    median_bytes: float,
+    sigma: float,
+    cap_bytes: float,
+    floor_bytes: float = 128,
+) -> int:
+    """One draw from a log-normal with the given median, clamped.
+
+    ``sigma`` is the shape parameter of the underlying normal (around 2
+    gives the multi-decade spread real traces show).
+    """
+    if median_bytes <= 0 or cap_bytes < median_bytes or sigma <= 0:
+        raise ConfigError("invalid lognormal parameters")
+    mu = math.log(median_bytes)
+    value = rng.lognormvariate(mu, sigma)
+    return int(min(max(value, floor_bytes), cap_bytes))
+
+
+def bounded_pareto(
+    rng: random.Random,
+    alpha: float,
+    floor_bytes: float,
+    cap_bytes: float,
+) -> int:
+    """One draw from a bounded Pareto (used by ablation workloads)."""
+    if alpha <= 0 or floor_bytes <= 0 or cap_bytes <= floor_bytes:
+        raise ConfigError("invalid pareto parameters")
+    u = rng.random()
+    l_a = floor_bytes**alpha
+    h_a = cap_bytes**alpha
+    value = (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / alpha)
+    return int(value)

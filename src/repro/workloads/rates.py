@@ -1,0 +1,60 @@
+"""Open-loop senders for the pub/sub experiments (Section VI-C/D).
+
+"A client can publish messages at a range of frequencies" — these helpers
+spawn a simulation process that invokes a callback at a constant or
+Poisson rate, independent of how fast the system drains (open loop, so
+overload shows up as queueing delay exactly as in the paper's Fig. 7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+SendFn = Callable[[int], None]
+
+
+def constant_rate(
+    sim: Simulator, rate_per_s: float, count: int, send: SendFn
+) -> Process:
+    """Send ``count`` messages at exactly ``rate_per_s`` (first at t=now)."""
+    if rate_per_s <= 0 or count <= 0:
+        raise ConfigError("rate and count must be positive")
+    interval = 1.0 / rate_per_s
+
+    def runner():
+        for index in range(count):
+            send(index)
+            if index != count - 1:
+                yield interval
+
+    process = sim.spawn(runner(), name=f"constant-rate-{rate_per_s}")
+    process.add_callback(lambda _e: None)  # watched: surface crashes
+    return process
+
+
+def poisson_rate(
+    sim: Simulator,
+    rate_per_s: float,
+    count: int,
+    send: SendFn,
+    rng: Optional[random.Random] = None,
+) -> Process:
+    """Send ``count`` messages with exponential inter-arrivals."""
+    if rate_per_s <= 0 or count <= 0:
+        raise ConfigError("rate and count must be positive")
+    rng = rng or random.Random(0)
+
+    def runner():
+        for index in range(count):
+            send(index)
+            if index != count - 1:
+                yield rng.expovariate(rate_per_s)
+
+    process = sim.spawn(runner(), name=f"poisson-rate-{rate_per_s}")
+    process.add_callback(lambda _e: None)
+    return process

@@ -1,0 +1,202 @@
+"""WAN K/V store tests (Section V-A semantics)."""
+
+import pytest
+
+from repro.apps import WanKVStore
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.errors import NotPrimaryError, StorageError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+from repro.transport.messages import SyntheticPayload
+
+NODES = ["east1", "east2", "west1", "west2"]
+GROUPS = {"east": ["east1", "east2"], "west": ["west1", "west2"]}
+
+
+def build(**config_kwargs):
+    topo = Topology()
+    for name in NODES:
+        topo.add_node(name, "east" if name.startswith("east") else "west")
+    topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        NODES, GROUPS, "east1", control_interval_s=0.001, **config_kwargs
+    )
+    cluster = StabilizerCluster(net, config)
+    stores = {name: WanKVStore(cluster[name]) for name in NODES}
+    return sim, net, stores
+
+
+def test_put_is_locally_stable_immediately():
+    sim, net, stores = build()
+    result = stores["east1"].put("k", b"v")
+    assert stores["east1"].get("k").value == b"v"
+    assert result.seq == 1
+    assert result.version.version == 1
+
+
+def test_mirrors_receive_updates():
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v")
+    sim.run(until=1.0)
+    for name in NODES:
+        assert stores[name].get("k").value == b"v"
+        assert stores[name].owner("k") == "east1"
+
+
+def test_primary_site_rule_blocks_remote_writes():
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v")
+    sim.run(until=1.0)
+    with pytest.raises(NotPrimaryError, match="owned by 'east1'"):
+        stores["west1"].put("k", b"other")
+
+
+def test_each_site_owns_its_own_pool():
+    sim, net, stores = build()
+    stores["east1"].put("east-key", b"1")
+    stores["west1"].put("west-key", b"2")
+    sim.run(until=1.0)
+    assert stores["east1"].get("west-key").value == b"2"
+    assert stores["west1"].get("east-key").value == b"1"
+    # Each primary can update its own key again.
+    stores["west1"].put("west-key", b"2b")
+    sim.run(until=2.0)
+    assert stores["east1"].get("west-key").value == b"2b"
+    assert stores["east1"].get("west-key").version == 2
+
+
+def test_put_wait_majority():
+    sim, net, stores = build()
+    kv = stores["east1"]
+    kv.register_predicate(
+        "MajorityWNodes",
+        "KTH_MAX(SIZEOF($ALLWNODES)/2 + 1, ($ALLWNODES - $MYWNODE))",
+    )
+    result, stable = kv.put_wait("k", SyntheticPayload(8192), "MajorityWNodes")
+    sim.run_until_triggered(stable, limit=2.0)
+    assert kv.get_stability_frontier("MajorityWNodes") >= result.seq
+
+
+def test_delete_propagates_tombstone():
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v")
+    sim.run(until=1.0)
+    stores["east1"].delete("k")
+    sim.run(until=2.0)
+    for name in NODES:
+        assert not stores[name].store.contains("k")
+
+
+def test_delete_requires_ownership():
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v")
+    sim.run(until=1.0)
+    with pytest.raises(NotPrimaryError):
+        stores["west1"].delete("k")
+    with pytest.raises(StorageError):
+        stores["east1"].delete("never-existed")
+
+
+def test_read_stable_at_remote_site():
+    sim, net, stores = build()
+    west = stores["west1"]
+    west.register_predicate("AllWNodes", "MIN($ALLWNODES - $MYWNODE)")
+    stores["east1"].put("k", b"payload")
+    sim.run(until=0.001)
+    event = west.read_stable("k", "AllWNodes") if west.store.contains("k") else None
+    # The mirror has not arrived yet; read_stable on an unknown key raises.
+    assert event is None
+    sim.run(until=1.0)
+    event = west.read_stable("k", "AllWNodes")
+    version = sim.run_until_triggered(event, limit=2.0)
+    assert version.value == b"payload"
+
+
+def test_read_stable_unknown_key():
+    sim, net, stores = build()
+    with pytest.raises(StorageError):
+        stores["east1"].read_stable("ghost")
+
+
+def test_persisted_acks_reported_by_mirrors():
+    sim, net, stores = build()
+    kv = stores["east1"]
+    kv.register_predicate(
+        "persisted_all", "MIN(($ALLWNODES - $MYWNODE).persisted)"
+    )
+    result, stable = kv.put_wait("k", b"v", "persisted_all")
+    sim.run_until_triggered(stable, limit=2.0)
+    assert kv.get_stability_frontier("persisted_all") >= result.seq
+
+
+def test_persist_delay_defers_persisted_level():
+    sim, net, stores = build()
+    # Rebuild west1's store with a persist delay.
+    kv = stores["east1"]
+    kv.register_predicate("recv_all", "MIN($ALLWNODES - $MYWNODE)")
+    kv.register_predicate(
+        "persist_all", "MIN(($ALLWNODES - $MYWNODE).persisted)"
+    )
+    for name in ("east2", "west1", "west2"):
+        stores[name].persist_delay_s = 0.2
+    result, _ = kv.put_wait("k", b"v")
+    times = {}
+    for key in ("recv_all", "persist_all"):
+        kv.stabilizer.waitfor(result.seq, key).add_callback(
+            lambda e, _k=key: times.setdefault(_k, sim.now)
+        )
+    sim.run(until=3.0)
+    assert times["persist_all"] >= times["recv_all"] + 0.2
+
+
+def test_put_forwarded_routes_to_primary():
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v1")
+    sim.run(until=1.0)
+    event = stores["west1"].put_forwarded("k", b"v2-from-west")
+    seq = sim.run_until_triggered(event, limit=2.0)
+    assert seq == 2  # the primary's second message
+    sim.run(until=2.0)
+    assert stores["east1"].get("k").value == b"v2-from-west"
+    assert stores["west2"].get("k").value == b"v2-from-west"
+    assert stores["west2"].owner("k") == "east1"  # ownership unchanged
+
+
+def test_put_forwarded_local_key_is_direct():
+    sim, net, stores = build()
+    event = stores["east1"].put_forwarded("fresh", b"v")
+    assert event.triggered
+    assert event.value == 1
+
+
+def test_put_forwarded_bounces_on_stale_ownership():
+    """If the forwarder's ownership view is stale (the target no longer
+    thinks it owns the key), the write fails cleanly instead of applying
+    at the wrong primary."""
+    sim, net, stores = build()
+    stores["east1"].put("k", b"v1")
+    sim.run(until=1.0)
+    # Corrupt west1's ownership view to point at a non-owner.
+    stores["west1"]._owners["k"] = "east2"
+    stores["east2"]._owners["k"] = "east1"
+    event = stores["west1"].put_forwarded("k", b"v2")
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except NotPrimaryError as exc:
+            caught.append(str(exc))
+
+    proc = sim.spawn(waiter())
+    sim.run_until_triggered(proc, limit=2.0)
+    assert caught and "bounced" in caught[0]
+
+
+def test_synthetic_values_flow_end_to_end():
+    sim, net, stores = build()
+    stores["east1"].put("big", SyntheticPayload(100_000))
+    sim.run(until=2.0)
+    assert stores["west2"].get("big").value == SyntheticPayload(100_000)

@@ -1,0 +1,109 @@
+"""Quorum protocol tests (Section IV-B, Fig. 3 setup)."""
+
+import pytest
+
+from repro.apps import QuorumKV, WanKVStore
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.errors import QuorumError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+# The CloudLab Fig. 3 layout: quorum on UT1/WI/CLEM, writer at UT2.
+NODES = ["UT1", "UT2", "WI", "CLEM"]
+GROUPS = {"Utah": ["UT1", "UT2"], "Wisconsin": ["WI"], "Clemson": ["CLEM"]}
+MEMBERS = ["UT1", "WI", "CLEM"]
+
+
+def build():
+    topo = Topology()
+    topo.add_node("UT1", "Utah")
+    topo.add_node("UT2", "Utah")
+    topo.add_node("WI", "Wisconsin")
+    topo.add_node("CLEM", "Clemson")
+    lat = {"UT1": 0.062, "WI": 17.8, "CLEM": 25.5}  # one-way ms from Table II
+    topo.set_link_symmetric("UT1", "UT2", NetemSpec(0.062, 9000))
+    for a in NODES:
+        for b in NODES:
+            if a < b and (a, b) != ("UT1", "UT2"):
+                ms = max(lat.get(a, 20.0), lat.get(b, 20.0))
+                topo.set_link_symmetric(a, b, NetemSpec(ms, 400))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(NODES, GROUPS, "UT2", control_interval_s=0.001)
+    cluster = StabilizerCluster(net, config)
+    stores = {name: WanKVStore(cluster[name]) for name in NODES}
+    quorums = {
+        name: QuorumKV(stores[name], MEMBERS, nw=2, nr=2) for name in NODES
+    }
+    return sim, net, quorums
+
+
+def test_quorum_size_defaults_and_validation():
+    sim, net, quorums = build()
+    q = quorums["UT2"]
+    assert q.nw == 2 and q.nr == 2
+    with pytest.raises(QuorumError):
+        QuorumKV(q.kv, MEMBERS, nw=1, nr=1)  # no overlap
+    with pytest.raises(QuorumError):
+        QuorumKV(q.kv, [])
+    with pytest.raises(QuorumError):
+        QuorumKV(q.kv, ["UT1", "UT1"])
+    with pytest.raises(QuorumError):
+        QuorumKV(q.kv, ["nowhere"])
+    with pytest.raises(QuorumError):
+        QuorumKV(q.kv, MEMBERS, nw=5)
+
+
+def test_write_completes_at_write_quorum():
+    sim, net, quorums = build()
+    result, event = quorums["UT2"].write("k", b"v")
+    outcome = sim.run_until_triggered(event, limit=2.0)
+    assert outcome == result.seq
+
+
+def test_read_returns_written_value():
+    sim, net, quorums = build()
+    _result, wevent = quorums["UT2"].write("k", b"quorum-value")
+    sim.run_until_triggered(wevent, limit=2.0)
+    sim.run(until=sim.now + 0.2)
+    revent = quorums["UT1"].read("k")
+    result = sim.run_until_triggered(revent, limit=2.0)
+    assert result.value == b"quorum-value"
+    assert result.version == 1
+    assert len(result.responders) == 2
+
+
+def test_read_latency_tracks_second_fastest_member():
+    """Fig. 3: the local member responds instantly, so the 2nd response —
+    Wisconsin's — sets the latency at roughly one WI RTT."""
+    sim, net, quorums = build()
+    _r, wevent = quorums["UT2"].write("k", b"x" * 1024)
+    sim.run_until_triggered(wevent, limit=2.0)
+    sim.run(until=sim.now + 0.5)
+    start = sim.now
+    revent = quorums["UT1"].read("k")
+    sim.run_until_triggered(revent, limit=2.0)
+    latency = sim.now - start
+    wi_rtt = 2 * 17.8e-3
+    assert latency == pytest.approx(wi_rtt, rel=0.2)
+    assert latency < 2 * 25.5e-3  # strictly earlier than Clemson's reply
+
+
+def test_read_overlaps_write_quorum():
+    """Nw + Nr > N: the read sees the latest committed write even when
+    one member never got the data (it crashed before the write)."""
+    sim, net, quorums = build()
+    net.crash_node("CLEM")
+    _r, wevent = quorums["UT2"].write("k", b"vital")
+    sim.run_until_triggered(wevent, limit=2.0)  # UT1 + WI suffice (Nw=2)
+    revent = quorums["UT1"].read("k")
+    result = sim.run_until_triggered(revent, limit=2.0)
+    assert result.value == b"vital"
+
+
+def test_read_of_unknown_key_reports_version_zero():
+    sim, net, quorums = build()
+    revent = quorums["UT1"].read("never-written")
+    result = sim.run_until_triggered(revent, limit=2.0)
+    assert result.version == 0
+    assert result.value is None

@@ -1,0 +1,149 @@
+"""Tests for the Pileus-style SLA layer and WheelFS-style path cues."""
+
+import pytest
+
+from repro.apps.sla import ConsistencySLA, SubSla, parse_path_cue
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.errors import ConfigError, PredicateNotFound
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+NODES = ["near", "mid", "far"]
+
+
+def build():
+    topo = Topology()
+    topo.add_node("hq", "hq")
+    for name, lat in (("near", 5), ("mid", 40), ("far", 120)):
+        topo.add_node(name, name)
+        topo.set_link_symmetric("hq", name, NetemSpec(latency_ms=lat, rate_mbit=100))
+    topo.set_default(NetemSpec(latency_ms=100, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        ["hq"] + NODES,
+        {n: [n] for n in ["hq"] + NODES},
+        "hq",
+        predicates={
+            "strong": "MIN($ALLWNODES - $MYWNODE)",  # needs far: ~240 ms RTT
+            "medium": "KTH_MAX(2, $ALLWNODES - $MYWNODE)",  # near+mid: ~80 ms
+            "weak": "MAX($ALLWNODES - $MYWNODE)",  # near: ~10 ms
+        },
+        control_interval_s=0.001,
+    )
+    cluster = StabilizerCluster(net, config)
+    return sim, net, cluster
+
+
+def sla_for(stabilizer, strong_bound=0.5, medium_bound=0.5):
+    return ConsistencySLA(
+        stabilizer,
+        [
+            SubSla("strong", "strong", strong_bound, utility=1.0),
+            SubSla("medium", "medium", medium_bound, utility=0.6),
+            SubSla("weak", "weak", None, utility=0.1),
+        ],
+    )
+
+
+def test_validation():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    with pytest.raises(ConfigError):
+        ConsistencySLA(hq, [])
+    with pytest.raises(ConfigError, match="descending utility"):
+        ConsistencySLA(
+            hq,
+            [
+                SubSla("a", "weak", 0.1, utility=0.1),
+                SubSla("b", "strong", None, utility=1.0),
+            ],
+        )
+    with pytest.raises(ConfigError, match="fallback"):
+        ConsistencySLA(hq, [SubSla("a", "strong", 0.5, utility=1.0)])
+    with pytest.raises(ConfigError, match="latency bound"):
+        ConsistencySLA(
+            hq,
+            [
+                SubSla("a", "strong", None, utility=1.0),
+                SubSla("b", "weak", None, utility=0.1),
+            ],
+        )
+    with pytest.raises(PredicateNotFound):
+        ConsistencySLA(hq, [SubSla("a", "ghost", None, utility=1.0)])
+
+
+def test_highest_utility_wins_when_attainable():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=1.0)
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "strong"
+    assert outcome.latency_s == pytest.approx(0.24, abs=0.05)
+
+
+def test_tight_bound_degrades_to_medium():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=0.15)  # strong needs ~0.24 s
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "medium"
+    # Resolved at the moment the strong bound expired (medium was already
+    # satisfied by then).
+    assert outcome.latency_s == pytest.approx(0.15, abs=0.02)
+
+
+def test_crashed_node_falls_back_to_weak():
+    sim, net, cluster = build()
+    net.crash_node("far")
+    net.crash_node("mid")
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=0.2, medium_bound=0.3)
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "weak"
+    assert outcome.latency_s == pytest.approx(0.3, abs=0.05)
+
+
+def test_acquire_after_stability_is_immediate():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = sla_for(hq)
+    seq = hq.send(b"record")
+    sim.run_until_triggered(hq.waitfor(seq, "strong"), limit=5.0)
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=1.0)
+    assert outcome.sub_sla.name == "strong"
+    assert outcome.latency_s == 0.0
+
+
+def test_mean_utility_tracks_outcomes():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=1.0)
+    for _ in range(3):
+        seq = hq.send(b"x")
+        sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert sla.mean_utility() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# WheelFS-style path cues.
+# ---------------------------------------------------------------------------
+
+
+def test_path_cue_extraction():
+    assert parse_path_cue("backups/.MajorityRegions/db.dump") == (
+        "backups/db.dump",
+        "MajorityRegions",
+    )
+    assert parse_path_cue("plain/file.txt") == ("plain/file.txt", "AllWNodes")
+    assert parse_path_cue("a/.OneWNode/b/c") == ("a/b/c", "OneWNode")
+
+
+def test_path_cue_errors():
+    with pytest.raises(ConfigError, match="multiple"):
+        parse_path_cue("a/.X/.Y/b")
+    with pytest.raises(ConfigError, match="no file"):
+        parse_path_cue(".OneWNode")

@@ -1,0 +1,56 @@
+"""Tests for the paper-expectations registry and verdict logic."""
+
+from repro.bench.paper import EXPECTATIONS, Verdict, experiments, verdicts_for
+from repro.sim.monitor import Series
+
+
+def test_every_expectation_belongs_to_a_known_experiment():
+    assert set(experiments()) == {"fig3", "fig5", "fig6", "fig7", "fig8"}
+    for exp in EXPECTATIONS:
+        assert exp.kind in ("exact", "shape")
+        assert exp.paper_value
+
+
+def test_fig3_verdicts_pass_and_fail():
+    good = {
+        "latency_s": {1024: 0.0356, 65536: 0.037},
+        "rtt_s": {"WI": 0.0356, "CLEM": 0.0509},
+    }
+    verdicts = verdicts_for("fig3", good)
+    assert len(verdicts) == 2
+    assert all(v.holds for v in verdicts)
+
+    bad = {
+        "latency_s": {1024: 0.09, 65536: 0.08},  # nowhere near WI RTT
+        "rtt_s": {"WI": 0.0356, "CLEM": 0.0509},
+    }
+    verdicts = verdicts_for("fig3", bad)
+    assert not verdicts[0].holds
+    assert not verdicts[1].holds  # latency fell with size
+
+
+def test_fig8_verdict_uses_windows():
+    all_sites = Series()
+    three = Series()
+    changing = Series()
+    for i in range(100):
+        t = i * 0.2
+        all_sites.record(t, 0.052)
+        three.record(t, 0.049)
+        changing.record(t, 0.052 if (t // 5) % 2 == 0 else 0.049)
+    verdicts = verdicts_for(
+        "fig8", {"all_sites": all_sites, "three_sites": three, "changing": changing}
+    )
+    assert all(v.holds for v in verdicts)
+
+
+def test_broken_result_yields_failing_verdict_not_crash():
+    verdicts = verdicts_for("fig6", {"sizes": [1000], "sync_time_s": {}})
+    assert verdicts
+    assert not any(v.holds for v in verdicts)
+    assert any("<error" in v.measured_value for v in verdicts)
+
+
+def test_verdict_structure():
+    v = Verdict("fig3", "m", "p", "x", "exact", True)
+    assert v.experiment == "fig3" and v.holds

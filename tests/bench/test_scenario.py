@@ -1,0 +1,122 @@
+"""Tests for declarative scenarios."""
+
+import json
+
+import pytest
+
+from repro.bench.scenario import build_topology, run_scenario, run_scenario_file
+from repro.errors import ConfigError
+
+
+def base_scenario(**overrides):
+    scenario = {
+        "name": "unit",
+        "topology": {
+            "nodes": [
+                {"name": "fra", "group": "europe"},
+                {"name": "iad", "group": "us"},
+                {"name": "sfo", "group": "us"},
+            ],
+            "default_link": {"latency_ms": 40, "rate_mbit": 100},
+            "links": [
+                {"a": "iad", "b": "sfo", "latency_ms": 15, "rate_mbit": 400}
+            ],
+        },
+        "sender": "fra",
+        "predicates": {
+            "us_copy": "MAX($AZ_us)",
+            "everywhere": "MIN($ALLWNODES - $MYWNODE)",
+        },
+        "workload": {
+            "kind": "constant",
+            "rate": 50,
+            "messages": 40,
+            "size_bytes": 4096,
+        },
+    }
+    scenario.update(overrides)
+    return scenario
+
+
+def test_topology_builder():
+    topo = build_topology(base_scenario()["topology"])
+    assert topo.groups() == {"europe": ["fra"], "us": ["iad", "sfo"]}
+    assert topo.link_spec("iad", "sfo").latency_ms == 15
+    assert topo.link_spec("fra", "iad").latency_ms == 40
+
+
+def test_constant_workload_covers_every_message():
+    result = run_scenario(base_scenario())
+    assert result["messages_sent"] == 40
+    for key in ("us_copy", "everywhere"):
+        series = result["series"][key]
+        assert len(series) == 40
+    assert (
+        result["series"]["us_copy"].mean()
+        <= result["series"]["everywhere"].mean()
+    )
+
+
+def test_poisson_workload_runs():
+    result = run_scenario(
+        base_scenario(
+            workload={"kind": "poisson", "rate": 100, "messages": 30}
+        )
+    )
+    assert result["messages_sent"] == 30
+
+
+def test_trace_workload_runs():
+    result = run_scenario(
+        base_scenario(workload={"kind": "trace", "scale": 0.002})
+    )
+    assert result["messages_sent"] > 100
+    assert len(result["series"]["everywhere"]) == result["messages_sent"]
+
+
+def test_faults_execute():
+    scenario = base_scenario(
+        faults=[
+            {"at": 0.1, "kind": "crash", "node": "sfo"},
+            {"at": 0.4, "kind": "recover", "node": "sfo"},
+            {"at": 0.5, "kind": "degrade", "src": "fra", "dst": "iad",
+             "bandwidth_bps": 5e6},
+        ]
+    )
+    result = run_scenario(scenario)
+    # Everything still converges after recovery.
+    assert len(result["series"]["everywhere"]) == 40
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError, match="missing 'topology'"):
+        run_scenario({"sender": "x"})
+    with pytest.raises(ConfigError, match="non-empty list"):
+        build_topology({"nodes": []})
+    with pytest.raises(ConfigError, match="at least one predicate"):
+        run_scenario(base_scenario(predicates={}))
+    with pytest.raises(ConfigError, match="unknown workload"):
+        run_scenario(base_scenario(workload={"kind": "warp"}))
+    with pytest.raises(ConfigError, match="unknown fault"):
+        run_scenario(base_scenario(faults=[{"at": 1, "kind": "meteor"}]))
+
+
+def test_scenario_file_with_csv_output(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(base_scenario()))
+    out = tmp_path / "csv"
+    result = run_scenario_file(path, out_dir=out)
+    assert result["messages_sent"] == 40
+    files = sorted(p.name for p in out.glob("*.csv"))
+    assert files == ["unit_everywhere.csv", "unit_us_copy.csv"]
+    header = (out / "unit_us_copy.csv").read_text().splitlines()[0]
+    assert header == "send_time_s,latency_s"
+
+
+def test_scenario_file_errors(tmp_path):
+    with pytest.raises(ConfigError):
+        run_scenario_file(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{")
+    with pytest.raises(ConfigError):
+        run_scenario_file(bad)

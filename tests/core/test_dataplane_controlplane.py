@@ -1,0 +1,217 @@
+"""Unit tests for the data-plane buffer and control-plane batching."""
+
+import pytest
+
+from repro.core.acks import AckTable
+from repro.core.config import StabilizerConfig
+from repro.core.controlplane import ControlPlane
+from repro.core.dataplane import DataPlane, SendBuffer
+from repro.errors import StabilizerError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+from repro.transport import TransportEndpoint
+from repro.transport.messages import SyntheticPayload
+
+NODES = ["x", "y"]
+
+
+def build_net():
+    topo = Topology()
+    for name in NODES:
+        topo.add_node(name, group=name)
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    return sim, topo.build(sim)
+
+
+def config(local="x", **kwargs):
+    return StabilizerConfig(
+        NODES, {n: [n] for n in NODES}, local, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# SendBuffer.
+# ---------------------------------------------------------------------------
+
+
+def test_send_buffer_reclaim_is_cumulative():
+    buf = SendBuffer()
+    for seq in range(1, 6):
+        buf.add(seq, 100)
+    assert buf.buffered_bytes() == 500
+    assert buf.reclaim_up_to(3) == 3
+    assert buf.buffered_bytes() == 200
+    assert len(buf) == 2
+    # Idempotent: reclaiming the same prefix again frees nothing.
+    assert buf.reclaim_up_to(3) == 0
+    assert buf.reclaim_up_to(5) == 2
+    assert buf.total_reclaimed == 5
+
+
+def test_send_buffer_limit():
+    buf = SendBuffer(max_bytes=250)
+    buf.add(1, 100)
+    buf.add(2, 100)
+    with pytest.raises(StabilizerError, match="full"):
+        buf.add(3, 100)
+    buf.reclaim_up_to(1)
+    buf.add(3, 100)  # space freed
+
+
+def test_send_buffer_reclaims_gaps_gracefully():
+    buf = SendBuffer()
+    buf.add(2, 50)  # seq 1 was never buffered (e.g. zero-length)
+    assert buf.reclaim_up_to(2) == 1
+    assert buf.buffered_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# DataPlane.
+# ---------------------------------------------------------------------------
+
+
+def test_dataplane_assigns_contiguous_seqs_across_messages():
+    sim, net = build_net()
+    dp = DataPlane(TransportEndpoint(net, "x"), config(chunk_bytes=1000))
+    assert dp.send(SyntheticPayload(2500)) == (1, 3)
+    assert dp.send(b"tiny") == (4, 4)
+    assert dp.last_sent_seq() == 4
+    assert dp.next_seq == 5
+
+
+def test_dataplane_detects_sequence_gaps():
+    sim, net = build_net()
+    dp = DataPlane(TransportEndpoint(net, "y"), config(local="y"))
+    dp._on_chunk("x", b"payload", (1, 0, 0, 1, None))
+    # Once contact is established, a gap means the transport is broken.
+    with pytest.raises(StabilizerError, match="out of order"):
+        dp._on_chunk("x", b"payload", (3, 2, 0, 1, None))
+
+
+def test_dataplane_first_contact_adopts_stream_position():
+    """A mirror joining a stream already in progress starts from the
+    origin's current position (state transfer covers the past)."""
+    sim, net = build_net()
+    delivered = []
+    dp = DataPlane(
+        TransportEndpoint(net, "y"),
+        config(local="y"),
+        on_deliver=lambda origin, seq, payload, meta: delivered.append(seq),
+    )
+    dp._on_chunk("x", b"late joiner", (42, 7, 0, 1, None))
+    assert dp.highest_received("x") == 42
+    assert delivered == [42]
+    # But never mid-object: the first object could not be reassembled.
+    dp2 = DataPlane(TransportEndpoint(net, "x"), config(local="x"))
+    with pytest.raises(StabilizerError, match="mid-object"):
+        dp2._on_chunk("y", b"fragment", (42, 7, 1, 3, None))
+
+
+def test_dataplane_delivery_and_received_callbacks():
+    sim, net = build_net()
+    received, delivered = [], []
+    sender = DataPlane(TransportEndpoint(net, "x"), config(chunk_bytes=1000))
+    receiver = DataPlane(
+        TransportEndpoint(net, "y"),
+        config(local="y", chunk_bytes=1000),
+        on_deliver=lambda origin, seq, payload, meta: delivered.append(
+            (origin, seq, payload, meta)
+        ),
+        on_received=lambda origin, seq: received.append(seq),
+    )
+    sender.send(SyntheticPayload(2500), meta="file-1")
+    sim.run(until=1.0)
+    assert received == [1, 2, 3]  # every chunk acknowledged
+    assert delivered == [("x", 3, SyntheticPayload(2500), "file-1")]
+
+
+# ---------------------------------------------------------------------------
+# ControlPlane batching.
+# ---------------------------------------------------------------------------
+
+
+def control_pair(sim, net, batch=3, interval=0.05, fanout="all"):
+    updates = {"x": [], "y": []}
+    planes = {}
+    for name in ("x", "y"):
+        cfg = config(local=name, control_batch=batch,
+                     control_interval_s=interval, control_fanout=fanout)
+        tables = {origin: AckTable(2, 2) for origin in NODES}
+        planes[name] = ControlPlane(
+            TransportEndpoint(net, name),
+            cfg,
+            tables,
+            on_table_update=lambda origin, node, _n=name: updates[_n].append(
+                (origin, node)
+            ),
+        )
+    return planes, updates
+
+
+def test_batch_count_triggers_immediate_flush():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net, batch=3, interval=10.0)
+    y = planes["y"]
+    for seq in (1, 2, 3):  # third ack hits the batch limit
+        y.note_local_ack("x", 0, seq)
+    assert y.frames_sent >= 1  # flushed without waiting 10 s
+    sim.run(until=0.1)
+    # x received the cumulative report: its table shows y at 3.
+    assert planes["x"].tables["x"].get(1, 0) == 3
+
+
+def test_interval_timer_flushes_partial_batch():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net, batch=100, interval=0.02)
+    y = planes["y"]
+    y.note_local_ack("x", 0, 1)
+    assert y.frames_sent == 0  # batched, not yet flushed
+    sim.run(until=0.1)
+    assert y.frames_sent >= 1
+    assert planes["x"].tables["x"].get(1, 0) == 1
+
+
+def test_stale_ack_produces_no_traffic():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net, batch=1)
+    y = planes["y"]
+    y.note_local_ack("x", 0, 5)
+    sim.run(until=0.1)
+    frames = y.frames_sent
+    y.note_local_ack("x", 0, 4)  # stale: monotonic overwrite
+    y.note_local_ack("x", 0, 5)  # duplicate
+    sim.run(until=0.2)
+    assert y.frames_sent == frames
+
+
+def test_origin_fanout_targets_only_the_origin():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net, batch=1, fanout="origin")
+    y = planes["y"]
+    y.note_local_ack("x", 0, 7)
+    sim.run(until=0.1)
+    assert planes["x"].tables["x"].get(1, 0) == 7
+    # And reporting about one's own stream sends nothing.
+    frames = y.frames_sent
+    y.note_local_ack("y", 0, 1)
+    sim.run(until=0.2)
+    assert y.frames_sent == frames
+
+
+def test_heartbeats_flow_only_when_idle():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net, batch=1)
+    sim.run(until=10.0)  # idle: heartbeats keep flowing
+    assert planes["y"].frames_sent > 2
+    planes["y"].close()
+    sent = planes["y"].frames_sent
+    sim.run(until=20.0)
+    assert planes["y"].frames_sent == sent  # closed: silence
+
+
+def test_unknown_origin_rejected():
+    sim, net = build_net()
+    planes, updates = control_pair(sim, net)
+    with pytest.raises(StabilizerError, match="unknown origin"):
+        planes["y"].note_local_ack("nowhere", 0, 1)

@@ -1,0 +1,186 @@
+"""Unit tests for the frontier engine (registry, monitors, waiters)."""
+
+import pytest
+
+from repro.core.acks import AckTable
+from repro.core.frontier import FrontierEngine
+from repro.dsl.semantics import DslContext
+from repro.errors import PredicateNotFound, StabilizerError
+
+NODES = ["a", "b", "c", "d"]
+GROUPS = {"east": ["a", "b"], "west": ["c", "d"]}
+
+
+def engine(local="a"):
+    return FrontierEngine(DslContext(NODES, GROUPS, local), NODES)
+
+
+def table():
+    return AckTable(4, 2)
+
+
+def test_register_and_frontier_starts_at_zero():
+    eng = engine()
+    eng.register_predicate("all", "MIN($ALLWNODES)")
+    assert eng.frontier("a", "all") == 0
+
+
+def test_duplicate_registration_rejected():
+    eng = engine()
+    eng.register_predicate("all", "MIN($ALLWNODES)")
+    with pytest.raises(StabilizerError, match="already registered"):
+        eng.register_predicate("all", "MAX($ALLWNODES)")
+
+
+def test_unknown_key_rejected():
+    eng = engine()
+    with pytest.raises(PredicateNotFound):
+        eng.predicate("nope")
+    with pytest.raises(PredicateNotFound):
+        eng.change_predicate("nope")
+    with pytest.raises(PredicateNotFound):
+        eng.unregister_predicate("nope")
+
+
+def test_first_registered_becomes_active():
+    eng = engine()
+    eng.register_predicate("one", "MAX($ALLWNODES)")
+    eng.register_predicate("two", "MIN($ALLWNODES)")
+    assert eng.active_key == "one"
+    eng.change_predicate("two")
+    assert eng.active_key == "two"
+
+
+def test_reevaluate_advances_frontier_and_fires_monitor():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES - $MYWNODE)")
+    events = []
+    eng.monitor_stability_frontier("any", lambda o, new, old: events.append((o, new, old)))
+    t = table()
+    t.update(1, 0, 7)
+    eng.reevaluate("a", t, updated_node=1)
+    assert eng.frontier("a", "any") == 7
+    assert events == [("a", 7, 0)]
+
+
+def test_reevaluate_skips_independent_predicates():
+    eng = engine()
+    eng.register_predicate("west_only", "MAX($AZ_west)")
+    t = table()
+    t.update(1, 0, 9)  # node b: not read by the predicate
+    before = eng.evaluations
+    eng.reevaluate("a", t, updated_node=1)
+    assert eng.evaluations == before
+    assert eng.frontier("a", "west_only") == 0
+
+
+def test_monitor_not_fired_when_value_unchanged():
+    eng = engine()
+    eng.register_predicate("all", "MIN($ALLWNODES)")
+    fired = []
+    eng.monitor_stability_frontier("all", lambda *a: fired.append(a))
+    t = table()
+    t.update(0, 0, 5)  # MIN still 0: three other nodes at 0
+    eng.reevaluate("a", t)
+    assert fired == []
+
+
+def test_waiter_released_when_frontier_reaches_target():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    released = []
+    eng.add_waiter("a", 5, lambda: released.append("hit"), key="any")
+    t = table()
+    t.update(2, 0, 4)
+    eng.reevaluate("a", t)
+    assert released == []
+    t.update(2, 0, 6)
+    eng.reevaluate("a", t)
+    assert released == ["hit"]
+    assert eng.pending_waiters() == 0
+
+
+def test_waiter_fires_immediately_if_already_satisfied():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    t = table()
+    t.update(1, 0, 10)
+    eng.reevaluate("a", t)
+    released = []
+    eng.add_waiter("a", 5, lambda: released.append("now"), key="any")
+    assert released == ["now"]
+
+
+def test_waiter_uses_active_key_by_default():
+    eng = engine()
+    eng.register_predicate("weak", "MAX($ALLWNODES)")
+    eng.register_predicate("strong", "MIN($ALLWNODES)")
+    released = []
+    eng.add_waiter("a", 3, lambda: released.append("weak"))
+    t = table()
+    t.update(0, 0, 3)
+    eng.reevaluate("a", t)  # MAX reaches 3, MIN does not
+    assert released == ["weak"]
+
+
+def test_no_predicates_no_default_key():
+    eng = engine()
+    with pytest.raises(PredicateNotFound):
+        eng.add_waiter("a", 1, lambda: None)
+    with pytest.raises(PredicateNotFound):
+        eng.frontier("a")
+
+
+def test_change_predicate_redefinition_holds_reports_through_gap():
+    """The paper's gap semantics: after switching to a stricter
+    predicate the frontier may be lower; monitors stay silent until the
+    new predicate exceeds the highest previously-reported value."""
+    eng = engine()
+    eng.register_predicate("p", "MAX($ALLWNODES - $MYWNODE)")
+    reports = []
+    eng.monitor_stability_frontier("p", lambda o, new, old: reports.append(new))
+    t = table()
+    t.update(1, 0, 10)
+    eng.reevaluate("a", t)
+    assert reports == [10]
+    # Redefine to the strict form; only node b has acked, so value drops.
+    eng.change_predicate("p", "MIN($ALLWNODES - $MYWNODE)")
+    eng.reevaluate("a", t)
+    assert eng.frontier("a", "p") == 0
+    assert reports == [10]  # no backwards report
+    for node in (1, 2, 3):
+        t.update(node, 0, 12)
+    eng.reevaluate("a", t)
+    assert reports == [10, 12]
+
+
+def test_frontiers_are_per_origin():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    ta, tb = table(), table()
+    ta.update(0, 0, 4)
+    eng.reevaluate("a", ta)
+    eng.reevaluate("b", tb)
+    assert eng.frontier("a", "any") == 4
+    assert eng.frontier("b", "any") == 0
+
+
+def test_unregister_moves_active_key():
+    eng = engine()
+    eng.register_predicate("one", "MAX($ALLWNODES)")
+    eng.register_predicate("two", "MIN($ALLWNODES)")
+    eng.unregister_predicate("one")
+    assert eng.active_key == "two"
+
+
+def test_snapshot_restore_frontiers():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    t = table()
+    t.update(1, 0, 8)
+    eng.reevaluate("a", t)
+    snap = eng.snapshot_frontiers()
+    other = engine()
+    other.register_predicate("any", "MAX($ALLWNODES)")
+    other.restore_frontiers(snap)
+    assert other.frontier("a", "any") == 8

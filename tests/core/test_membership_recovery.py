@@ -1,0 +1,171 @@
+"""Failure detection (Section III-E) and snapshot/restore tests."""
+
+import pytest
+
+from repro.core import (
+    StabilizerCluster,
+    StabilizerConfig,
+    load_snapshot,
+    restore_state,
+    save_snapshot,
+    snapshot_state,
+)
+from repro.core.membership import FailureDetector
+from repro.core.stabilizer import Stabilizer
+from repro.errors import StabilizerError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+NODES = ["a", "b", "c"]
+GROUPS = {"east": ["a"], "west": ["b", "c"]}
+
+
+def build(failure_timeout_s=0.5):
+    topo = Topology()
+    topo.add_node("a", "east")
+    topo.add_node("b", "west")
+    topo.add_node("c", "west")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        NODES,
+        GROUPS,
+        "a",
+        predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+        control_interval_s=0.001,
+        failure_timeout_s=failure_timeout_s,
+    )
+    return sim, net, StabilizerCluster(net, config)
+
+
+# ---------------------------------------------------------------------------
+# FailureDetector unit behaviour.
+# ---------------------------------------------------------------------------
+
+
+def detector(sim, timeout=1.0):
+    config = StabilizerConfig(NODES, GROUPS, "a", failure_timeout_s=timeout)
+    return FailureDetector(sim, config)
+
+
+def test_idle_system_never_suspects():
+    sim = Simulator()
+    det = detector(sim)
+    det.start()
+    sim.run(until=10.0)
+    assert det.suspected() == set()
+
+
+def test_silent_peer_suspected_after_timeout():
+    sim = Simulator()
+    det = detector(sim, timeout=1.0)
+    suspects = []
+    det.on_suspect(suspects.append)
+    det.start()
+    sim.call_later(0.1, det.heard_from, "b")
+    sim.run(until=3.0)
+    assert suspects == ["b"]
+    assert det.is_suspected("b")
+
+
+def test_peer_recovers_on_new_arrival():
+    sim = Simulator()
+    det = detector(sim, timeout=1.0)
+    recovered = []
+    det.on_recover(recovered.append)
+    det.start()
+    sim.call_later(0.1, det.heard_from, "b")
+    sim.call_later(2.5, det.heard_from, "b")
+    sim.run(until=4.0)
+    assert recovered == ["b"]
+    # Silence again after recovery re-suspects.
+    sim.call_later(6.0, lambda: None)
+    sim.run(until=6.0)
+    assert det.is_suspected("b")
+
+
+def test_stop_halts_timers():
+    sim = Simulator()
+    det = detector(sim)
+    det.start()
+    det.heard_from("b")
+    det.stop()
+    sim.run(until=10.0)
+    assert det.suspected() == set()
+
+
+def test_last_heard_is_tracked():
+    sim = Simulator()
+    det = detector(sim)
+    assert det.last_heard("b") is None
+    sim.call_later(0.7, det.heard_from, "b")
+    sim.run()
+    assert det.last_heard("b") == pytest.approx(0.7)
+
+
+# ---------------------------------------------------------------------------
+# Crash detection through the whole stack.
+# ---------------------------------------------------------------------------
+
+
+def test_crashed_secondary_is_suspected_by_primary():
+    sim, net, cluster = build(failure_timeout_s=0.3)
+    a = cluster["a"]
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    assert a.suspected_nodes() == set()
+    net.crash_node("c")
+    a.send(b"after crash")
+    sim.run(until=2.0)
+    assert "c" in a.suspected_nodes()
+    assert "b" not in a.suspected_nodes()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore.
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_roundtrip_preserves_state(tmp_path):
+    sim, net, cluster = build()
+    a = cluster["a"]
+    seq = a.send(b"persisted message")
+    event = a.waitfor(seq, "all")
+    sim.run_until_triggered(event, limit=2.0)
+
+    path = tmp_path / "snap.json"
+    save_snapshot(a, path)
+    snapshot = load_snapshot(path)
+
+    # A "restarted" node a: fresh instance on a fresh network.
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    restarted = Stabilizer(net2, a.config)
+    restore_state(restarted, snapshot)
+    assert restarted.get_stability_frontier("all") == seq
+    assert restarted.dataplane.next_seq == a.dataplane.next_seq
+    # The stream resumes without reusing sequence numbers.
+    assert restarted.send(b"next") == seq + 1
+
+
+def test_restore_rejects_other_node_snapshot():
+    sim, net, cluster = build()
+    a, b = cluster["a"], cluster["b"]
+    snap = snapshot_state(a)
+    with pytest.raises(StabilizerError, match="belongs to node"):
+        restore_state(b, snap)
+
+
+def test_restore_rejects_bad_version():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    snap = snapshot_state(a)
+    snap["version"] = 99
+    with pytest.raises(StabilizerError, match="version"):
+        restore_state(a, snap)
+
+
+def test_load_snapshot_missing_file(tmp_path):
+    with pytest.raises(StabilizerError):
+        load_snapshot(tmp_path / "missing.json")

@@ -1,0 +1,138 @@
+"""DSL fuzzing: random predicates, differential JIT/interpreter checks,
+and algebraic invariants of the operators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.compiler import PredicateCompiler
+from repro.dsl.interpreter import evaluate_ir
+from repro.dsl.parser import parse
+from repro.dsl.semantics import DslContext, expand
+
+NODES = [f"n{i}" for i in range(1, 9)]
+GROUPS = {"az1": NODES[:3], "az2": NODES[3:6], "az3": NODES[6:]}
+CTX = DslContext(NODES, GROUPS, "n1", types={"verified": 2})
+
+
+# ---------------------------------------------------------------------------
+# A recursive strategy generating syntactically and semantically valid
+# predicate source strings.
+# ---------------------------------------------------------------------------
+
+# Sets with at least two members (safe for KTH_* with k <= 2).
+MULTI_SETS = [
+    "$ALLWNODES",
+    "$MYAZWNODES",
+    "$ALLWNODES - $MYWNODE",
+    "$ALLWNODES - $MYAZWNODES",
+    "$AZ_az1",
+    "$AZ_az2",
+    "($AZ_az1 - $MYWNODE)",
+    "$1, $2, $3",
+    "($ALLWNODES - $MYWNODE).verified",
+]
+SETS = st.sampled_from(MULTI_SETS + ["$4.persisted", "$WNODE_n5"])
+KTH_SETS = st.sampled_from(MULTI_SETS)
+
+
+def call(op, args):
+    return f"{op}({args})"
+
+
+PREDICATES = st.recursive(
+    st.builds(
+        lambda op, s: call(op, s),
+        st.sampled_from(["MAX", "MIN"]),
+        SETS,
+    )
+    | st.builds(
+        lambda op, k, s: call(op, f"{k}, {s}"),
+        st.sampled_from(["KTH_MAX", "KTH_MIN"]),
+        st.integers(1, 2),
+        KTH_SETS,
+    ),
+    lambda inner: st.builds(
+        lambda op, a, b: call(op, f"{a}, {b}"),
+        st.sampled_from(["MAX", "MIN"]),
+        inner,
+        inner | SETS,
+    ),
+    max_leaves=6,
+)
+
+TABLES = st.lists(
+    st.lists(st.integers(0, 1000), min_size=3, max_size=3),
+    min_size=8,
+    max_size=8,
+)
+
+
+@given(source=PREDICATES, table=TABLES)
+@settings(max_examples=150, deadline=None)
+def test_fuzz_jit_matches_interpreter(source, table):
+    compiler = PredicateCompiler(CTX)
+    predicate = compiler.compile(source)
+    assert predicate.evaluate(table) == evaluate_ir(predicate.ir, table)
+
+
+@given(source=PREDICATES, table=TABLES)
+@settings(max_examples=100, deadline=None)
+def test_fuzz_frontier_is_monotone_in_the_table(source, table):
+    """Advancing any single cell never lowers any predicate's value."""
+    predicate = PredicateCompiler(CTX).compile(source)
+    before = predicate.evaluate(table)
+    bumped = [list(row) for row in table]
+    bumped[3][0] += 100
+    bumped[6][2] += 50
+    assert predicate.evaluate(bumped) >= before
+
+
+@given(table=TABLES, k=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_kth_max_is_decreasing_in_k(table, k):
+    compiler = PredicateCompiler(CTX)
+    current = compiler.compile(f"KTH_MAX({k}, $ALLWNODES)").evaluate(table)
+    if k < 8:
+        nxt = compiler.compile(f"KTH_MAX({k + 1}, $ALLWNODES)").evaluate(table)
+        assert nxt <= current
+    # Bounds: MIN <= KTH_MAX(k) <= MAX.
+    low = compiler.compile("MIN($ALLWNODES)").evaluate(table)
+    high = compiler.compile("MAX($ALLWNODES)").evaluate(table)
+    assert low <= current <= high
+
+
+@given(table=TABLES)
+@settings(max_examples=60, deadline=None)
+def test_kth_duality(table):
+    """KTH_MIN(k, xs) == KTH_MAX(n - k + 1, xs)."""
+    compiler = PredicateCompiler(CTX)
+    n = len(NODES)
+    for k in (1, 3, n):
+        a = compiler.compile(f"KTH_MIN({k}, $ALLWNODES)").evaluate(table)
+        b = compiler.compile(f"KTH_MAX({n - k + 1}, $ALLWNODES)").evaluate(table)
+        assert a == b
+
+
+@given(table=TABLES)
+@settings(max_examples=60, deadline=None)
+def test_set_difference_partition(table):
+    """MIN(all) == min(MIN(mine), MIN(all - mine)) — difference plus the
+    removed element partitions the set."""
+    compiler = PredicateCompiler(CTX)
+    whole = compiler.compile("MIN($ALLWNODES)").evaluate(table)
+    mine = compiler.compile("MIN($MYWNODE)").evaluate(table)
+    rest = compiler.compile("MIN($ALLWNODES - $MYWNODE)").evaluate(table)
+    assert whole == min(mine, rest)
+
+
+@given(source=PREDICATES)
+@settings(max_examples=80, deadline=None)
+def test_fuzz_generated_python_is_pure(source):
+    """Generated code only reads the table: evaluating twice on the same
+    table gives the same answer and does not mutate it."""
+    predicate = PredicateCompiler(CTX).compile(source)
+    table = [[5, 6, 7] for _ in range(8)]
+    snapshot = [list(row) for row in table]
+    assert predicate.evaluate(table) == predicate.evaluate(table)
+    assert table == snapshot

@@ -1,0 +1,81 @@
+"""Unit tests for the DSL scanner."""
+
+import pytest
+
+from repro.dsl.lexer import tokenize
+from repro.errors import DslSyntaxError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_simple_predicate_tokens():
+    assert kinds("MAX($ALLWNODES)") == ["OP", "LPAREN", "DOLLAR", "RPAREN", "EOF"]
+
+
+def test_operator_names_case_insensitive():
+    assert texts("max(min($1))") == ["MAX", "(", "MIN", "(", "1", ")", ")"]
+
+
+def test_kth_with_space_is_merged():
+    assert texts("KTH MAX(2, $1)")[0] == "KTH_MAX"
+    assert texts("KTH MIN(2, $1)")[0] == "KTH_MIN"
+    assert texts("KTH_MAX(2, $1)")[0] == "KTH_MAX"
+
+
+def test_dollar_references():
+    tokens = tokenize("$1 $ALLWNODES $WNODE_Foo $AZ_Wisc $MYAZWNODES")
+    dollars = [t.text for t in tokens if t.kind == "DOLLAR"]
+    assert dollars == ["1", "ALLWNODES", "WNODE_Foo", "AZ_Wisc", "MYAZWNODES"]
+
+
+def test_suffix_tokens():
+    assert kinds("$3.verified") == ["DOLLAR", "DOT", "IDENT", "EOF"]
+
+
+def test_arithmetic_tokens():
+    assert kinds("SIZEOF($ALLWNODES)/2+1") == [
+        "SIZEOF",
+        "LPAREN",
+        "DOLLAR",
+        "RPAREN",
+        "SLASH",
+        "INT",
+        "PLUS",
+        "INT",
+        "EOF",
+    ]
+
+
+def test_whitespace_is_insignificant():
+    assert texts("MAX( $1 , $2 )") == texts("MAX($1,$2)")
+
+
+def test_positions_point_into_source():
+    source = "MAX($1)"
+    tokens = tokenize(source)
+    assert [t.position for t in tokens] == [0, 3, 4, 6, 7]
+
+
+def test_bare_dollar_rejected():
+    with pytest.raises(DslSyntaxError):
+        tokenize("MAX($)")
+
+
+def test_unknown_character_rejected():
+    with pytest.raises(DslSyntaxError):
+        tokenize("MAX($1) ! ")
+
+
+def test_error_carries_position():
+    try:
+        tokenize("MAX(#)")
+    except DslSyntaxError as exc:
+        assert exc.position == 4
+    else:  # pragma: no cover
+        pytest.fail("expected DslSyntaxError")

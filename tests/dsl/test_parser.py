@@ -1,0 +1,109 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.dsl.ast import Arith, Call, DollarRef, IntLiteral, Paren, SizeOf, Suffixed
+from repro.dsl.parser import parse
+from repro.errors import DslSyntaxError
+
+
+def test_single_operand_call():
+    ast = parse("MAX($ALLWNODES)")
+    assert ast == Call("MAX", [DollarRef("ALLWNODES")])
+
+
+def test_multiple_args():
+    ast = parse("KTH_MAX(2, $1, $2)")
+    assert ast.op == "KTH_MAX"
+    assert ast.args == [IntLiteral(2), DollarRef("1"), DollarRef("2")]
+
+
+def test_nested_calls():
+    ast = parse("MIN(MAX($AZ_A), MAX($AZ_B))")
+    assert ast == Call(
+        "MIN",
+        [Call("MAX", [DollarRef("AZ_A")]), Call("MAX", [DollarRef("AZ_B")])],
+    )
+
+
+def test_set_difference_parses_as_minus():
+    ast = parse("MAX($ALLWNODES - $MYWNODE)")
+    assert ast == Call(
+        "MAX", [Arith("-", DollarRef("ALLWNODES"), DollarRef("MYWNODE"))]
+    )
+
+
+def test_arithmetic_precedence():
+    ast = parse("KTH_MIN(SIZEOF($ALLWNODES)/2 + 1, $ALLWNODES)")
+    k = ast.args[0]
+    assert isinstance(k, Arith) and k.op == "+"
+    assert isinstance(k.left, Arith) and k.left.op == "/"
+    assert isinstance(k.left.left, SizeOf)
+    assert k.right == IntLiteral(1)
+
+
+def test_suffix_on_operand():
+    ast = parse("MAX($3.persisted)")
+    assert ast.args[0] == Suffixed(DollarRef("3"), "persisted")
+
+
+def test_suffix_on_parenthesized_set():
+    ast = parse("MIN(($MYAZWNODES - $MYWNODE).verified)")
+    arg = ast.args[0]
+    assert isinstance(arg, Suffixed)
+    assert arg.type_name == "verified"
+    assert isinstance(arg.operand, Paren)
+
+
+def test_paper_section_iv_predicate_parses():
+    parse("MIN(MIN($MYAZWNODES - $MYWNODE), MAX($ALLWNODES - $MYAZWNODES))")
+
+
+def test_all_table_iii_predicates_parse():
+    sources = [
+        "MAX(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+        "KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+        "MIN(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+        "MAX($ALLWNODES - $MYWNODE)",
+        "KTH_MAX(SIZEOF($ALLWNODES)/2 + 1, ($ALLWNODES - $MYWNODE))",
+        "MIN($ALLWNODES - $MYWNODE)",
+    ]
+    for source in sources:
+        assert isinstance(parse(source), Call)
+
+
+def test_empty_source_rejected():
+    with pytest.raises(DslSyntaxError):
+        parse("   ")
+
+
+def test_top_level_must_be_operator():
+    with pytest.raises(DslSyntaxError, match="must start with"):
+        parse("$ALLWNODES")
+    with pytest.raises(DslSyntaxError):
+        parse("SIZEOF($ALLWNODES)")
+
+
+def test_missing_close_paren_rejected():
+    with pytest.raises(DslSyntaxError):
+        parse("MAX($1")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(DslSyntaxError, match="trailing"):
+        parse("MAX($1) MAX($2)")
+
+
+def test_missing_argument_rejected():
+    with pytest.raises(DslSyntaxError):
+        parse("MAX()")
+
+
+def test_dangling_comma_rejected():
+    with pytest.raises(DslSyntaxError):
+        parse("MAX($1,)")
+
+
+def test_suffix_requires_identifier():
+    with pytest.raises(DslSyntaxError):
+        parse("MAX($1.2)")

@@ -1,0 +1,221 @@
+"""Unit tests for macro expansion, typing and constant folding."""
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.dsl.semantics import (
+    Const,
+    DslContext,
+    KthIr,
+    Leaf,
+    ReduceIr,
+    expand,
+    ir_leaves,
+)
+from repro.errors import DslSemanticError
+
+# The paper's Fig. 2 topology: 8 nodes, 4 regions.
+NODES = ["nc1", "nc2", "nv1", "nv2", "nv3", "nv4", "oregon1", "ohio1"]
+GROUPS = {
+    "North California": ["nc1", "nc2"],
+    "North Virginia": ["nv1", "nv2", "nv3", "nv4"],
+    "Oregon": ["oregon1"],
+    "Ohio": ["ohio1"],
+}
+
+
+def ctx(local="nc1", types=None):
+    return DslContext(NODES, GROUPS, local, types=types)
+
+
+def leaves_of(source, **kwargs):
+    ir = expand(parse(source), ctx(**kwargs))
+    return sorted((leaf.node, leaf.type_id) for leaf in ir_leaves(ir))
+
+
+def test_allwnodes_expands_to_every_node():
+    assert leaves_of("MAX($ALLWNODES)") == [(i, 0) for i in range(8)]
+
+
+def test_numeric_operand_is_one_based():
+    assert leaves_of("MAX($1)") == [(0, 0)]
+    assert leaves_of("MAX($8)") == [(7, 0)]
+
+
+def test_numeric_operand_out_of_range():
+    with pytest.raises(DslSemanticError, match="out of range"):
+        leaves_of("MAX($9)")
+    with pytest.raises(DslSemanticError, match="out of range"):
+        leaves_of("MAX($0)")
+
+
+def test_mywnode_is_local_node():
+    assert leaves_of("MAX($MYWNODE)", local="oregon1") == [(6, 0)]
+    # The paper also spells it $MYWNODES once.
+    assert leaves_of("MAX($MYWNODES)", local="oregon1") == [(6, 0)]
+
+
+def test_myazwnodes_includes_local():
+    assert leaves_of("MAX($MYAZWNODES)", local="nv2") == [(2, 0), (3, 0), (4, 0), (5, 0)]
+
+
+def test_wnode_variable_by_name():
+    assert leaves_of("MAX($WNODE_ohio1)") == [(7, 0)]
+
+
+def test_az_variable_with_space_normalization():
+    assert leaves_of("MAX($AZ_North_Virginia)") == [(2, 0), (3, 0), (4, 0), (5, 0)]
+
+
+def test_unknown_references_rejected():
+    with pytest.raises(DslSemanticError, match="unknown WAN node"):
+        leaves_of("MAX($WNODE_nowhere)")
+    with pytest.raises(DslSemanticError, match="unknown availability zone"):
+        leaves_of("MAX($AZ_Mars)")
+    with pytest.raises(DslSemanticError, match="unknown \\$-reference"):
+        leaves_of("MAX($SOMETHING)")
+
+
+def test_set_difference_removes_members():
+    assert leaves_of("MAX($ALLWNODES - $MYWNODE)", local="nc1") == [
+        (i, 0) for i in range(1, 8)
+    ]
+
+
+def test_set_difference_remote_regions():
+    got = leaves_of("MAX($ALLWNODES - $MYAZWNODES)", local="nc1")
+    assert got == [(i, 0) for i in range(2, 8)]
+
+
+def test_empty_set_after_difference_rejected():
+    with pytest.raises(DslSemanticError, match="empty"):
+        leaves_of("MAX($MYWNODE - $MYWNODE)")
+
+
+def test_default_suffix_is_received():
+    ir = expand(parse("MAX($2)"), ctx())
+    assert ir == Leaf(1, 0)
+
+
+def test_persisted_suffix_selects_column_one():
+    assert leaves_of("MAX($2.persisted)") == [(1, 1)]
+
+
+def test_custom_type_suffix():
+    assert leaves_of("MAX($2.verified)", types={"verified": 2}) == [(1, 2)]
+
+
+def test_unknown_suffix_rejected():
+    with pytest.raises(DslSemanticError, match="unknown ACK type"):
+        leaves_of("MAX($2.signed)")
+
+
+def test_suffix_on_parenthesized_difference():
+    got = leaves_of(
+        "MIN(($MYAZWNODES - $MYWNODE).persisted)", local="nc1"
+    )
+    assert got == [(1, 1)]
+
+
+def test_double_suffix_rejected():
+    with pytest.raises(DslSemanticError, match="twice"):
+        leaves_of("MAX(($2.persisted).persisted)")
+
+
+def test_suffix_after_difference_required():
+    with pytest.raises(DslSemanticError, match="after set arithmetic"):
+        leaves_of("MAX($ALLWNODES.persisted - $MYWNODE)")
+
+
+def test_suffix_on_integer_rejected():
+    with pytest.raises(DslSemanticError, match="only follow a node set"):
+        leaves_of("MAX(MAX($1).persisted)")
+
+
+def test_sizeof_folds_to_constant():
+    ir = expand(parse("KTH_MIN(SIZEOF($ALLWNODES)/2 + 1, $ALLWNODES)"), ctx())
+    assert isinstance(ir, KthIr)
+    assert ir.k == Const(5)  # 8 // 2 + 1
+
+
+def test_arithmetic_folding():
+    ir = expand(parse("KTH_MAX(2 * 3 - 4, $ALLWNODES)"), ctx())
+    assert ir.k == Const(2)
+
+
+def test_division_by_zero_rejected_at_compile_time():
+    with pytest.raises(DslSemanticError, match="division by zero"):
+        expand(parse("KTH_MAX(4/0, $ALLWNODES)"), ctx())
+
+
+def test_sizeof_of_integer_rejected():
+    with pytest.raises(DslSemanticError, match="SIZEOF expects a node set"):
+        expand(parse("KTH_MAX(SIZEOF(2), $ALLWNODES)"), ctx())
+
+
+def test_arith_on_sets_rejected():
+    with pytest.raises(DslSemanticError, match="needs two integers"):
+        expand(parse("MAX($1 + $2)"), ctx())
+
+
+def test_mixed_minus_rejected():
+    with pytest.raises(DslSemanticError, match="needs two integers"):
+        expand(parse("MAX($ALLWNODES - 1)"), ctx())
+
+
+def test_kth_requires_integer_k():
+    with pytest.raises(DslSemanticError, match="K parameter must be an integer"):
+        expand(parse("KTH_MAX($ALLWNODES, $ALLWNODES)"), ctx())
+
+
+def test_kth_requires_operands():
+    with pytest.raises(DslSemanticError, match="needs a K parameter"):
+        expand(parse("KTH_MAX(2)"), ctx())
+
+
+def test_constant_k_out_of_range_rejected():
+    with pytest.raises(DslSemanticError, match="outside"):
+        expand(parse("KTH_MAX(9, $ALLWNODES)"), ctx())
+    with pytest.raises(DslSemanticError, match="outside"):
+        expand(parse("KTH_MAX(0, $ALLWNODES)"), ctx())
+
+
+def test_kth_one_becomes_plain_reduce():
+    ir = expand(parse("KTH_MAX(1, $ALLWNODES)"), ctx())
+    assert isinstance(ir, ReduceIr) and ir.op == "MAX"
+    ir = expand(parse("KTH_MIN(1, $ALLWNODES)"), ctx())
+    assert isinstance(ir, ReduceIr) and ir.op == "MIN"
+
+
+def test_single_item_reduce_collapses_to_leaf():
+    assert expand(parse("MAX($3)"), ctx()) == Leaf(2, 0)
+    assert expand(parse("MIN($MYWNODE)"), ctx()) == Leaf(0, 0)
+
+
+def test_nested_predicates_mix_with_sets():
+    ir = expand(parse("MIN(MAX($AZ_Oregon), $1)"), ctx())
+    assert isinstance(ir, ReduceIr)
+    assert ir.op == "MIN"
+    assert len(ir.items) == 2
+
+
+def test_duplicate_nodes_in_args_contribute_twice():
+    # MAX($1, $1) is legal; reductions take duplicates as given.
+    ir = expand(parse("MAX($1, $1)"), ctx())
+    assert isinstance(ir, ReduceIr)
+    assert len(ir.items) == 2
+
+
+def test_context_validation():
+    with pytest.raises(DslSemanticError):
+        DslContext(NODES, GROUPS, "not-a-node")
+    with pytest.raises(DslSemanticError):
+        DslContext(["a", "a"], {"g": ["a"]}, "a")
+    with pytest.raises(DslSemanticError, match="is not a node"):
+        DslContext(["a", "b"], {"g": ["a", "zz"]}, "a")
+
+
+def test_node_without_group_rejected_on_myaz():
+    context = DslContext(["a", "b"], {"g": ["b"]}, "a")
+    with pytest.raises(DslSemanticError, match="no availability zone"):
+        expand(parse("MAX($MYAZWNODES)"), context)

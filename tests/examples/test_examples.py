@@ -1,0 +1,30 @@
+"""Every example script must run to completion (smoke tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_all_examples_are_covered():
+    assert ALL_EXAMPLES == [
+        "custom_stability_levels.py",
+        "dynamic_reconfiguration.py",
+        "file_backup_service.py",
+        "pubsub_wan.py",
+        "quickstart.py",
+        "quorum_kv.py",
+        "realtime_deployment.py",
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"

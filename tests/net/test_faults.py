@@ -1,0 +1,86 @@
+"""Tests for the scripted fault-injection harness."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import NetemSpec, Topology
+from repro.net.faults import FaultSchedule
+from repro.sim import Simulator
+
+
+def build():
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_node(name, group="g")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    return sim, topo.build(sim)
+
+
+def test_actions_fire_in_time_order():
+    sim, net = build()
+    schedule = (
+        FaultSchedule(net)
+        .crash(1.0, "b")
+        .recover(2.0, "b")
+        .partition(3.0, ["a"], ["c"])
+        .heal(4.0)
+        .arm()
+    )
+    sim.run(until=0.5)
+    assert not net.host("b").crashed
+    sim.run(until=1.5)
+    assert net.host("b").crashed
+    sim.run(until=2.5)
+    assert not net.host("b").crashed
+    sim.run(until=3.5)
+    assert not net.link("a", "c").up
+    sim.run(until=4.5)
+    assert net.link("a", "c").up
+    assert [kind for _t, kind, _a in schedule.fired] == [
+        "crash",
+        "recover",
+        "partition",
+        "heal",
+    ]
+    assert schedule.pending() == 0
+
+
+def test_degrade_link_reshapes():
+    sim, net = build()
+    FaultSchedule(net).degrade_link(
+        1.0, "a", "b", latency_s=0.2, bandwidth_bps=1e6
+    ).arm()
+    sim.run(until=2.0)
+    link = net.link("a", "b")
+    assert link.latency_s == 0.2
+    assert link.bandwidth_bps == 1e6
+    # The reverse direction is untouched (brown-outs can be asymmetric).
+    assert net.link("b", "a").latency_s == 0.005
+
+
+def test_declaration_validates_nodes():
+    sim, net = build()
+    schedule = FaultSchedule(net)
+    with pytest.raises(NetworkError):
+        schedule.crash(1.0, "ghost")
+    with pytest.raises(NetworkError):
+        schedule.partition(1.0, ["a"], ["ghost"])
+    with pytest.raises(NetworkError):
+        schedule.crash(-1.0, "a")
+
+
+def test_arm_is_one_shot_and_blocks_late_declarations():
+    sim, net = build()
+    schedule = FaultSchedule(net).crash(1.0, "a").arm()
+    with pytest.raises(NetworkError):
+        schedule.arm()
+    with pytest.raises(NetworkError):
+        schedule.crash(2.0, "b")
+
+
+def test_fired_records_actual_times():
+    sim, net = build()
+    schedule = FaultSchedule(net).crash(1.25, "c").arm()
+    sim.run(until=2.0)
+    assert schedule.fired == [(1.25, "crash", ("c",))]

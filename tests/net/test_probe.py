@@ -1,0 +1,41 @@
+"""Probe tests: the emulated network must report the shaped parameters."""
+
+import pytest
+
+from repro.net import NetemSpec, Topology
+from repro.net.probe import measure_rtt, measure_throughput, network_matrix
+from repro.sim import Simulator
+
+
+def build_pair(latency_ms=25.0, rate_mbit=50.0):
+    topo = Topology()
+    topo.add_node("src", "east")
+    topo.add_node("dst", "west")
+    topo.set_link_symmetric(
+        "src", "dst", NetemSpec(latency_ms=latency_ms, rate_mbit=rate_mbit)
+    )
+    return topo.build(Simulator())
+
+
+def test_rtt_probe_matches_twice_one_way_latency():
+    net = build_pair(latency_ms=25.0)
+    rtt = measure_rtt(net, "src", "dst", count=5)
+    assert rtt.mean() * 1e3 == pytest.approx(50.0, rel=0.02)
+
+
+def test_throughput_probe_approaches_link_rate():
+    net = build_pair(rate_mbit=50.0)
+    thp = measure_throughput(net, "src", "dst", duration_s=3.0)
+    assert thp / 1e6 == pytest.approx(50.0, rel=0.1)
+
+
+def test_network_matrix_lists_all_remote_nodes():
+    topo = Topology()
+    topo.add_node("a", "g1")
+    topo.add_node("b", "g2")
+    topo.add_node("c", "g2")
+    topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
+    net = topo.build(Simulator())
+    matrix = network_matrix(net, "a", ping_count=3)
+    assert set(matrix) == {"b", "c"}
+    assert matrix["b"]["rtt_ms"] == pytest.approx(20.0, rel=0.05)

@@ -1,0 +1,128 @@
+"""Unit tests for topology declaration and the live network."""
+
+import pytest
+
+from repro.errors import ConfigError, NetworkError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+
+def two_node_topology():
+    topo = Topology("pair")
+    topo.add_node("a", group="east")
+    topo.add_node("b", group="west")
+    topo.set_link_symmetric("a", "b", NetemSpec(latency_ms=10, rate_mbit=8))
+    return topo
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_node("a", "g")
+    with pytest.raises(ConfigError):
+        topo.add_node("a", "g")
+
+
+def test_self_link_rejected():
+    topo = Topology()
+    topo.add_node("a", "g")
+    topo.add_node("b", "g")
+    with pytest.raises(ConfigError):
+        topo.set_link("a", "a", NetemSpec(1, 1))
+
+
+def test_groups_preserve_declaration_order():
+    topo = Topology()
+    topo.add_node("n1", "az1")
+    topo.add_node("n2", "az2")
+    topo.add_node("n3", "az1")
+    assert topo.groups() == {"az1": ["n1", "n3"], "az2": ["n2"]}
+
+
+def test_missing_link_spec_without_default_rejected():
+    topo = Topology()
+    topo.add_node("a", "g")
+    topo.add_node("b", "g")
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        topo.build(sim)
+
+
+def test_default_spec_fills_gaps():
+    topo = Topology()
+    topo.add_node("a", "g")
+    topo.add_node("b", "g")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    net = topo.build(Simulator())
+    assert net.link("a", "b").latency_s == pytest.approx(0.005)
+
+
+def test_send_delivers_to_bound_handler():
+    sim = Simulator()
+    net = two_node_topology().build(sim)
+    got = []
+    net.host("b").bind("app", lambda p: got.append((p.payload, sim.now)))
+    net.send("a", "b", "app", "hello", 1000)
+    sim.run()
+    # 8 Mbit/s -> 1ms serialization + 10ms latency.
+    assert got == [("hello", pytest.approx(0.011))]
+
+
+def test_send_to_unbound_port_raises():
+    sim = Simulator()
+    net = two_node_topology().build(sim)
+    net.send("a", "b", "ghost", "x", 10)
+    with pytest.raises(NetworkError, match="no handler"):
+        sim.run()
+
+
+def test_loopback_send_rejected():
+    net = two_node_topology().build(Simulator())
+    with pytest.raises(NetworkError):
+        net.send("a", "a", "app", "x", 10)
+
+
+def test_partition_and_heal():
+    sim = Simulator()
+    net = two_node_topology().build(sim)
+    got = []
+    net.host("b").bind("app", lambda p: got.append(p.payload))
+    net.partition(["a"], ["b"])
+    assert net.send("a", "b", "app", "lost", 10) is False
+    net.heal()
+    net.send("a", "b", "app", "found", 10)
+    sim.run()
+    assert got == ["found"]
+
+
+def test_crashed_node_drops_deliveries():
+    sim = Simulator()
+    net = two_node_topology().build(sim)
+    got = []
+    net.host("b").bind("app", lambda p: got.append(p.payload))
+    net.crash_node("b")
+    net.send("a", "b", "app", "x", 10)
+    sim.run()
+    assert got == []
+    net.recover_node("b")
+    net.send("a", "b", "app", "y", 10)
+    sim.run()
+    assert got == ["y"]
+
+
+def test_single_node_topology_rejected():
+    topo = Topology()
+    topo.add_node("only", "g")
+    with pytest.raises(ConfigError):
+        topo.build(Simulator())
+
+
+def test_netem_spec_validation_and_halving():
+    spec = NetemSpec(latency_ms=20, rate_mbit=100)
+    half = spec.halved()
+    assert half.rate_mbit == 50
+    assert half.latency_ms == 20
+    assert NetemSpec.from_rtt(40, 10).latency_ms == 20
+    with pytest.raises(ConfigError):
+        NetemSpec(latency_ms=-1, rate_mbit=1)
+    with pytest.raises(ConfigError):
+        NetemSpec(latency_ms=1, rate_mbit=0)

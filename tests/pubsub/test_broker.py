@@ -1,0 +1,136 @@
+"""Stabilizer pub/sub broker tests."""
+
+import pytest
+
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.pubsub import ReliableBroadcast, StabilizerBroker
+from repro.pubsub.broker import RELIABLE_KEY
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+NODES = ["pub", "near", "far"]
+
+
+def build(far_latency_ms=50.0):
+    topo = Topology()
+    for name in NODES:
+        topo.add_node(name, group=name)  # one site per "region"
+    topo.set_link_symmetric("pub", "near", NetemSpec(latency_ms=5, rate_mbit=200))
+    topo.set_link_symmetric("pub", "far", NetemSpec(latency_ms=far_latency_ms, rate_mbit=100))
+    topo.set_link_symmetric("near", "far", NetemSpec(latency_ms=40, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        NODES,
+        {name: [name] for name in NODES},
+        "pub",
+        control_interval_s=0.001,
+        control_batch=4,
+    )
+    cluster = StabilizerCluster(net, config)
+    brokers = {name: StabilizerBroker(cluster[name]) for name in NODES}
+    return sim, net, brokers
+
+
+def test_local_subscriber_receives_synchronously():
+    sim, net, brokers = build()
+    got = []
+    brokers["pub"].subscribe(lambda origin, seq, payload, meta: got.append(payload))
+    brokers["pub"].publish(b"hello")
+    assert got == [b"hello"]
+
+
+def test_remote_subscribers_receive_published_messages():
+    sim, net, brokers = build()
+    got = {"near": [], "far": []}
+    for site in ("near", "far"):
+        brokers[site].subscribe(
+            lambda origin, seq, payload, meta, _s=site: got[_s].append(
+                (origin, payload)
+            )
+        )
+    sim.run(until=0.5)  # let subscription announcements spread
+    brokers["pub"].publish(b"m1")
+    brokers["pub"].publish(b"m2")
+    sim.run(until=1.0)
+    assert got["near"] == [("pub", b"m1"), ("pub", b"m2")]
+    assert got["far"] == [("pub", b"m1"), ("pub", b"m2")]
+
+
+def test_unsubscribe_stops_delivery_callbacks():
+    sim, net, brokers = build()
+    got = []
+    sub = brokers["near"].subscribe(
+        lambda origin, seq, payload, meta: got.append(payload)
+    )
+    sim.run(until=0.3)
+    brokers["pub"].publish(b"first")
+    sim.run(until=0.6)
+    sub.unsubscribe()
+    brokers["pub"].publish(b"second")
+    sim.run(until=1.2)
+    assert got == [b"first"]
+
+
+def test_active_list_tracks_subscriptions():
+    sim, net, brokers = build()
+    assert brokers["pub"].active_sites() == set()
+    sub = brokers["far"].subscribe(lambda *a: None)
+    sim.run(until=0.5)
+    assert brokers["pub"].active_sites() == {"far"}
+    sub.unsubscribe()
+    sim.run(until=1.0)
+    assert brokers["pub"].active_sites() == set()
+
+
+def test_reliable_predicate_follows_active_sites():
+    sim, net, brokers = build()
+    pub = brokers["pub"]
+    # No subscribers anywhere: reliable is immediate.
+    seq, event = pub.publish_reliable(b"nobody cares")
+    assert event.triggered
+    # far subscribes: reliability must now wait for far.
+    brokers["far"].subscribe(lambda *a: None)
+    sim.run(until=0.5)
+    start = sim.now
+    seq, event = pub.publish_reliable(b"needs far")
+    sim.run_until_triggered(event, limit=2.0)
+    elapsed = sim.now - start
+    assert elapsed > 0.09  # ~RTT to far (100 ms) dominates
+
+
+def test_reliable_broadcast_latency_drops_when_slow_site_leaves():
+    sim, net, brokers = build(far_latency_ms=50.0)
+    pub = brokers["pub"]
+    near_sub = brokers["near"].subscribe(lambda *a: None)
+    far_sub = brokers["far"].subscribe(lambda *a: None)
+    sim.run(until=0.5)
+    app = ReliableBroadcast(pub)
+
+    def sender(count):
+        def proc():
+            for _ in range(count):
+                app.broadcast(b"x" * 100)
+                yield 0.05
+        return proc
+
+    proc = sim.spawn(sender(20)())
+    proc.add_callback(lambda e: None)
+    sim.run(until=2.0)
+    with_far = app.latency.mean()
+    far_sub.unsubscribe()
+    sim.run(until=2.5)
+    before = len(app.latency)
+    proc2 = sim.spawn(sender(20)())
+    proc2.add_callback(lambda e: None)
+    sim.run(until=5.0)
+    after_values = app.latency.values[before:]
+    without_far = sum(after_values) / len(after_values)
+    assert without_far < with_far
+    assert app.pending() == 0
+
+
+def test_publisher_send_times_recorded():
+    sim, net, brokers = build()
+    seq = brokers["pub"].publish(b"t")
+    assert brokers["pub"].send_times[seq] == sim.now

@@ -1,0 +1,122 @@
+"""Real-time runtime tests: pacing, posting, and the full stack on a wall
+clock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import StabilizerCluster, StabilizerConfig
+from repro.errors import SimulationError
+from repro.net import NetemSpec, Topology
+from repro.runtime import RealtimeScheduler
+
+
+def test_speedup_validation():
+    with pytest.raises(SimulationError):
+        RealtimeScheduler(speedup=0)
+
+
+def test_run_requires_horizon():
+    sched = RealtimeScheduler()
+    with pytest.raises(SimulationError, match="horizon"):
+        sched.run()
+
+
+def test_events_fire_at_wall_clock_moments():
+    sched = RealtimeScheduler(speedup=1.0)
+    fired = []
+    sched.call_later(0.05, lambda: fired.append(time.monotonic()))
+    sched.call_later(0.10, lambda: fired.append(time.monotonic()))
+    started = time.monotonic()
+    sched.run(until=0.12)
+    assert len(fired) == 2
+    assert fired[0] - started == pytest.approx(0.05, abs=0.03)
+    assert fired[1] - started == pytest.approx(0.10, abs=0.03)
+    assert sched.now >= 0.10
+
+
+def test_speedup_compresses_wall_time():
+    sched = RealtimeScheduler(speedup=100.0)
+    fired = []
+    sched.call_later(2.0, lambda: fired.append(sched.now))
+    started = time.monotonic()
+    sched.run(until=2.5)
+    elapsed = time.monotonic() - started
+    assert fired == [2.0]
+    assert elapsed < 0.5  # 2.5 virtual seconds in well under half a second
+
+
+def test_post_from_another_thread_wakes_loop():
+    sched = RealtimeScheduler(speedup=10.0)
+    got = []
+
+    def poster():
+        time.sleep(0.02)
+        sched.post(got.append, "injected")
+
+    thread = threading.Thread(target=poster)
+    thread.start()
+    sched.run(until=5.0)
+    thread.join()
+    assert got == ["injected"]
+
+
+def test_stop_ends_run_early():
+    sched = RealtimeScheduler(speedup=1.0)
+    threading.Timer(0.03, sched.stop).start()
+    started = time.monotonic()
+    sched.run(until=30.0)
+    assert time.monotonic() - started < 5.0
+
+
+def test_post_during_idle_sees_wall_clock_time():
+    """Regression: work posted while the loop idles must run at wall-clock
+    virtual time, not at the stale time of the last event — otherwise
+    delays scheduled from it collapse to zero."""
+    sched = RealtimeScheduler(speedup=100.0)
+    sched.call_later(0.001, lambda: None)  # loop goes idle after this
+    observed = []
+
+    def poster():
+        time.sleep(0.05)  # 5 virtual seconds of idle
+        sched.post(lambda: observed.append(sched.now))
+
+    thread = threading.Thread(target=poster)
+    thread.start()
+    sched.run(until=8.0)
+    thread.join()
+    assert observed, "posted work never ran"
+    assert observed[0] > 2.0  # ran at ~5 virtual seconds, not at 0.001
+
+
+def test_full_stabilizer_stack_in_realtime():
+    """The identical protocol stack runs on the wall clock: a message sent
+    at a real deployment's node reaches remote nodes and satisfies a
+    predicate within (scaled) real milliseconds."""
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_node(name, group=name)
+    topo.set_default(NetemSpec(latency_ms=20, rate_mbit=100))
+    sched = RealtimeScheduler(speedup=50.0)
+    net = topo.build(sched)
+    config = StabilizerConfig(
+        ["a", "b", "c"],
+        {n: [n] for n in ("a", "b", "c")},
+        "a",
+        predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+        control_interval_s=0.002,
+    )
+    cluster = StabilizerCluster(net, config)
+    a = cluster["a"]
+    stable_at = []
+    seq = a.send(b"realtime hello")
+    a.waitfor(seq, "all").add_callback(lambda e: stable_at.append(a.sim.now))
+    started = time.monotonic()
+    sched.run(until=2.0)
+    wall = time.monotonic() - started
+    assert stable_at, "message never stabilized in realtime mode"
+    # ~40+ ms of virtual latency, compressed 50x, plus loop overhead.
+    assert stable_at[0] == pytest.approx(0.042, abs=0.02)
+    assert wall < 2.0
+    assert cluster["c"].dataplane.highest_received("a") == seq

@@ -1,0 +1,285 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_later_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.call_later(2.0, lambda: seen.append(("b", sim.now)))
+    sim.call_later(1.0, lambda: seen.append(("a", sim.now)))
+    sim.call_later(3.0, lambda: seen.append(("c", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    seen = []
+    for label in "abc":
+        sim.call_later(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_later(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_limit():
+    sim = Simulator()
+    sim.call_later(10.0, lambda: None)
+    stopped_at = sim.run(until=5.0)
+    assert stopped_at == 5.0
+    assert sim.now == 5.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_with_empty_heap_advances_to_until():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_event_succeed_delivers_value_to_callback():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.call_later(1.0, ev.succeed, 42)
+    sim.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_callback_added_after_trigger_still_runs():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("late")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["late"]
+
+
+def test_timeout_succeeds_at_deadline():
+    sim = Simulator()
+    to = sim.timeout(2.5, value="done")
+    sim.run()
+    assert to.ok
+    assert to.value == "done"
+    assert sim.now == 2.5
+
+
+def test_anyof_returns_first_event():
+    sim = Simulator()
+    slow = sim.timeout(5.0, "slow")
+    fast = sim.timeout(1.0, "fast")
+    first = AnyOf(sim, [slow, fast])
+    sim.run_until_triggered(first)
+    assert first.value is fast
+    assert sim.now == 1.0
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    a = sim.timeout(3.0, "a")
+    b = sim.timeout(1.0, "b")
+    both = AllOf(sim, [a, b])
+    sim.run_until_triggered(both)
+    assert both.value == ["a", "b"]
+    assert sim.now == 3.0
+
+
+def test_process_sleeps_with_plain_numbers():
+    sim = Simulator()
+    marks = []
+
+    def worker():
+        marks.append(sim.now)
+        yield 1.5
+        marks.append(sim.now)
+        yield 0.5
+        marks.append(sim.now)
+        return "finished"
+
+    proc = sim.spawn(worker())
+    result = sim.run_until_triggered(proc)
+    assert result == "finished"
+    assert marks == [0.0, 1.5, 2.0]
+
+
+def test_process_waits_on_event_and_receives_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def worker():
+        value = yield ev
+        got.append(value)
+
+    proc = sim.spawn(worker())
+    sim.call_later(2.0, ev.succeed, "payload")
+    sim.run_until_triggered(proc)
+    assert got == ["payload"]
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def worker():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    proc = sim.spawn(worker())
+    sim.call_later(1.0, ev.fail, ValueError("boom"))
+    sim.run_until_triggered(proc)
+    assert caught == ["boom"]
+
+
+def test_unwatched_process_crash_fails_fast():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        raise RuntimeError("unhandled")
+
+    sim.spawn(worker())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_watched_process_crash_delivers_to_waiter():
+    sim = Simulator()
+
+    def inner():
+        yield 1.0
+        raise RuntimeError("inner crash")
+
+    def outer():
+        try:
+            yield sim.spawn(inner())
+        except RuntimeError as exc:
+            return f"caught: {exc}"
+
+    proc = sim.spawn(outer())
+    assert sim.run_until_triggered(proc) == "caught: inner crash"
+
+
+def test_interrupt_is_thrown_into_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            log.append(intr.cause)
+        yield 1.0
+        log.append(sim.now)
+
+    proc = sim.spawn(worker())
+    sim.call_later(2.0, proc.interrupt, "crash-test")
+    sim.run_until_triggered(proc)
+    assert log == ["crash-test", 3.0]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+
+    proc = sim.spawn(worker())
+    sim.run_until_triggered(proc)
+    proc.interrupt("late")
+    sim.run()
+    assert proc.ok
+
+
+def test_process_yielding_garbage_fails():
+    sim = Simulator()
+
+    def worker():
+        yield "not an event"
+
+    proc = sim.spawn(worker())
+    proc.add_callback(lambda e: None)
+    sim.run()
+    assert proc.failed
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_run_until_triggered_detects_drained_sim():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="drained"):
+        sim.run_until_triggered(ev)
+
+
+def test_run_until_not_bypassed_by_cancelled_head():
+    """Regression: a cancelled timer at the heap head must not let run()
+    execute an event beyond the `until` limit (the clock then jumps past
+    the limit and back, corrupting every in-flight timing)."""
+    sim = Simulator()
+    early = sim.call_later(0.3, lambda: None)
+    ran = []
+    sim.call_later(2.0, lambda: ran.append(sim.now))
+    early.cancel()
+    sim.run(until=0.5)
+    assert ran == []
+    assert sim.now == 0.5
+    sim.run()
+    assert ran == [2.0]
+
+
+def test_spawned_process_does_not_run_before_run():
+    sim = Simulator()
+    marks = []
+
+    def worker():
+        marks.append("ran")
+        yield 0.0
+
+    sim.spawn(worker())
+    assert marks == []
+    sim.run()
+    assert marks == ["ran"]

@@ -1,0 +1,84 @@
+"""Append-log tests including crash-recovery behaviour."""
+
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.log import AppendLog
+
+
+def test_memory_log_append_and_read():
+    log = AppendLog()
+    assert log.append(b"one") == 0
+    assert log.append(b"two") == 1
+    assert len(log) == 2
+    assert log.read(0) == b"one"
+    assert [r.payload for r in log.records()] == [b"one", b"two"]
+
+
+def test_read_out_of_range():
+    log = AppendLog()
+    with pytest.raises(StorageError):
+        log.read(0)
+
+
+def test_non_bytes_payload_rejected():
+    log = AppendLog()
+    with pytest.raises(StorageError):
+        log.append("text")
+
+
+def test_file_log_persists_across_reopen(tmp_path):
+    path = tmp_path / "store.log"
+    log = AppendLog(path)
+    log.append(b"alpha")
+    log.append(b"beta")
+    log.close()
+    reopened = AppendLog(path)
+    assert [r.payload for r in reopened.records()] == [b"alpha", b"beta"]
+    reopened.append(b"gamma")
+    reopened.close()
+    third = AppendLog(path)
+    assert len(third) == 3
+    third.close()
+
+
+def test_torn_final_record_is_truncated(tmp_path):
+    path = tmp_path / "torn.log"
+    log = AppendLog(path)
+    log.append(b"good record")
+    log.close()
+    # Simulate a crash mid-append: a frame header promising more bytes
+    # than were written.
+    with open(path, "ab") as fh:
+        fh.write(struct.pack("!II", 100, 0) + b"only-part")
+    recovered = AppendLog(path)
+    assert [r.payload for r in recovered.records()] == [b"good record"]
+    recovered.append(b"after recovery")
+    recovered.close()
+    final = AppendLog(path)
+    assert [r.payload for r in final.records()] == [b"good record", b"after recovery"]
+    final.close()
+
+
+def test_corrupt_crc_stops_replay(tmp_path):
+    path = tmp_path / "corrupt.log"
+    log = AppendLog(path)
+    log.append(b"first")
+    log.append(b"second")
+    log.close()
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a bit in the last payload
+    path.write_bytes(bytes(data))
+    recovered = AppendLog(path)
+    assert [r.payload for r in recovered.records()] == [b"first"]
+    recovered.close()
+
+
+def test_empty_payload_roundtrip(tmp_path):
+    path = tmp_path / "empty.log"
+    log = AppendLog(path)
+    log.append(b"")
+    log.close()
+    assert [r.payload for r in AppendLog(path).records()] == [b""]

@@ -1,0 +1,166 @@
+"""Versioned object-store tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import AppendLog, ObjectStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(clock):
+    return ObjectStore(clock)
+
+
+def test_put_then_get(store):
+    version = store.put("k", b"v1")
+    assert version.version == 1
+    assert store.get("k").value == b"v1"
+
+
+def test_versions_are_per_key_and_monotonic(store):
+    store.put("a", b"1")
+    store.put("b", b"x")
+    v = store.put("a", b"2")
+    assert v.version == 2
+    assert store.get("b").version == 1
+
+
+def test_get_unknown_key(store):
+    with pytest.raises(StorageError):
+        store.get("missing")
+
+
+def test_invalid_arguments(store):
+    with pytest.raises(StorageError):
+        store.put("", b"v")
+    with pytest.raises(StorageError):
+        store.put("k", "not-bytes")
+
+
+def test_get_version_history(store):
+    store.put("k", b"v1")
+    store.put("k", b"v2")
+    assert store.get_version("k", 1).value == b"v1"
+    assert store.get_version("k", 2).value == b"v2"
+    with pytest.raises(StorageError):
+        store.get_version("k", 3)
+
+
+def test_get_by_time(store, clock):
+    clock.now = 1.0
+    store.put("k", b"old")
+    clock.now = 5.0
+    store.put("k", b"new")
+    assert store.get_by_time("k", 1.0).value == b"old"
+    assert store.get_by_time("k", 4.0).value == b"old"
+    assert store.get_by_time("k", 5.0).value == b"new"
+    assert store.get_by_time("k", 100.0).value == b"new"
+    with pytest.raises(StorageError):
+        store.get_by_time("k", 0.5)
+
+
+def test_delete_writes_tombstone(store):
+    store.put("k", b"v")
+    store.delete("k")
+    assert not store.contains("k")
+    with pytest.raises(StorageError, match="deleted"):
+        store.get("k")
+    # History is preserved.
+    assert store.get_version("k", 1).value == b"v"
+    assert store.get_version("k", 2).tombstone
+
+
+def test_delete_unknown_key(store):
+    with pytest.raises(StorageError):
+        store.delete("missing")
+
+
+def test_keys_excludes_deleted(store):
+    store.put("a", b"1")
+    store.put("b", b"2")
+    store.delete("a")
+    assert store.keys() == ["b"]
+
+
+def test_watchers_see_every_mutation(store):
+    events = []
+    store.watch(lambda key, version: events.append((key, version.version)))
+    store.put("k", b"1")
+    store.put("k", b"2")
+    store.delete("k")
+    assert events == [("k", 1), ("k", 2), ("k", 3)]
+
+
+def test_keys_with_prefix(store):
+    store.put("file:a", b"1")
+    store.put("file:b", b"2")
+    store.put("meta:x", b"3")
+    store.delete("file:b")
+    assert store.keys_with_prefix("file:") == ["file:a"]
+    assert store.keys_with_prefix("meta:") == ["meta:x"]
+
+
+def test_compact_keeps_newest_and_version_numbers(store):
+    for i in range(5):
+        store.put("k", f"v{i}".encode())
+    dropped = store.compact("k", keep_versions=2)
+    assert dropped == 3
+    assert store.get("k").value == b"v4"
+    assert store.get("k").version == 5
+    assert store.get_version("k", 4).value == b"v3"
+    with pytest.raises(StorageError, match="compacted"):
+        store.get_version("k", 2)
+    # New writes continue the version sequence.
+    assert store.put("k", b"v5").version == 6
+
+
+def test_compact_validation(store):
+    store.put("k", b"v")
+    assert store.compact("k") == 0  # nothing to drop
+    with pytest.raises(StorageError):
+        store.compact("missing")
+    with pytest.raises(StorageError):
+        store.compact("k", keep_versions=0)
+
+
+def test_unwatch_removes_watcher(store):
+    events = []
+    watcher = lambda key, version: events.append(key)  # noqa: E731
+    store.watch(watcher)
+    store.put("k", b"1")
+    store.unwatch(watcher)
+    store.put("k", b"2")
+    assert events == ["k"]
+    with pytest.raises(StorageError):
+        store.unwatch(watcher)
+
+
+def test_log_replay_restores_state(tmp_path, clock):
+    path = tmp_path / "os.log"
+    store = ObjectStore(clock, log=AppendLog(path))
+    clock.now = 2.5
+    store.put("k", b"v1")
+    store.put("k", b"v2")
+    store.put("other", b"x")
+    store.delete("other")
+    store._log.close()
+
+    recovered = ObjectStore(FakeClock(), log=AppendLog(path))
+    assert recovered.get("k").value == b"v2"
+    assert recovered.get("k").version == 2
+    assert not recovered.contains("other")
+    # Timestamps come from the log, not the new clock.
+    assert recovered.get("k").timestamp == 2.5

@@ -1,0 +1,89 @@
+"""Unit tests for wire frames and payload sizing."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.messages import (
+    AckFrame,
+    ControlFrame,
+    DataFrame,
+    SyntheticPayload,
+    payload_length,
+)
+
+
+def test_payload_length_bytes_and_synthetic():
+    assert payload_length(b"abc") == 3
+    assert payload_length(SyntheticPayload(8192)) == 8192
+
+
+def test_payload_length_rejects_other_types():
+    with pytest.raises(TransportError):
+        payload_length("a string")
+
+
+def test_synthetic_payload_validation_and_equality():
+    with pytest.raises(TransportError):
+        SyntheticPayload(-1)
+    assert SyntheticPayload(5) == SyntheticPayload(5)
+    assert SyntheticPayload(5) != SyntheticPayload(6)
+    assert len(SyntheticPayload(7)) == 7
+
+
+def test_data_frame_roundtrip():
+    frame = DataFrame(origin_index=3, seq=42, payload=b"hello world")
+    decoded = DataFrame.decode(frame.encode())
+    assert decoded.origin_index == 3
+    assert decoded.seq == 42
+    assert decoded.payload == b"hello world"
+
+
+def test_data_frame_wire_size_includes_header():
+    frame = DataFrame(0, 0, b"x" * 100)
+    assert frame.wire_size() == len(frame.encode()) == 100 + 15
+
+
+def test_data_frame_synthetic_payload_sizes_but_cannot_encode():
+    frame = DataFrame(0, 0, SyntheticPayload(8192))
+    assert frame.wire_size() == 8192 + 15
+    with pytest.raises(TransportError):
+        frame.encode()
+
+
+def test_data_frame_rejects_negative_seq():
+    with pytest.raises(TransportError):
+        DataFrame(0, -1, b"")
+
+
+def test_data_frame_decode_rejects_wrong_kind():
+    ack = AckFrame(1, 5).encode()
+    with pytest.raises(TransportError):
+        DataFrame.decode(ack)
+
+
+def test_data_frame_decode_rejects_truncation():
+    frame = DataFrame(0, 0, b"hello").encode()
+    with pytest.raises(TransportError):
+        DataFrame.decode(frame[:-2])
+
+
+def test_ack_frame_roundtrip():
+    decoded = AckFrame.decode(AckFrame(7, 123456).encode())
+    assert decoded.node_index == 7
+    assert decoded.cumulative_seq == 123456
+
+
+def test_control_frame_roundtrip_preserves_entries():
+    frame = ControlFrame(node_index=2, origin_index=0, entries={0: 99, 3: 42})
+    decoded = ControlFrame.decode(frame.encode())
+    assert decoded.node_index == 2
+    assert decoded.origin_index == 0
+    assert decoded.entries == {0: 99, 3: 42}
+
+
+def test_control_frame_wire_size_scales_with_entries():
+    small = ControlFrame(0, 0, {0: 1})
+    big = ControlFrame(0, 0, {i: 1 for i in range(10)})
+    assert big.wire_size() > small.wire_size()
+    assert small.wire_size() == len(small.encode())
+    assert big.wire_size() == len(big.encode())
