@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-full report clean
+.PHONY: install test bench bench-smoke bench-full report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Tiny-configuration runs of the hot-path harness (also collected by the
+# plain tier-1 `pytest` run, since they live under tests/).
+bench-smoke:
+	pytest -m bench_smoke
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

@@ -6,7 +6,12 @@ print the regenerated rows/series next to the paper's reported numbers,
 and assert the qualitative shape (who wins, where the knees fall).
 """
 
-from repro.bench.reporting import Comparison, format_series, format_table
+from repro.bench.reporting import (
+    Comparison,
+    format_counters,
+    format_series,
+    format_table,
+)
 from repro.bench.topologies import (
     TABLE1_OBSERVED,
     TABLE2_OBSERVED,
@@ -20,6 +25,7 @@ __all__ = [
     "TABLE2_OBSERVED",
     "cloudlab_topology",
     "ec2_topology",
+    "format_counters",
     "format_series",
     "format_table",
 ]

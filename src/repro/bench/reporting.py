@@ -8,7 +8,7 @@ shapes at a glance without plotting.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, NamedTuple, Sequence, Tuple
+from typing import Iterable, List, Mapping, NamedTuple, Sequence, Tuple
 
 
 class Comparison(NamedTuple):
@@ -70,6 +70,14 @@ def format_series(
             y_text = _cell(y)
         lines.append(f"{_cell(x):>14}  {y_text:>12}  {bar}")
     return "\n".join(lines)
+
+
+def format_counters(counters: Mapping[str, object], title: str = "") -> str:
+    """Render operational counters (engine evaluations, index/short-circuit
+    skips, compiler cache hits, ...) as an aligned two-column table."""
+    return format_table(
+        ["counter", "value"], sorted(counters.items()), title=title
+    )
 
 
 def human_bytes(n: float) -> str:

@@ -44,25 +44,30 @@ class AckTable:
         row[type_id] = seq
         return True
 
-    def update_many(self, node: int, entries) -> List[int]:
-        """Apply a batch ``{type_id: seq}``; returns type ids that advanced."""
+    def update_many(self, node: int, entries) -> List[Tuple[int, int]]:
+        """Apply a batch ``{type_id: seq}``; returns the ``(type_id, seq)``
+        cells that advanced, so one multi-entry control frame can drive a
+        single cell-precise frontier re-evaluation pass."""
         advanced = []
         for type_id, seq in entries.items():
             if self.update(node, type_id, seq):
-                advanced.append(type_id)
+                advanced.append((type_id, seq))
         return advanced
 
-    def set_all_types(self, node: int, seq: int) -> bool:
+    def set_all_types(self, node: int, seq: int) -> List[int]:
         """Advance every column of ``node`` to at least ``seq``.
 
         Implements the completeness rule: "all stability properties hold
         for the WAN node that originated a message" (Section III-C) — on
         send, the origin's whole row jumps to the new sequence number.
+        Returns the type ids that advanced (empty, hence falsy, when the
+        whole row was already past ``seq``).
         """
-        changed = False
+        advanced = []
         for type_id in range(self.type_count):
-            changed |= self.update(node, type_id, seq)
-        return changed
+            if self.update(node, type_id, seq):
+                advanced.append(type_id)
+        return advanced
 
     def add_type_column(self) -> int:
         """Register a new stability type at runtime; returns its id.

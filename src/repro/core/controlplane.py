@@ -14,7 +14,7 @@ notifying the frontier engine through a callback.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
@@ -24,7 +24,8 @@ from repro.transport.messages import ControlFrame, SyntheticPayload
 
 CONTROL_CHANNEL = "stab.ctrl"
 
-TableUpdateFn = Callable[[str, int], None]  # (origin, updated_node_index)
+# (origin, updated_node_index, updated (type_id, seq) cells of that node)
+TableUpdateFn = Callable[[str, int, Sequence[Tuple[int, int]]], None]
 HeardFn = Callable[[str], None]
 
 
@@ -46,13 +47,11 @@ class ControlPlane:
         self.on_table_update = on_table_update
         self.on_heard = on_heard
         self.local_index = config.local_index
-        self._out_channels = {
-            peer: endpoint.channel(peer, CONTROL_CHANNEL)
-            for peer in config.remote_names()
-        }
+        self._out_channels = {}
         for peer in config.remote_names():
             channel = endpoint.channel(peer, CONTROL_CHANNEL)
             channel.on_deliver = self._on_control
+            self._out_channels[peer] = channel
         # Pending local reports: origin -> {type_id -> seq}.
         self._pending: Dict[str, Dict[int, int]] = {}
         self._pending_count = 0
@@ -81,10 +80,14 @@ class ControlPlane:
             raise StabilizerError(f"unknown origin stream {origin!r}")
         if not table.update(self.local_index, type_id, seq):
             return  # stale: monotonic overwrite means nothing to report
-        self.on_table_update(origin, self.local_index)
+        self.on_table_update(origin, self.local_index, ((type_id, seq),))
         pending = self._pending.setdefault(origin, {})
+        if type_id not in pending:
+            # Count distinct pending (origin, type) cells: re-acking the
+            # same cell before a flush overwrites in place and must not
+            # push the batch counter toward an early flush.
+            self._pending_count += 1
         pending[type_id] = seq
-        self._pending_count += 1
         if self._pending_count >= self.config.control_batch:
             self.flush()
         elif self._flush_timer is None:
@@ -163,6 +166,9 @@ class ControlPlane:
         reporter = frame.node_index
         if self.on_heard is not None:
             self.on_heard(self.config.node_names[reporter])
+        # One batched table update and one frontier pass per frame — the
+        # advanced (type_id, seq) cells let the engine use its reverse
+        # dependency index instead of rescanning every predicate.
         advanced = table.update_many(reporter, frame.entries)
         if advanced:
-            self.on_table_update(origin, reporter)
+            self.on_table_update(origin, reporter, advanced)

@@ -10,13 +10,37 @@ predicates as they evolve over time" (Section I).  The engine owns:
 - monitors — callbacks fired with each new frontier value;
 - waiters — one-shot callbacks released once a frontier reaches a target.
 
+Evaluation is **incremental**.  The paper keeps stability tracking off
+the critical path by making each predicate "one cheap call"; we go
+further and avoid most calls entirely:
+
+- A reverse dependency index maps each ACK-table cell ``(node, type)``
+  to the predicates that read it, so a one-cell control report touches
+  only those predicates (``skipped_by_index`` counts the rest).
+- Algebraic short-circuits derived from the compiled IR skip or replace
+  full evaluations (``skipped_by_shortcircuit`` / ``fast_advances``):
+  a pure ``MAX``-reduce advances directly to the new cell value when it
+  exceeds the cached frontier and is untouched otherwise; ``MIN`` and
+  ``KTH_*`` reduces are re-evaluated only when an updated cell is in the
+  *witness set* — the cells whose value was ``<=`` the last result.
+  Both rules rely on the ACK table's monotonicity (cells never regress);
+  anything the IR cannot prove falls back to a full evaluation.
+- Waiters live in a per-``(origin, key)`` min-heap keyed on sequence
+  number, so a release pops only the released waiters instead of
+  scanning every pending one.
+
+``FrontierEngine(..., incremental=False)`` keeps the pre-index behaviour
+(scan every predicate, evaluate every dependent one) as the brute-force
+baseline for the equivalence tests and ``bench_hotpath_frontier``.
+
 The engine is deliberately runtime-agnostic: it never touches the
 simulator.  The Stabilizer facade adapts waiters to events.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.acks import AckTable
 from repro.dsl.compiler import CompiledPredicate, PredicateCompiler
@@ -25,6 +49,9 @@ from repro.errors import PredicateNotFound, StabilizerError
 
 MonitorFn = Callable[[str, int, int], None]  # (origin, frontier, old_frontier)
 WaiterFn = Callable[[], None]
+
+Cell = Tuple[int, int]  # (node, type_id)
+CellUpdate = Tuple[int, int]  # (type_id, new_seq) for the updated node
 
 
 class _Waiter:
@@ -36,20 +63,53 @@ class _Waiter:
         self.released = False
 
 
+class _SlotState:
+    """Cached evaluation state for one (origin, key) slot.
+
+    ``version`` ties the cache to one predicate definition — a
+    ``change_predicate`` redefinition invalidates it.  ``witness`` is the
+    bottleneck cell set for ``min``/``kth`` predicates (None otherwise).
+    """
+
+    __slots__ = ("version", "value", "witness")
+
+    def __init__(self, version: int, value: int, witness):
+        self.version = version
+        self.value = value
+        self.witness = witness
+
+
 class FrontierEngine:
     """See module docstring.  One engine per Stabilizer instance."""
 
-    def __init__(self, ctx: DslContext, origins: Iterable[str]):
+    def __init__(
+        self,
+        ctx: DslContext,
+        origins: Iterable[str],
+        incremental: bool = True,
+    ):
         self.ctx = ctx
         self.compiler = PredicateCompiler(ctx)
+        self.incremental = incremental
         self._predicates: Dict[str, CompiledPredicate] = {}
+        self._versions: Dict[str, int] = {}
+        self._version_counter = 0
         self._active_key: Optional[str] = None
         # frontier[(origin, key)] -> last evaluated value.
         self._frontiers: Dict[Tuple[str, str], int] = {}
+        self._slots: Dict[Tuple[str, str], _SlotState] = {}
+        # Reverse dependency index: cell -> keys, node -> keys.
+        self._cell_index: Dict[Cell, List[str]] = {}
+        self._node_index: Dict[int, List[str]] = {}
         self._monitors: Dict[str, List[MonitorFn]] = {}
-        self._waiters: Dict[Tuple[str, str], List[_Waiter]] = {}
+        # Waiter min-heaps: (seq, insertion tiebreak, waiter).
+        self._waiters: Dict[Tuple[str, str], List[Tuple[int, int, _Waiter]]] = {}
+        self._waiter_counter = 0
         self._origins = list(origins)
         self.evaluations = 0
+        self.skipped_by_index = 0
+        self.skipped_by_shortcircuit = 0
+        self.fast_advances = 0
 
     # -- registry ---------------------------------------------------------------
     def register_predicate(self, key: str, source: str) -> CompiledPredicate:
@@ -64,6 +124,9 @@ class FrontierEngine:
             )
         predicate = self.compiler.compile(source)
         self._predicates[key] = predicate
+        self._version_counter += 1
+        self._versions[key] = self._version_counter
+        self._rebuild_index()
         if self._active_key is None:
             self._active_key = key
         return predicate
@@ -79,6 +142,10 @@ class FrontierEngine:
         """
         if source is not None:
             self._predicates[key] = self.compiler.compile(source)
+            self._version_counter += 1
+            self._versions[key] = self._version_counter
+            self._drop_slots(key)
+            self._rebuild_index()
         elif key not in self._predicates:
             raise PredicateNotFound(f"no predicate registered under {key!r}")
         self._active_key = key
@@ -87,8 +154,31 @@ class FrontierEngine:
         if key not in self._predicates:
             raise PredicateNotFound(f"no predicate registered under {key!r}")
         del self._predicates[key]
+        del self._versions[key]
+        self._drop_slots(key)
+        self._rebuild_index()
         if self._active_key == key:
             self._active_key = next(iter(self._predicates), None)
+
+    def _drop_slots(self, key: str) -> None:
+        for slot in [s for s in self._slots if s[1] == key]:
+            del self._slots[slot]
+
+    def _rebuild_index(self) -> None:
+        """Recompute cell -> predicates and node -> predicates.
+
+        Registration and redefinition are cold-path events; a full O(P·L)
+        rebuild keeps the hot path free of incremental bookkeeping.
+        """
+        cell_index: Dict[Cell, List[str]] = {}
+        node_index: Dict[int, List[str]] = {}
+        for key, predicate in self._predicates.items():
+            for cell in predicate.cells:
+                cell_index.setdefault(cell, []).append(key)
+            for node in predicate.nodes:
+                node_index.setdefault(node, []).append(key)
+        self._cell_index = cell_index
+        self._node_index = node_index
 
     @property
     def active_key(self) -> Optional[str]:
@@ -128,7 +218,11 @@ class FrontierEngine:
         if self.frontier(origin, key) >= seq:
             callback()
             return
-        self._waiters.setdefault((origin, key), []).append(_Waiter(seq, callback))
+        self._waiter_counter += 1
+        heapq.heappush(
+            self._waiters.setdefault((origin, key), []),
+            (seq, self._waiter_counter, _Waiter(seq, callback)),
+        )
 
     def frontier(self, origin: str, key: Optional[str] = None) -> int:
         key = self._resolve_key(key)
@@ -140,48 +234,165 @@ class FrontierEngine:
         origin: str,
         table: AckTable,
         updated_node: Optional[int] = None,
+        updated_cells: Optional[Sequence[CellUpdate]] = None,
     ) -> Dict[str, int]:
         """Re-run predicates for ``origin``'s stream against ``table``.
 
         With ``updated_node`` given, predicates that do not read that
         node's row are skipped (the common case: one control report only
-        moves one row).  Returns the keys that advanced with their new
-        frontier values.
+        moves one row).  ``updated_cells`` — ``(type_id, new_seq)`` pairs
+        for that node — narrows the selection to cell granularity and
+        enables the algebraic short-circuits.  Returns the keys that
+        advanced with their new frontier values.
+        """
+        if not self.incremental:
+            return self._reevaluate_brute(origin, table, updated_node)
+        total = len(self._predicates)
+        if not total:
+            return {}
+        if updated_node is not None and updated_cells is not None:
+            keys = self._keys_for_cells(updated_node, updated_cells)
+        elif updated_node is not None:
+            keys = self._node_index.get(updated_node, [])
+        else:
+            keys = list(self._predicates)
+        self.skipped_by_index += total - len(keys)
+        if not keys:
+            return {}
+        advanced: Dict[str, int] = {}
+        rows = table.table
+        for key in keys:
+            predicate = self._predicates[key]
+            slot = (origin, key)
+            state = self._slots.get(slot)
+            if state is not None and state.version != self._versions[key]:
+                state = None
+            value = None
+            witness = None
+            if state is not None:
+                kind = predicate.shortcircuit
+                if kind == "max" and updated_cells is not None:
+                    new_high = max(
+                        seq
+                        for type_id, seq in updated_cells
+                        if (updated_node, type_id) in predicate.cells
+                    )
+                    if new_high <= state.value:
+                        self.skipped_by_shortcircuit += 1
+                        continue
+                    # Pure MAX over monotone cells: the new result is
+                    # exactly the updated value — no evaluation needed.
+                    value = new_high
+                    self.fast_advances += 1
+                elif kind in ("min", "kth") and state.witness is not None:
+                    if updated_cells is not None:
+                        touched = any(
+                            (updated_node, type_id) in state.witness
+                            for type_id, _seq in updated_cells
+                        )
+                    elif updated_node is not None:
+                        touched = any(
+                            cell[0] == updated_node for cell in state.witness
+                        )
+                    else:
+                        touched = True
+                    if not touched:
+                        self.skipped_by_shortcircuit += 1
+                        continue
+            if value is None:
+                self.evaluations += 1
+                value = predicate.evaluate(rows)
+                witness = self._witness(predicate, rows, value)
+            if state is None:
+                self._slots[slot] = _SlotState(
+                    self._versions[key], value, witness
+                )
+            else:
+                state.value = value
+                state.witness = witness
+            self._report(slot, key, origin, value, advanced)
+        return advanced
+
+    def _keys_for_cells(
+        self, node: int, cells: Sequence[CellUpdate]
+    ) -> List[str]:
+        index = self._cell_index
+        if len(cells) == 1:
+            return index.get((node, cells[0][0]), [])
+        # dict.fromkeys: dedupe while keeping registration order stable.
+        return list(
+            dict.fromkeys(
+                key
+                for type_id, _seq in cells
+                for key in index.get((node, type_id), ())
+            )
+        )
+
+    @staticmethod
+    def _witness(predicate: CompiledPredicate, rows, value: int):
+        """Bottleneck cells after a full evaluation of ``min``/``kth``.
+
+        A later update to a cell *outside* this set had an old value
+        strictly above the result, and (by monotonicity) raising such a
+        cell cannot move an order statistic — so it is safe to skip.
+        """
+        if predicate.shortcircuit not in ("min", "kth"):
+            return None
+        return frozenset(
+            cell for cell in predicate.cells if rows[cell[0]][cell[1]] <= value
+        )
+
+    def _report(
+        self,
+        slot: Tuple[str, str],
+        key: str,
+        origin: str,
+        value: int,
+        advanced: Dict[str, int],
+    ) -> None:
+        old = self._frontiers.get(slot, 0)
+        if value == old:
+            return
+        self._frontiers[slot] = value
+        if value < old:
+            return  # predicate was redefined; hold reports until caught up
+        advanced[key] = value
+        for monitor in self._monitors.get(key, ()):
+            monitor(origin, value, old)
+        self._release_waiters(slot, value)
+
+    def _reevaluate_brute(
+        self,
+        origin: str,
+        table: AckTable,
+        updated_node: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """The pre-index engine: scan all predicates, evaluate dependents.
+
+        Kept as the baseline that ``bench_hotpath_frontier`` and the
+        randomized equivalence tests compare the incremental path against.
         """
         advanced: Dict[str, int] = {}
         rows = table.table
         for key, predicate in self._predicates.items():
-            if updated_node is not None and not predicate.depends_on(updated_node):
+            if updated_node is not None and not any(
+                leaf.node == updated_node for leaf in predicate.leaves
+            ):
                 continue
             self.evaluations += 1
             value = predicate.evaluate(rows)
-            slot = (origin, key)
-            old = self._frontiers.get(slot, 0)
-            if value == old:
-                continue
-            self._frontiers[slot] = value
-            if value < old:
-                continue  # predicate was redefined; hold reports until caught up
-            advanced[key] = value
-            for monitor in self._monitors.get(key, ()):
-                monitor(origin, value, old)
-            self._release_waiters(slot, value)
+            self._report((origin, key), key, origin, value, advanced)
         return advanced
 
     def _release_waiters(self, slot: Tuple[str, str], frontier: int) -> None:
-        waiters = self._waiters.get(slot)
-        if not waiters:
+        heap = self._waiters.get(slot)
+        if not heap:
             return
-        still_waiting = []
-        for waiter in waiters:
-            if waiter.seq <= frontier:
-                waiter.released = True
-                waiter.callback()
-            else:
-                still_waiting.append(waiter)
-        if still_waiting:
-            self._waiters[slot] = still_waiting
-        else:
+        while heap and heap[0][0] <= frontier:
+            _seq, _tie, waiter = heapq.heappop(heap)
+            waiter.released = True
+            waiter.callback()
+        if not heap:
             del self._waiters[slot]
 
     def pending_waiters(self) -> int:
@@ -200,3 +411,7 @@ class FrontierEngine:
                 slot = (origin, key)
                 if value > self._frontiers.get(slot, 0):
                     self._frontiers[slot] = value
+        # Restored frontiers may sit above anything the current tables
+        # support; drop the evaluation caches so the next report takes a
+        # full pass instead of short-circuiting against stale state.
+        self._slots.clear()

@@ -88,8 +88,13 @@ class Stabilizer:
         for it immediately (the Section III-C completeness rule)."""
         _first, last = self.dataplane.send(payload, meta)
         table = self.tables[self.name]
-        table.set_all_types(self.local_index, last)
-        self.engine.reevaluate(self.name, table, updated_node=self.local_index)
+        advanced = table.set_all_types(self.local_index, last)
+        self.engine.reevaluate(
+            self.name,
+            table,
+            updated_node=self.local_index,
+            updated_cells=[(type_id, last) for type_id in advanced],
+        )
         return last
 
     def last_sent_seq(self) -> int:
@@ -215,6 +220,13 @@ class Stabilizer:
             "control_frames_sent": self.controlplane.frames_sent,
             "control_frames_received": self.controlplane.frames_received,
             "predicate_evaluations": self.engine.evaluations,
+            "evaluations_skipped_by_index": self.engine.skipped_by_index,
+            "evaluations_skipped_by_shortcircuit": (
+                self.engine.skipped_by_shortcircuit
+            ),
+            "frontier_fast_advances": self.engine.fast_advances,
+            "predicate_compilations": self.engine.compiler.compilations,
+            "predicate_cache_hits": self.engine.compiler.cache_hits,
             "pending_waiters": self.engine.pending_waiters(),
             "suspected_nodes": len(self.detector.suspected()),
         }
@@ -224,8 +236,14 @@ class Stabilizer:
         # The origin implicitly holds every property for what it sent.
         table = self.tables[origin]
         origin_index = self.config.node_index(origin)
-        if table.set_all_types(origin_index, seq):
-            self.engine.reevaluate(origin, table, updated_node=origin_index)
+        advanced = table.set_all_types(origin_index, seq)
+        if advanced:
+            self.engine.reevaluate(
+                origin,
+                table,
+                updated_node=origin_index,
+                updated_cells=[(type_id, seq) for type_id in advanced],
+            )
         self.detector.heard_from(origin)
         self.controlplane.note_local_ack(
             origin, self._type_ids["received"], seq
@@ -235,8 +253,10 @@ class Stabilizer:
         for handler in self._delivery_handlers:
             handler(origin, seq, payload, meta)
 
-    def _on_table_update(self, origin: str, node: int) -> None:
-        self.engine.reevaluate(origin, self.tables[origin], updated_node=node)
+    def _on_table_update(self, origin: str, node: int, cells=None) -> None:
+        self.engine.reevaluate(
+            origin, self.tables[origin], updated_node=node, updated_cells=cells
+        )
         if origin == self.name:
             self._maybe_reclaim()
 

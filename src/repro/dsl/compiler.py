@@ -17,6 +17,7 @@ non-JIT ablation measured in ``benchmarks/bench_ablation_jit.py``.
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Dict, Optional, Sequence
 
@@ -43,7 +44,36 @@ def _kth(k: int, values: tuple, largest: bool) -> int:
         raise DslEvaluationError(
             f"K parameter {k} outside 1..{len(values)} operands"
         )
-    return sorted(values, reverse=largest)[k - 1]
+    if largest:
+        return heapq.nlargest(k, values)[-1]
+    return heapq.nsmallest(k, values)[-1]
+
+
+def classify_shortcircuit(ir: Ir) -> Optional[str]:
+    """The algebraic class the frontier engine can exploit incrementally.
+
+    ``"max"``  — a pure MAX-reduce over table cells (and constants): a
+    cell update can only raise the result, and only when the new value
+    exceeds the cached one; the new result is then exactly that value.
+    ``"min"`` / ``"kth"`` — pure MIN / order-statistic reduces: raising a
+    cell whose previous value was strictly above the cached result cannot
+    move the result, so only updates to "bottleneck" witness cells need a
+    re-evaluation.  ``None`` — arithmetic or nested reduces; no algebraic
+    shortcut applies and the engine must always re-evaluate.
+    """
+    if isinstance(ir, (Leaf, Const)):
+        return "max"
+    if isinstance(ir, ReduceIr) and all(
+        isinstance(item, (Leaf, Const)) for item in ir.items
+    ):
+        return "max" if ir.op == "MAX" else "min"
+    if (
+        isinstance(ir, KthIr)
+        and isinstance(ir.k, Const)
+        and all(isinstance(item, (Leaf, Const)) for item in ir.items)
+    ):
+        return "kth"
+    return None
 
 
 def generate_source(ir: Ir, function_name: str = "_predicate") -> str:
@@ -77,7 +107,17 @@ class CompiledPredicate:
     current acknowledgment ``table`` (``table[node][type] -> seq``).
     """
 
-    __slots__ = ("source", "ir", "python_source", "compile_time_s", "_fn", "leaves")
+    __slots__ = (
+        "source",
+        "ir",
+        "python_source",
+        "compile_time_s",
+        "_fn",
+        "leaves",
+        "cells",
+        "nodes",
+        "shortcircuit",
+    )
 
     def __init__(
         self,
@@ -93,6 +133,13 @@ class CompiledPredicate:
         self.compile_time_s = compile_time_s
         self._fn = fn
         self.leaves = tuple(ir_leaves(ir))
+        # Precomputed dependency sets: the distinct (node, type_id) table
+        # cells this predicate reads, and the nodes they live on.  The
+        # frontier engine keys its reverse dependency index on these, and
+        # ``depends_on`` becomes a set lookup instead of a leaf scan.
+        self.cells = frozenset((leaf.node, leaf.type_id) for leaf in self.leaves)
+        self.nodes = frozenset(node for node, _type_id in self.cells)
+        self.shortcircuit = classify_shortcircuit(ir)
 
     def evaluate(self, table: Table) -> int:
         try:
@@ -106,10 +153,9 @@ class CompiledPredicate:
 
     def depends_on(self, node: int, type_id: Optional[int] = None) -> bool:
         """Whether this predicate reads an ACK cell of ``node``."""
-        for leaf in self.leaves:
-            if leaf.node == node and (type_id is None or leaf.type_id == type_id):
-                return True
-        return False
+        if type_id is None:
+            return node in self.nodes
+        return (node, type_id) in self.cells
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CompiledPredicate {self.source!r}>"

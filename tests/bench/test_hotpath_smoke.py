@@ -1,0 +1,40 @@
+"""Tiny-configuration smoke runs of the hot-path benchmark harness.
+
+These live under ``tests/`` so the tier-1 command exercises the harness
+itself on every PR — a broken ``run_hotpath_frontier`` or
+``run_dsl_microbench`` fails here long before anyone runs the full
+benchmarks.  ``make bench-smoke`` selects just these via the
+``bench_smoke`` marker.
+"""
+
+import pytest
+
+from repro.bench.runners import run_dsl_microbench, run_hotpath_frontier
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_hotpath_frontier_smoke():
+    rows = run_hotpath_frontier(
+        predicate_counts=(4, 16), node_counts=(2, 8), reports=300
+    )
+    assert len(rows) == 4
+    for row in rows:
+        # Correctness always; speed assertions belong to the full bench.
+        assert row["frontiers_match"]
+        assert row["incremental_rps"] > 0
+        assert row["brute_rps"] > 0
+        assert row["evaluations"] <= row["brute_evaluations"]
+    # The incremental machinery must actually engage, even at this scale.
+    assert any(row["skipped_by_index"] > 0 for row in rows)
+    assert any(row["skipped_by_shortcircuit"] > 0 for row in rows)
+
+
+def test_dsl_microbench_smoke():
+    rows = run_dsl_microbench(
+        operator_counts=(1, 2), operand_counts=(5,), evaluations=100
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["compile_ms"] > 0
+        assert row["eval_us"] > 0

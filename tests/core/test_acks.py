@@ -48,16 +48,16 @@ def test_update_many_returns_advanced_types():
     table = AckTable(1, 3)
     table.update(0, 1, 10)
     advanced = table.update_many(0, {0: 5, 1: 7, 2: 0})
-    assert advanced == [0]  # type 1 was stale-r, type 2 is zero
+    assert advanced == [(0, 5)]  # type 1 was stale-r, type 2 is zero
     assert table.row(0) == (5, 10, 0)
 
 
 def test_set_all_types():
     table = AckTable(2, 3)
     table.update(0, 1, 20)
-    assert table.set_all_types(0, 15) is True
+    assert table.set_all_types(0, 15) == [0, 2]
     assert table.row(0) == (15, 20, 15)
-    assert table.set_all_types(0, 10) is False
+    assert table.set_all_types(0, 10) == []
 
 
 def test_add_type_column():

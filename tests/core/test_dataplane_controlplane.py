@@ -142,9 +142,9 @@ def control_pair(sim, net, batch=3, interval=0.05, fanout="all"):
             TransportEndpoint(net, name),
             cfg,
             tables,
-            on_table_update=lambda origin, node, _n=name: updates[_n].append(
-                (origin, node)
-            ),
+            on_table_update=lambda origin, node, cells=None, _n=name: updates[
+                _n
+            ].append((origin, node)),
         )
     return planes, updates
 
@@ -153,8 +153,11 @@ def test_batch_count_triggers_immediate_flush():
     sim, net = build_net()
     planes, updates = control_pair(sim, net, batch=3, interval=10.0)
     y = planes["y"]
-    for seq in (1, 2, 3):  # third ack hits the batch limit
+    for seq in (1, 2, 3):  # same cell re-acked: one pending entry, no flush
         y.note_local_ack("x", 0, seq)
+    assert y.frames_sent == 0  # distinct pending cells: 1, not 3
+    y.note_local_ack("x", 1, 3)
+    y.note_local_ack("y", 0, 1)  # third distinct cell hits the batch limit
     assert y.frames_sent >= 1  # flushed without waiting 10 s
     sim.run(until=0.1)
     # x received the cumulative report: its table shows y at 3.

@@ -154,6 +154,104 @@ def test_change_predicate_redefinition_holds_reports_through_gap():
     assert reports == [10, 12]
 
 
+def test_duplicate_seq_waiters_all_release_in_insertion_order():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    released = []
+    eng.add_waiter("a", 5, lambda: released.append("first"), key="any")
+    eng.add_waiter("a", 5, lambda: released.append("second"), key="any")
+    eng.add_waiter("a", 5, lambda: released.append("third"), key="any")
+    t = table()
+    t.update(1, 0, 5)
+    eng.reevaluate("a", t, updated_node=1)
+    assert released == ["first", "second", "third"]
+    assert eng.pending_waiters() == 0
+
+
+def test_waiter_heap_releases_only_satisfied_seqs():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    released = []
+    # Insert out of order: the heap must release by seq, not insertion.
+    for seq in (9, 3, 7, 1, 5):
+        eng.add_waiter("a", seq, lambda s=seq: released.append(s), key="any")
+    t = table()
+    t.update(2, 0, 6)
+    eng.reevaluate("a", t, updated_node=2)
+    assert released == [1, 3, 5]
+    assert eng.pending_waiters() == 2
+    t.update(2, 0, 20)
+    eng.reevaluate("a", t, updated_node=2)
+    assert released == [1, 3, 5, 7, 9]
+
+
+def test_waiters_survive_frontier_regression_after_redefinition():
+    eng = engine()
+    eng.register_predicate("p", "MAX($ALLWNODES - $MYWNODE)")
+    released = []
+    eng.add_waiter("a", 10, lambda: released.append("hit"), key="p")
+    t = table()
+    t.update(1, 0, 5)
+    eng.reevaluate("a", t, updated_node=1)
+    assert released == []
+    # Stricter redefinition regresses the frontier; the waiter must not
+    # be dropped or spuriously fired while the gap lasts.
+    eng.change_predicate("p", "MIN($ALLWNODES - $MYWNODE)")
+    eng.reevaluate("a", t)
+    assert eng.frontier("a", "p") == 0
+    assert released == []
+    assert eng.pending_waiters() == 1
+    for node in (1, 2, 3):
+        t.update(node, 0, 12)
+    eng.reevaluate("a", t)
+    assert released == ["hit"]
+    assert eng.pending_waiters() == 0
+
+
+def test_waiter_at_exact_current_frontier_fires_synchronously():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    t = table()
+    t.update(1, 0, 7)
+    eng.reevaluate("a", t, updated_node=1)
+    released = []
+    eng.add_waiter("a", 7, lambda: released.append("exact"), key="any")
+    assert released == ["exact"]
+    assert eng.pending_waiters() == 0
+
+
+def test_skip_counters_track_index_and_shortcircuit():
+    eng = engine()
+    eng.register_predicate("west_only", "MAX($AZ_west)")
+    eng.register_predicate("east_min", "MIN($AZ_east)")
+    t = table()
+    # Baseline pass (what Stabilizer does at registration).
+    eng.reevaluate("a", t)
+    evals = eng.evaluations
+    t.update(1, 0, 9)  # node b: read only by east_min
+    eng.reevaluate("a", t, updated_node=1, updated_cells=((0, 9),))
+    assert eng.skipped_by_index == 1  # west_only never touched
+    assert eng.evaluations == evals + 1  # east_min re-evaluated (witness hit)
+    t.update(1, 0, 12)  # b is no longer the east bottleneck (a still at 0)
+    eng.reevaluate("a", t, updated_node=1, updated_cells=((0, 12),))
+    assert eng.skipped_by_shortcircuit == 1
+    assert eng.evaluations == evals + 1  # witness miss: no evaluation
+
+
+def test_max_fast_advance_skips_evaluation_but_advances():
+    eng = engine()
+    eng.register_predicate("any", "MAX($ALLWNODES)")
+    t = table()
+    eng.reevaluate("a", t)
+    evals = eng.evaluations
+    t.update(2, 0, 4)
+    advanced = eng.reevaluate("a", t, updated_node=2, updated_cells=((0, 4),))
+    assert advanced == {"any": 4}
+    assert eng.frontier("a", "any") == 4
+    assert eng.evaluations == evals  # direct advance, no full evaluation
+    assert eng.fast_advances == 1
+
+
 def test_frontiers_are_per_origin():
     eng = engine()
     eng.register_predicate("any", "MAX($ALLWNODES)")
