@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-smoke bench-full report clean
+.PHONY: install test bench bench-smoke bench-full chaos-smoke report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,11 @@ bench-smoke:
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+# A seeded 3-AZ/6-node chaos run with full invariant checking, small
+# enough for CI (seconds, not minutes).
+chaos-smoke:
+	pytest -m chaos_smoke
 
 report:
 	python -m repro report

@@ -1,0 +1,34 @@
+"""Randomized chaos testing for the fault-tolerance layer.
+
+The paper's central claim is that stability tracking keeps working —
+and predicates stay *meaningful* — across WAN failures (Section V).
+This package turns that claim into a machine-checked property: a seeded
+random schedule of crash / restart / partition / heal events runs
+against a live multi-node cluster under continuous traffic, and a set
+of safety invariants is asserted after every event and at quiescence:
+
+- frontier values observed by monitors never regress, across predicate
+  degradation, recovery, and even node restarts;
+- no waiter is released before its predicate actually holds against the
+  node's ACK table;
+- ACK-table cells only ever advance;
+- every message sent before a crash or partition is delivered everywhere
+  once the cluster heals and settles.
+
+Everything is deterministic per seed: the same seed reproduces the same
+schedule, the same event interleaving, and the same final frontiers.
+"""
+
+from repro.chaos.harness import ChaosConfig, ChaosHarness, run_chaos
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.schedule import ChaosEvent, generate_schedule
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosHarness",
+    "InvariantChecker",
+    "InvariantViolation",
+    "generate_schedule",
+    "run_chaos",
+]

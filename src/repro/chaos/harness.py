@@ -1,0 +1,276 @@
+"""The chaos harness: a cluster under traffic, faults, and invariants.
+
+One :class:`ChaosHarness` run is the full experiment:
+
+1. build a 3-AZ topology (``az0``/``az1``/``az2`` by default) and a
+   Stabilizer cluster with a strict all-remote-nodes predicate and a
+   relaxed any-remote-node predicate, the stock
+   :class:`~repro.core.degradation.MaskSuspectedPolicy` installed at
+   every node, and an :class:`~repro.chaos.invariants.InvariantChecker`
+   monitoring everything;
+2. generate the seeded fault schedule
+   (:func:`repro.chaos.schedule.generate_schedule`) and drive it:
+   *crash* snapshots the victim at the crash instant (the integrated
+   system's persistence, Section III-E), closes it and downs its host;
+   *restart* brings the host back, rebuilds the node from the snapshot
+   via :meth:`~repro.core.cluster.StabilizerCluster.restart_node`
+   (which triggers peer replay catch-up), and re-attaches monitors and
+   the degradation policy; *partition*/*heal* cut and restore AZ links;
+3. run steady traffic from every live node, guarding a sample of sends
+   with release-verified waiters;
+4. after the schedule closes, settle until every message is delivered
+   everywhere (bounded), then run the final delivery check.
+
+The run is deterministic per seed: schedules, event interleavings and
+final frontiers reproduce exactly.  :func:`run_chaos` wraps a run and
+returns the report dict the benchmark and the smoke test consume.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.schedule import ChaosEvent, generate_schedule
+from repro.core.cluster import StabilizerCluster
+from repro.core.config import StabilizerConfig
+from repro.core.recovery import snapshot_state
+from repro.net.tc import NetemSpec
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.transport.messages import SyntheticPayload
+
+STRICT_KEY = "all_remote"
+RELAXED_KEY = "any_remote"
+
+
+class ChaosConfig:
+    """Knobs for one chaos run; defaults give the 3-AZ/6-node experiment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        azs: int = 3,
+        nodes_per_az: int = 2,
+        events: int = 12,
+        send_interval_s: float = 0.15,
+        payload_bytes: int = 1024,
+        traffic_end_s: Optional[float] = None,
+        failure_timeout_s: float = 1.5,
+        settle_slice_s: float = 2.0,
+        max_settle_slices: int = 60,
+        waiter_every: int = 5,
+        first_event_at: float = 1.0,
+        min_gap_s: float = 0.5,
+        max_gap_s: float = 2.0,
+    ):
+        self.seed = seed
+        self.azs = azs
+        self.nodes_per_az = nodes_per_az
+        self.events = events
+        self.send_interval_s = send_interval_s
+        self.payload_bytes = payload_bytes
+        self.traffic_end_s = traffic_end_s
+        self.failure_timeout_s = failure_timeout_s
+        self.settle_slice_s = settle_slice_s
+        self.max_settle_slices = max_settle_slices
+        self.waiter_every = waiter_every
+        self.first_event_at = first_event_at
+        self.min_gap_s = min_gap_s
+        self.max_gap_s = max_gap_s
+
+    def groups(self) -> Dict[str, List[str]]:
+        return {
+            f"az{a}": [f"n{a}{i}" for i in range(self.nodes_per_az)]
+            for a in range(self.azs)
+        }
+
+
+class ChaosHarness:
+    """See module docstring."""
+
+    def __init__(self, config: Optional[ChaosConfig] = None):
+        self.config = config or ChaosConfig()
+        self.groups = self.config.groups()
+        self.node_names = [n for members in self.groups.values() for n in members]
+        self.checker = InvariantChecker()
+        self.schedule: List[ChaosEvent] = generate_schedule(
+            self.groups,
+            seed=self.config.seed,
+            events=self.config.events,
+            start=self.config.first_event_at,
+            min_gap=self.config.min_gap_s,
+            max_gap=self.config.max_gap_s,
+        )
+        self.fired: List[Tuple[float, str, Tuple[str, ...]]] = []
+        self._crashed: Dict[str, dict] = {}  # node -> crash-instant snapshot
+        self._send_rng = random.Random(self.config.seed ^ 0x5EED)
+        self._sends_done = False
+        self._waiter_timeouts = 0
+
+        topo = Topology()
+        for az, members in self.groups.items():
+            for name in members:
+                topo.add_node(name, group=az)
+        topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
+        self.sim = Simulator()
+        self.net = topo.build(self.sim, RngRegistry(self.config.seed))
+        base = StabilizerConfig.from_topology(
+            topo,
+            local=self.node_names[0],
+            predicates={
+                STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
+                RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
+            },
+            control_interval_s=0.005,
+            failure_timeout_s=self.config.failure_timeout_s,
+            # Channels give up fast so dead-peer reports (not just the
+            # heartbeat timer) drive suspicion during the run.
+            max_retransmit_attempts=5,
+            transport_max_rto_s=1.0,
+        )
+        self.cluster = StabilizerCluster(self.net, base)
+        for node in self.cluster:
+            node.set_degradation_policy()
+            self.checker.attach(node)
+
+    # -- traffic -----------------------------------------------------------------
+    def _traffic_end(self) -> float:
+        if self.config.traffic_end_s is not None:
+            return self.config.traffic_end_s
+        return self.schedule[-1].at + 2.0
+
+    def _start_traffic(self) -> None:
+        for i, name in enumerate(self.node_names):
+            # Stagger the first sends so streams do not tick in lockstep.
+            offset = self.config.send_interval_s * (i + 1) / len(self.node_names)
+            self.sim.call_later(offset, self._send_tick, name)
+
+    def _send_tick(self, name: str) -> None:
+        if self.sim.now < self._traffic_end():
+            self.sim.call_later(self.config.send_interval_s, self._send_tick, name)
+        if name in self._crashed:
+            return  # the node is down; its timer idles until restart
+        node = self.cluster[name]
+        size = self._send_rng.randrange(64, self.config.payload_bytes)
+        seq = node.send(SyntheticPayload(size))
+        self.checker.note_sent(name, seq)
+        if seq % self.config.waiter_every == 0:
+            event = self.checker.guarded_waitfor(
+                node, seq, STRICT_KEY, timeout_s=60.0
+            )
+            event.add_callback(self._count_timeout)
+
+    def _count_timeout(self, event) -> None:
+        if event.failed:
+            self._waiter_timeouts += 1
+
+    # -- fault execution -----------------------------------------------------------
+    def _arm_schedule(self) -> None:
+        for event in self.schedule:
+            self.sim.call_at(event.at, self._fire, event)
+
+    def _fire(self, event: ChaosEvent) -> None:
+        if event.kind == "crash":
+            name = event.target[0]
+            node = self.cluster[name]
+            # The crash-instant snapshot is the paper's persisted state:
+            # reclaim waits for *everyone*, so what peers still buffer is
+            # a superset of anything this snapshot lacks.
+            self._crashed[name] = snapshot_state(node)
+            node.close()
+            self.net.crash_node(name)
+        elif event.kind == "restart":
+            name = event.target[0]
+            self.net.recover_node(name)
+            node = self.cluster.restart_node(name, self._crashed.pop(name))
+            node.set_degradation_policy()
+            self.checker.attach(node)
+        elif event.kind == "partition":
+            a, b = event.target
+            self.net.partition(self.groups[a], self.groups[b])
+        elif event.kind == "heal":
+            self.net.heal()
+        else:  # pragma: no cover - schedule generator cannot produce this
+            raise ValueError(f"unknown chaos event kind {event.kind!r}")
+        self.fired.append((self.sim.now, event.kind, event.target))
+        self.checker.check_tables(self._live_nodes())
+
+    def _live_nodes(self):
+        return [
+            node for node in self.cluster if node.name not in self._crashed
+        ]
+
+    # -- the run -------------------------------------------------------------------
+    def run(self) -> dict:
+        """Execute the schedule under traffic; returns the report dict.
+
+        Raises :class:`~repro.chaos.invariants.InvariantViolation` the
+        moment any safety property breaks.
+        """
+        started = time.perf_counter()
+        self._start_traffic()
+        self._arm_schedule()
+        # Heartbeats keep the event heap non-empty forever, so run in
+        # bounded slices: first to the end of the schedule and traffic,
+        # then settle until every stream converges everywhere.
+        self.sim.run(until=self._traffic_end() + 0.5)
+        self.checker.check_tables(self._live_nodes())
+        settle_slices = 0
+        while not self.checker.all_delivered(self.cluster):
+            if settle_slices >= self.config.max_settle_slices:
+                break
+            settle_slices += 1
+            self.sim.run(until=self.sim.now + self.config.settle_slice_s)
+        self.checker.check_tables(self.cluster)
+        self.checker.check_delivery(self.cluster)
+        elapsed = time.perf_counter() - started
+        return self.report(elapsed, settle_slices)
+
+    def report(self, elapsed_s: float, settle_slices: int) -> dict:
+        totals: Dict[str, float] = {}
+        for node in self.cluster:
+            for key, value in node.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "seed": self.config.seed,
+            "nodes": len(self.node_names),
+            "azs": len(self.groups),
+            "schedule": [[ev.at, ev.kind, list(ev.target)] for ev in self.schedule],
+            "fired": [[t, kind, list(target)] for t, kind, target in self.fired],
+            "virtual_end_s": self.sim.now,
+            "settle_slices": settle_slices,
+            "messages_sent": {o: s for o, s in sorted(self.checker._sent.items())},
+            "final_frontiers": {
+                node.name: {
+                    origin: node.get_stability_frontier(STRICT_KEY, origin)
+                    for origin in self.node_names
+                }
+                for node in self.cluster
+            },
+            "waiter_timeouts": self._waiter_timeouts,
+            "invariant_checks": self.checker.checks,
+            "monitor_events": self.checker.monitor_events,
+            "releases_checked": self.checker.releases_checked,
+            "violations": list(self.checker.violations),
+            "cluster_totals": totals,
+            "elapsed_s": elapsed_s,
+            "checks_per_s": (
+                self.checker.checks / elapsed_s if elapsed_s > 0 else 0.0
+            ),
+        }
+
+    def close(self) -> None:
+        self.cluster.close()
+
+
+def run_chaos(config: Optional[ChaosConfig] = None) -> dict:
+    """Build a harness, run it, close it, return the report."""
+    harness = ChaosHarness(config)
+    try:
+        return harness.run()
+    finally:
+        harness.close()

@@ -1,0 +1,179 @@
+"""Safety invariants checked while chaos runs.
+
+The checker observes a cluster *from the outside* — through the same
+monitor / waiter / stats surfaces an application uses — and raises
+:class:`InvariantViolation` the moment any safety property breaks:
+
+1. **Monitor monotonicity.**  Per (node, origin stream, predicate key),
+   frontier values reported to ``monitor_stability_frontier`` callbacks
+   never decrease — not across predicate degradation (masking), not
+   across recovery (unmasking), not across a crash-restart of the
+   observing node.  History is keyed by node *name*, so a restarted
+   incarnation is held to everything its predecessor reported.
+2. **No frontier beyond the stream.**  A reported frontier never exceeds
+   the highest sequence number the origin actually sent.
+3. **No early waiter release.**  When a guarded ``waitfor`` releases,
+   the predicate is re-evaluated directly against the node's ACK table
+   and must cover the target sequence.
+4. **ACK-cell monotonicity.**  Sampled across every live node's tables,
+   no cell ever regresses (restarts restore at least what was acked).
+5. **Eventual delivery.**  At quiescence, every message sent by every
+   origin — including before a crash or partition — has been received
+   by every node (checked via the data plane's per-origin watermark).
+
+Every individual comparison counts toward ``checks``; the bench harness
+divides by wall-clock time for the invariant-check throughput trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.stabilizer import Stabilizer
+
+
+class InvariantViolation(AssertionError):
+    """A chaos safety invariant was broken."""
+
+
+class InvariantChecker:
+    """See module docstring.  One checker observes one cluster."""
+
+    def __init__(self):
+        # (node, origin, key) -> highest frontier a monitor reported.
+        self._monitor_high: Dict[Tuple[str, str, str], int] = {}
+        # origin -> highest sequence number it ever sent (fed by harness).
+        self._sent: Dict[str, int] = {}
+        # (node, origin) -> last sampled ACK-table rows.
+        self._rows: Dict[Tuple[str, str], List[List[int]]] = {}
+        self.checks = 0
+        self.monitor_events = 0
+        self.releases_checked = 0
+        self.violations: List[str] = []
+
+    # -- wiring ----------------------------------------------------------------
+    def note_sent(self, origin: str, seq: int) -> None:
+        self._sent[origin] = max(self._sent.get(origin, 0), seq)
+
+    def attach(self, node: Stabilizer) -> None:
+        """Register monitors on every predicate of ``node``.
+
+        Call again for the new instance after a restart — the recorded
+        history is keyed by node name and survives the old incarnation.
+        """
+        for key in node.engine.predicate_keys():
+            node.monitor_stability_frontier(
+                key, self._make_monitor(node.name, key)
+            )
+
+    def _make_monitor(self, node_name: str, key: str):
+        def observe(origin: str, frontier: int, old: int) -> None:
+            self.monitor_events += 1
+            self._check_monitor(node_name, origin, key, frontier)
+
+        return observe
+
+    def guarded_waitfor(
+        self, node: Stabilizer, seq: int, key: str, timeout_s: float
+    ):
+        """A ``waitfor`` whose release is verified against the table."""
+        event = node.waitfor(seq, key, timeout_s=timeout_s)
+
+        def verify(ev) -> None:
+            if not ev.ok:
+                return  # timeout: a liveness matter, not a safety one
+            self.releases_checked += 1
+            self._check_release(node, seq, key)
+
+        event.add_callback(verify)
+        return event
+
+    # -- the invariants ----------------------------------------------------------
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        raise InvariantViolation(message)
+
+    def _check_monitor(
+        self, node_name: str, origin: str, key: str, frontier: int
+    ) -> None:
+        slot = (node_name, origin, key)
+        high = self._monitor_high.get(slot, 0)
+        self.checks += 1
+        if frontier < high:
+            self._fail(
+                f"monitor regression at {node_name}: {key!r} frontier for "
+                f"origin {origin!r} reported {frontier} after {high}"
+            )
+        self._monitor_high[slot] = frontier
+        self.checks += 1
+        sent = self._sent.get(origin)
+        if sent is not None and frontier > sent:
+            self._fail(
+                f"phantom stability at {node_name}: {key!r} frontier "
+                f"{frontier} for origin {origin!r} exceeds last sent {sent}"
+            )
+
+    def _check_release(self, node: Stabilizer, seq: int, key: str) -> None:
+        predicate = node.engine.predicate(key)
+        value = predicate.evaluate(node.tables[node.name].table)
+        self.checks += 1
+        if value < seq:
+            self._fail(
+                f"early release at {node.name}: waitfor({seq}, {key!r}) "
+                f"released while the predicate evaluates to {value}"
+            )
+
+    def check_tables(self, nodes) -> None:
+        """Assert no sampled ACK cell regressed since the last sample."""
+        for node in nodes:
+            for origin, table in node.tables.items():
+                current = table.snapshot()
+                slot = (node.name, origin)
+                previous = self._rows.get(slot)
+                if previous is not None:
+                    for row_i, row in enumerate(previous):
+                        for col_i, old_value in enumerate(row):
+                            self.checks += 1
+                            if current[row_i][col_i] < old_value:
+                                self._fail(
+                                    f"ACK regression at {node.name}: origin "
+                                    f"{origin!r} cell ({row_i},{col_i}) went "
+                                    f"{old_value} -> {current[row_i][col_i]}"
+                                )
+                self._rows[slot] = current
+
+    def forget_node(self, name: str) -> None:
+        """Drop table samples for a crashing node.
+
+        A restarted node restores from its snapshot, whose tables may
+        trail the last live sample by in-flight control traffic; cell
+        monotonicity is re-seeded at the first post-restart sample.
+        Monitor history is deliberately *kept* — restored frontiers must
+        never regress below what the old incarnation reported.
+        """
+        for slot in [s for s in self._rows if s[0] == name]:
+            del self._rows[slot]
+
+    def check_delivery(self, nodes) -> None:
+        """At quiescence: everything ever sent is received everywhere."""
+        for node in nodes:
+            for origin, sent in self._sent.items():
+                if origin == node.name:
+                    continue
+                self.checks += 1
+                got = node.dataplane.highest_received(origin)
+                if got < sent:
+                    self._fail(
+                        f"lost messages: {node.name} has {got} of origin "
+                        f"{origin!r}'s stream, {sent} were sent"
+                    )
+
+    def all_delivered(self, nodes) -> bool:
+        """Non-asserting convergence probe used by the settle loop."""
+        for node in nodes:
+            for origin, sent in self._sent.items():
+                if origin != node.name and (
+                    node.dataplane.highest_received(origin) < sent
+                ):
+                    return False
+        return True

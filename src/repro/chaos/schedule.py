@@ -1,0 +1,111 @@
+"""Seeded random crash/partition/heal schedules.
+
+A schedule is a list of :class:`ChaosEvent` tuples, generated from a
+``random.Random(seed)`` stream so the same seed always yields the same
+schedule.  The generator maintains validity invariants so every schedule
+can actually execute against a cluster:
+
+- a node is only crashed while alive and only restarted while crashed;
+- at most ``max_crashed`` nodes are down simultaneously (the cluster
+  must keep a live majority so traffic and stability keep flowing);
+- at most one partition is active at a time (``Network.heal`` restores
+  *every* link, so overlapping partitions would heal together anyway);
+- the schedule ends with a heal and the restart of every crashed node,
+  so the cluster always returns to full health before the final
+  delivered-everywhere check.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class ChaosEvent(NamedTuple):
+    """One scheduled fault transition."""
+
+    at: float  # virtual seconds
+    kind: str  # "crash" | "restart" | "partition" | "heal"
+    target: Tuple[str, ...]  # node name, or the two partitioned AZ names
+
+
+def generate_schedule(
+    groups: Dict[str, Sequence[str]],
+    seed: int,
+    events: int = 12,
+    start: float = 1.0,
+    min_gap: float = 0.5,
+    max_gap: float = 2.0,
+    max_crashed: Optional[int] = None,
+) -> List[ChaosEvent]:
+    """Generate a valid schedule of at least ``events`` fault events.
+
+    ``groups`` maps AZ name -> member node names (the cluster topology).
+    The count includes the closing heal/restart events; the generator
+    keeps injecting random faults until the budget is spent, then closes
+    every open fault.
+    """
+    if events < 2:
+        raise ValueError("need at least 2 events for a fault and its repair")
+    if len(groups) < 2:
+        raise ValueError("need at least 2 AZs to partition")
+    nodes = [n for members in groups.values() for n in members]
+    if max_crashed is None:
+        max_crashed = max(1, (len(nodes) - 1) // 2)
+    rng = random.Random(seed)
+    az_names = sorted(groups)
+
+    schedule: List[ChaosEvent] = []
+    crashed: List[str] = []
+    partitioned = False
+    t = start
+
+    def emit(kind: str, target: Tuple[str, ...]) -> None:
+        nonlocal t
+        schedule.append(ChaosEvent(round(t, 6), kind, target))
+        t += rng.uniform(min_gap, max_gap)
+
+    while len(schedule) < events:
+        # Close every open fault before the budget runs out: each crashed
+        # node needs one restart and an open partition needs one heal.
+        budget_left = events - len(schedule)
+        must_close = len(crashed) + (1 if partitioned else 0)
+        choices = []
+        if budget_left > must_close:
+            if len(crashed) < max_crashed:
+                choices.append("crash")
+            if not partitioned:
+                choices.append("partition")
+        if crashed:
+            choices.append("restart")
+        if partitioned:
+            choices.append("heal")
+        kind = rng.choice(choices)
+        if kind == "crash":
+            victim = rng.choice(sorted(set(nodes) - set(crashed)))
+            crashed.append(victim)
+            emit("crash", (victim,))
+        elif kind == "restart":
+            victim = crashed.pop(rng.randrange(len(crashed)))
+            emit("restart", (victim,))
+        elif kind == "partition":
+            a, b = rng.sample(az_names, 2)
+            partitioned = True
+            emit("partition", (a, b))
+        else:
+            partitioned = False
+            emit("heal", ())
+    # Close anything still open (can exceed the requested count).
+    if partitioned:
+        emit("heal", ())
+    for victim in list(crashed):
+        emit("restart", (victim,))
+    return schedule
+
+
+def describe(schedule: Sequence[ChaosEvent]) -> str:
+    """A one-line-per-event human rendering (for logs and reports)."""
+    return "\n".join(
+        f"t={ev.at:8.3f}  {ev.kind:<9}  {' '.join(ev.target)}"
+        for ev in schedule
+    )

@@ -10,6 +10,7 @@ from repro.core.cluster import StabilizerCluster, build_cluster
 from repro.core.config import StabilizerConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.dataplane import DataPlane, SendBuffer
+from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
 from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
 from repro.core.recovery import (
@@ -24,7 +25,9 @@ __all__ = [
     "AckTable",
     "ControlPlane",
     "DataPlane",
+    "DegradationPolicy",
     "FailureDetector",
+    "MaskSuspectedPolicy",
     "FrontierEngine",
     "SendBuffer",
     "Stabilizer",

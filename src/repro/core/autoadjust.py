@@ -49,13 +49,25 @@ class PredicateAutoAdjuster:
         return self
 
     # ------------------------------------------------------------------ events
-    def _on_suspect(self, peer: str) -> None:
+    def mask_node(self, peer: str) -> None:
+        """Exclude ``peer`` from every unprotected dependent predicate.
+
+        Public so degradation policies (``repro.core.degradation``) can
+        drive the rewrite without attaching detector callbacks."""
         self._masked.add(peer)
         self._rewrite_all()
 
-    def _on_recover(self, peer: str) -> None:
+    def unmask_node(self, peer: str) -> None:
+        """Re-include ``peer``; restores pristine predicate definitions
+        once no node remains masked."""
         self._masked.discard(peer)
         self._rewrite_all()
+
+    def _on_suspect(self, peer: str) -> None:
+        self.mask_node(peer)
+
+    def _on_recover(self, peer: str) -> None:
+        self.unmask_node(peer)
 
     # ------------------------------------------------------------------ rewriting
     def _rewrite_all(self) -> None:

@@ -20,9 +20,32 @@ class StabilizerCluster:
     def __init__(self, net: Network, base_config: StabilizerConfig):
         self.net = net
         self.sim = net.sim
+        self.base_config = base_config
         self.nodes: Dict[str, Stabilizer] = {}
         for name in base_config.node_names:
             self.nodes[name] = Stabilizer(net, base_config.for_node(name))
+
+    def restart_node(self, name: str, snapshot: Optional[dict] = None) -> Stabilizer:
+        """Crash-restart ``name``: rebuild its Stabilizer, restore the
+        snapshot, and ask peers to replay what it missed (Section III-E).
+
+        The caller is responsible for having closed the old instance (a
+        crash does that implicitly — a crashed host's endpoint never sees
+        another packet) and for having brought the host back up via
+        ``net.recover_node(name)``.  With ``snapshot`` given, state is
+        restored before the catch-up request goes out.
+        """
+        from repro.core.recovery import restore_state
+
+        old = self.nodes.get(name)
+        if old is not None:
+            old.close()
+        node = Stabilizer(self.net, self.base_config.for_node(name))
+        self.nodes[name] = node
+        if snapshot is not None:
+            restore_state(node, snapshot)
+        node.request_catchup()
+        return node
 
     def __getitem__(self, name: str) -> Stabilizer:
         return self.nodes[name]

@@ -48,6 +48,14 @@ class StabilizerConfig:
     failure_timeout_s:
         Silence threshold after which a peer is suspected (Section III-E's
         "predicate update timer").
+    max_retransmit_attempts:
+        Transport channels give up after this many consecutive
+        unproductive retransmissions and report the peer dead to the
+        failure detector (the paper's "data transmission failure
+        information").  ``None`` retries forever (the pre-robustness
+        behaviour).
+    transport_min_rto_s / transport_max_rto_s:
+        Clamp for the adaptive (Jacobson/Karn) retransmission timeout.
     """
 
     def __init__(
@@ -63,6 +71,9 @@ class StabilizerConfig:
         control_fanout: str = "all",
         failure_timeout_s: float = 5.0,
         max_buffer_bytes: Optional[int] = None,
+        max_retransmit_attempts: Optional[int] = 8,
+        transport_min_rto_s: float = 0.05,
+        transport_max_rto_s: float = 5.0,
     ):
         if local not in node_names:
             raise ConfigError(f"local node {local!r} not in node list")
@@ -76,6 +87,10 @@ class StabilizerConfig:
             raise ConfigError("control_fanout must be 'all' or 'origin'")
         if failure_timeout_s <= 0:
             raise ConfigError("failure_timeout_s must be positive")
+        if max_retransmit_attempts is not None and max_retransmit_attempts <= 0:
+            raise ConfigError("max_retransmit_attempts must be positive or None")
+        if transport_min_rto_s <= 0 or transport_max_rto_s < transport_min_rto_s:
+            raise ConfigError("need 0 < transport_min_rto_s <= transport_max_rto_s")
         for name in ack_types:
             if name in BUILTIN_TYPES:
                 raise ConfigError(f"ack type {name!r} is built in")
@@ -93,6 +108,9 @@ class StabilizerConfig:
         self.control_fanout = control_fanout
         self.failure_timeout_s = failure_timeout_s
         self.max_buffer_bytes = max_buffer_bytes
+        self.max_retransmit_attempts = max_retransmit_attempts
+        self.transport_min_rto_s = transport_min_rto_s
+        self.transport_max_rto_s = transport_max_rto_s
 
     # -- derived views ----------------------------------------------------------
     @property
@@ -138,7 +156,19 @@ class StabilizerConfig:
             control_fanout=self.control_fanout,
             failure_timeout_s=self.failure_timeout_s,
             max_buffer_bytes=self.max_buffer_bytes,
+            max_retransmit_attempts=self.max_retransmit_attempts,
+            transport_min_rto_s=self.transport_min_rto_s,
+            transport_max_rto_s=self.transport_max_rto_s,
         )
+
+    def channel_kwargs(self) -> dict:
+        """Transport-channel options the Stabilizer planes create channels
+        with (first creation wins; data and control planes share them)."""
+        return {
+            "max_retransmit_attempts": self.max_retransmit_attempts,
+            "min_rto": self.transport_min_rto_s,
+            "max_rto": self.transport_max_rto_s,
+        }
 
     # -- (de)serialization ----------------------------------------------------
     def to_json_file(self, path) -> None:
@@ -177,6 +207,9 @@ class StabilizerConfig:
             "control_fanout": self.control_fanout,
             "failure_timeout_s": self.failure_timeout_s,
             "max_buffer_bytes": self.max_buffer_bytes,
+            "max_retransmit_attempts": self.max_retransmit_attempts,
+            "transport_min_rto_s": self.transport_min_rto_s,
+            "transport_max_rto_s": self.transport_max_rto_s,
         }
 
     @classmethod

@@ -18,15 +18,17 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
-from repro.errors import StabilizerError
+from repro.errors import StabilizerError, TransportError
 from repro.transport.endpoint import TransportEndpoint
-from repro.transport.messages import ControlFrame, SyntheticPayload
+from repro.transport.messages import ControlFrame, ResumeFrame, SyntheticPayload
 
 CONTROL_CHANNEL = "stab.ctrl"
 
 # (origin, updated_node_index, updated (type_id, seq) cells of that node)
 TableUpdateFn = Callable[[str, int, Sequence[Tuple[int, int]]], None]
 HeardFn = Callable[[str], None]
+# (peer name, {origin_index -> highest received seq} the peer already has)
+ResumeFn = Callable[[str, Dict[int, int]], None]
 
 
 class ControlPlane:
@@ -39,6 +41,7 @@ class ControlPlane:
         tables: Dict[str, AckTable],
         on_table_update: TableUpdateFn,
         on_heard: Optional[HeardFn] = None,
+        on_resume: Optional[ResumeFn] = None,
     ):
         self.endpoint = endpoint
         self.sim = endpoint.sim
@@ -46,10 +49,15 @@ class ControlPlane:
         self.tables = tables
         self.on_table_update = on_table_update
         self.on_heard = on_heard
+        self.on_resume = on_resume
         self.local_index = config.local_index
+        channel_kwargs = config.channel_kwargs()
         self._out_channels = {}
         for peer in config.remote_names():
-            channel = endpoint.channel(peer, CONTROL_CHANNEL)
+            try:
+                channel = endpoint.channel(peer, CONTROL_CHANNEL, **channel_kwargs)
+            except TransportError:
+                channel = endpoint.channel(peer, CONTROL_CHANNEL)
             channel.on_deliver = self._on_control
             self._out_channels[peer] = channel
         # Pending local reports: origin -> {type_id -> seq}.
@@ -156,16 +164,58 @@ class ControlPlane:
             self._flush_timer.cancel()
             self._flush_timer = None
 
+    # -- crash-restart catch-up -----------------------------------------------------
+    def send_resume(self, have: Dict[int, int]) -> None:
+        """Broadcast a catch-up request: "I restarted; here is the highest
+        sequence I hold per origin — replay what I am missing"."""
+        frame = ResumeFrame(node_index=self.local_index, have=have)
+        for channel in self._out_channels.values():
+            channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+            self.frames_sent += 1
+            self._last_sent_to_any = self.sim.now
+
+    def resync_to(self, peer: str) -> None:
+        """Re-send this node's full acknowledgment rows to ``peer`` on a
+        reset control stream, so a restarted peer rebuilds its view of our
+        column without waiting for organic re-acks (which, being
+        monotonic, would never repeat old values)."""
+        channel = self._out_channels.get(peer)
+        if channel is None:
+            raise StabilizerError(f"no control channel to {peer!r}")
+        channel.reset_stream()
+        for origin, table in self.tables.items():
+            entries = {
+                type_id: seq
+                for type_id, seq in enumerate(table.row(self.local_index))
+                if seq > 0
+            }
+            if not entries:
+                continue
+            frame = ControlFrame(
+                node_index=self.local_index,
+                origin_index=self.config.node_index(origin),
+                entries=entries,
+            )
+            channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+            self.frames_sent += 1
+            self._last_sent_to_any = self.sim.now
+
     # -- incoming reports --------------------------------------------------------------
-    def _on_control(self, payload, frame: ControlFrame) -> None:
+    def _on_control(self, payload, frame) -> None:
+        if self._closed:
+            return
         self.frames_received += 1
+        reporter = frame.node_index
+        if self.on_heard is not None:
+            self.on_heard(self.config.node_names[reporter])
+        if isinstance(frame, ResumeFrame):
+            if self.on_resume is not None:
+                self.on_resume(self.config.node_names[reporter], frame.have)
+            return
         origin = self.config.node_names[frame.origin_index]
         table = self.tables.get(origin)
         if table is None:
             raise StabilizerError(f"control report for unknown origin {origin!r}")
-        reporter = frame.node_index
-        if self.on_heard is not None:
-            self.on_heard(self.config.node_names[reporter])
         # One batched table update and one frontier pass per frame — the
         # advanced (type_id, seq) cells let the engine use its reverse
         # dependency index instead of rescanning every predicate.

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.config import StabilizerConfig
-from repro.errors import StabilizerError
+from repro.errors import StabilizerError, TransportError
 from repro.transport.chunker import Chunker, Reassembler
 from repro.transport.endpoint import TransportEndpoint
 from repro.transport.messages import Payload, payload_length
@@ -33,12 +33,16 @@ ReceivedFn = Callable[[str, int], None]
 
 
 class _BufferEntry:
-    __slots__ = ("seq", "size", "meta")
+    __slots__ = ("seq", "size", "meta", "payload", "chunk_meta")
 
-    def __init__(self, seq: int, size: int, meta):
+    def __init__(self, seq: int, size: int, meta, payload=None, chunk_meta=None):
         self.seq = seq
         self.size = size
         self.meta = meta
+        # The chunk itself, retained for crash-restart replay: "it can
+        # also buffer data for later transmission if needed".
+        self.payload = payload
+        self.chunk_meta = chunk_meta
 
 
 class SendBuffer:
@@ -51,13 +55,15 @@ class SendBuffer:
         self._reclaimed_up_to = 0
         self.total_reclaimed = 0
 
-    def add(self, seq: int, size: int, meta=None) -> None:
+    def add(
+        self, seq: int, size: int, meta=None, payload=None, chunk_meta=None
+    ) -> None:
         if self.max_bytes is not None and self._bytes + size > self.max_bytes:
             raise StabilizerError(
                 f"send buffer full ({self._bytes}B of {self.max_bytes}B); "
                 "reclaim has not caught up"
             )
-        self._entries[seq] = _BufferEntry(seq, size, meta)
+        self._entries[seq] = _BufferEntry(seq, size, meta, payload, chunk_meta)
         self._bytes += size
 
     def reclaim_up_to(self, seq: int) -> int:
@@ -71,6 +77,14 @@ class SendBuffer:
                 released += 1
         self.total_reclaimed += released
         return released
+
+    def entries_above(self, seq: int):
+        """Retained entries with sequence > ``seq``, in order."""
+        return [self._entries[s] for s in sorted(self._entries) if s > seq]
+
+    @property
+    def reclaimed_up_to(self) -> int:
+        return self._reclaimed_up_to
 
     def buffered_bytes(self) -> int:
         return self._bytes
@@ -97,10 +111,14 @@ class DataPlane:
         self.chunker = Chunker(config.chunk_bytes)
         self.buffer = SendBuffer(config.max_buffer_bytes)
         self._next_seq = 1  # message sequence numbers are 1-based
-        self._out_channels = {
-            peer: endpoint.channel(peer, DATA_CHANNEL)
-            for peer in config.remote_names()
-        }
+        channel_kwargs = config.channel_kwargs()
+        self._out_channels = {}
+        for peer in config.remote_names():
+            try:
+                channel = endpoint.channel(peer, DATA_CHANNEL, **channel_kwargs)
+            except TransportError:
+                channel = endpoint.channel(peer, DATA_CHANNEL)
+            self._out_channels[peer] = channel
         # Receiving state, per origin.
         self._reassemblers: Dict[str, Reassembler] = {}
         self._highest_received: Dict[str, int] = {}
@@ -109,6 +127,8 @@ class DataPlane:
             channel.on_deliver = self._make_receiver(peer)
         self.messages_sent = 0
         self.messages_received = 0
+        self.duplicates_dropped = 0
+        self.replayed_chunks = 0
 
     # -- origin side -------------------------------------------------------------
     @property
@@ -129,13 +149,15 @@ class DataPlane:
             seq = self._next_seq
             self._next_seq += 1
             size = payload_length(chunk.payload)
-            self.buffer.add(seq, size, meta)
             chunk_meta: ChunkMeta = (
                 seq,
                 chunk.object_id,
                 chunk.chunk_index,
                 chunk.chunk_count,
                 meta,
+            )
+            self.buffer.add(
+                seq, size, meta, payload=chunk.payload, chunk_meta=chunk_meta
             )
             for channel in self._out_channels.values():
                 channel.send(chunk.payload, meta=chunk_meta)
@@ -149,9 +171,45 @@ class DataPlane:
         """Called by the facade once ``seq`` is delivered everywhere."""
         return self.buffer.reclaim_up_to(seq)
 
+    def replay_to(self, peer: str, from_seq: int) -> int:
+        """Re-stream every buffered chunk above ``from_seq`` to ``peer``.
+
+        Crash-restart catch-up (Section III-E): the restarted peer told us
+        the highest sequence it holds for our stream; everything above it
+        that we still buffer is resent on a *reset* transport stream so
+        the peer's fresh receiver accepts it.  Returns the chunk count.
+        Raises if reclaim has already discarded part of the requested
+        range — that cannot happen when the peer restarts from a snapshot
+        taken at crash time, because reclaim waits for *everyone*.
+        """
+        channel = self._out_channels.get(peer)
+        if channel is None:
+            raise StabilizerError(f"no data channel to {peer!r}")
+        if self.buffer.reclaimed_up_to > from_seq:
+            raise StabilizerError(
+                f"cannot replay to {peer!r} from seq {from_seq}: buffer "
+                f"reclaimed up to {self.buffer.reclaimed_up_to}"
+            )
+        channel.reset_stream()
+        count = 0
+        for entry in self.buffer.entries_above(from_seq):
+            channel.send(entry.payload, meta=entry.chunk_meta)
+            count += 1
+        self.replayed_chunks += count
+        return count
+
     # -- receiving side ------------------------------------------------------------
     def highest_received(self, origin: str) -> int:
         return self._highest_received.get(origin, 0)
+
+    def restore_highest_received(self, origin: str, seq: int) -> None:
+        """Reinstate the per-origin receive watermark from a snapshot, so
+        a restarted node resumes each incoming stream where it left off
+        instead of treating the next chunk as a mid-stream join."""
+        if seq > 0:
+            self._highest_received[origin] = max(
+                self._highest_received.get(origin, 0), seq
+            )
 
     def _make_receiver(self, origin: str):
         def receive(payload: Payload, meta: ChunkMeta) -> None:
@@ -175,7 +233,13 @@ class DataPlane:
                 )
             last = seq - 1
         expected = (last or 0) + 1
-        if seq != expected:
+        if seq < expected:
+            # A crash-restart replay can resend chunks we already hold:
+            # the peer's view of our received-watermark lags by control
+            # latency.  Duplicates are harmless — drop them.
+            self.duplicates_dropped += 1
+            return
+        if seq > expected:
             raise StabilizerError(
                 f"origin {origin!r}: chunk seq {seq} arrived out of order "
                 f"(expected {expected}); the FIFO transport is broken"

@@ -1,0 +1,88 @@
+"""User-defined degradation policies (Section III-E, automated).
+
+The paper observes that when a secondary crashes "the primary can adjust
+the predicate to eliminate the impact" — but leaves *what* adjustment to
+the system designer.  A :class:`DegradationPolicy` is that designer hook:
+the Stabilizer invokes it when the failure detector suspects a peer and
+again when the peer recovers, and the policy decides how registered
+predicates degrade and re-strengthen.
+
+:class:`MaskSuspectedPolicy` is the stock policy most applications want:
+it rewrites every dependent predicate through the existing
+``change_predicate`` path so the suspected node stops gating stability
+(the :class:`~repro.core.autoadjust.PredicateAutoAdjuster` set-difference
+rewrite), and restores the pristine definitions once every suspected node
+has recovered.  The gap rule keeps monitors silent while a restored,
+stricter predicate catches back up — so re-inclusion never shows a
+frontier regression to the application.
+
+Install with :meth:`repro.core.stabilizer.Stabilizer.set_degradation_policy`;
+every transition is timestamped in the stabilizer's degradation log and
+counted in ``stats()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.stabilizer import Stabilizer
+
+
+class DegradationPolicy:
+    """Decides how predicates degrade when peers fail.
+
+    Subclass and override both hooks; the base class is a no-op (suspicion
+    is still tracked and logged, predicates are left alone — the
+    pre-policy behaviour where strict predicates simply stop advancing).
+    """
+
+    def on_suspect(self, stabilizer: "Stabilizer", peer: str) -> None:
+        """``peer`` is suspected dead: degrade predicates as desired."""
+
+    def on_recover(self, stabilizer: "Stabilizer", peer: str) -> None:
+        """``peer`` is alive again: undo the degradation for it."""
+
+    def excluded_nodes(self) -> Set[str]:
+        """Nodes this policy currently excludes from predicates."""
+        return set()
+
+
+class MaskSuspectedPolicy(DegradationPolicy):
+    """Mask suspected nodes out of every dependent predicate.
+
+    Parameters
+    ----------
+    protect:
+        Predicate keys never to rewrite (e.g. an exact quorum the
+        application reasons about itself).
+    """
+
+    def __init__(self, protect: Set[str] = frozenset()):
+        self.protect = set(protect)
+        self._adjuster = None  # built lazily, bound to one stabilizer
+
+    def _bind(self, stabilizer: "Stabilizer"):
+        from repro.core.autoadjust import PredicateAutoAdjuster
+
+        if self._adjuster is None:
+            self._adjuster = PredicateAutoAdjuster(stabilizer, self.protect)
+        elif self._adjuster.stabilizer is not stabilizer:
+            raise ValueError("one MaskSuspectedPolicy serves one Stabilizer")
+        return self._adjuster
+
+    def on_suspect(self, stabilizer: "Stabilizer", peer: str) -> None:
+        self._bind(stabilizer).mask_node(peer)
+
+    def on_recover(self, stabilizer: "Stabilizer", peer: str) -> None:
+        self._bind(stabilizer).unmask_node(peer)
+
+    def excluded_nodes(self) -> Set[str]:
+        if self._adjuster is None:
+            return set()
+        return self._adjuster.masked_nodes()
+
+    def adjusted_keys(self) -> List[str]:
+        if self._adjuster is None:
+            return []
+        return self._adjuster.adjusted_keys()

@@ -97,6 +97,11 @@ class FrontierEngine:
         self._active_key: Optional[str] = None
         # frontier[(origin, key)] -> last evaluated value.
         self._frontiers: Dict[Tuple[str, str], int] = {}
+        # Highest value ever reported to monitors per slot.  The raw
+        # frontier may regress after change_predicate (the gap rule);
+        # monitors must stay silent until the new definition catches back
+        # up past everything they already saw.
+        self._monitor_high: Dict[Tuple[str, str], int] = {}
         self._slots: Dict[Tuple[str, str], _SlotState] = {}
         # Reverse dependency index: cell -> keys, node -> keys.
         self._cell_index: Dict[Cell, List[str]] = {}
@@ -357,8 +362,14 @@ class FrontierEngine:
         if value < old:
             return  # predicate was redefined; hold reports until caught up
         advanced[key] = value
-        for monitor in self._monitors.get(key, ()):
-            monitor(origin, value, old)
+        # Monitors only ever see increasing values: a redefinition (mask /
+        # restore) may drop the raw frontier, and partial re-advances
+        # below the old high-water mark stay silent (the gap rule).
+        high = self._monitor_high.get(slot, 0)
+        if value > high:
+            self._monitor_high[slot] = value
+            for monitor in self._monitors.get(key, ()):
+                monitor(origin, value, high)
         self._release_waiters(slot, value)
 
     def _reevaluate_brute(
@@ -405,13 +416,45 @@ class FrontierEngine:
             out.setdefault(origin, {})[key] = value
         return out
 
+    def snapshot_monitor_high(self) -> Dict[str, Dict[str, int]]:
+        """The per-slot monitor high-water marks.
+
+        Persisted separately from the raw frontiers: after a predicate
+        redefinition the raw value may sit *below* what monitors already
+        reported, and a restarted node must not re-report the gap."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (origin, key), value in self._monitor_high.items():
+            out.setdefault(origin, {})[key] = value
+        return out
+
+    def restore_monitor_high(self, data: Dict[str, Dict[str, int]]) -> None:
+        for origin, per_key in data.items():
+            for key, value in per_key.items():
+                slot = (origin, key)
+                if value > self._monitor_high.get(slot, 0):
+                    self._monitor_high[slot] = value
+
     def restore_frontiers(self, data: Dict[str, Dict[str, int]]) -> None:
+        restored = []
         for origin, per_key in data.items():
             for key, value in per_key.items():
                 slot = (origin, key)
                 if value > self._frontiers.get(slot, 0):
                     self._frontiers[slot] = value
+                    restored.append((slot, value))
+                if value > self._monitor_high.get(slot, 0):
+                    # The pre-crash incarnation already reported up to
+                    # here; monitors resume above it, never below.
+                    self._monitor_high[slot] = value
         # Restored frontiers may sit above anything the current tables
         # support; drop the evaluation caches so the next report takes a
-        # full pass instead of short-circuiting against stale state.
+        # full pass instead of short-circuiting against stale state, and
+        # rebuild the reverse dependency index so incremental evaluation
+        # resumes from a coherent cell->predicate map.
         self._slots.clear()
+        self._rebuild_index()
+        # Waiters registered before the restore whose target the restored
+        # frontier already covers must release now — nothing may ever be
+        # blocked behind a frontier that has already passed its target.
+        for slot, value in restored:
+            self._release_waiters(slot, value)

@@ -6,6 +6,11 @@ predicate to eliminate the impact."  The detector tracks when each peer
 was last heard from (any data or control arrival) and suspects peers whose
 silence exceeds the configured timeout — but only once traffic has
 actually been exchanged, so an idle system does not generate false alarms.
+
+Suspicion has two sources: the timer (silence beyond ``failure_timeout_s``)
+and the *data transmission failure information* — a transport channel that
+exhausted its retransmit attempts calls :meth:`suspect` directly, which is
+usually much faster than waiting out the heartbeat silence.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ class FailureDetector:
         self._on_recover: List[SuspectFn] = []
         self._timer = None
         self._running = False
+        self.suspicions = 0
+        self.recoveries = 0
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> None:
@@ -47,12 +54,37 @@ class FailureDetector:
 
     # -- observations -----------------------------------------------------------------
     def heard_from(self, peer: str) -> None:
-        """Any arrival from ``peer`` proves it alive right now."""
+        """Any arrival from ``peer`` proves it alive right now.
+
+        After :meth:`stop` the timestamp is still recorded (so a detector
+        restarted later has fresh data) but recovery callbacks no longer
+        fire into the torn-down node.
+        """
         self._last_heard[peer] = self.sim.now
         if peer in self._suspected:
             self._suspected.discard(peer)
+            if not self._running:
+                return
+            self.recoveries += 1
             for callback in self._on_recover:
                 callback(peer)
+
+    def suspect(self, peer: str) -> None:
+        """Force suspicion of ``peer`` out of band.
+
+        Used for the paper's "data transmission failure information": the
+        transport reports a dead peer the instant its bounded retransmit
+        attempts run out, without waiting for heartbeat silence.
+        Callbacks fire only while the detector is running.
+        """
+        if peer in self._suspected:
+            return
+        self._suspected.add(peer)
+        if not self._running:
+            return
+        self.suspicions += 1
+        for callback in self._on_suspect:
+            callback(peer)
 
     def on_suspect(self, callback: SuspectFn) -> None:
         self._on_suspect.append(callback)
@@ -80,6 +112,7 @@ class FailureDetector:
                 continue
             if now - last > self.timeout_s:
                 self._suspected.add(peer)
+                self.suspicions += 1
                 for callback in self._on_suspect:
                     callback(peer)
         self._timer = self.sim.call_later(self.timeout_s / 2, self._tick)

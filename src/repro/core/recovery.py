@@ -2,10 +2,16 @@
 
 "The Derecho object store can also persist the stability frontier
 information, which can be used for Stabilizer recovery."  We persist the
-ACK tables, frontier values and the outgoing sequence counter as JSON; a
-restarted node loads the snapshot after the integrated system's own
-recovery logic runs (the paper's view-change analogue is the caller
-rebuilding the node and then invoking :func:`restore_state`).
+ACK tables, frontier values, the outgoing sequence counter and the send
+buffer's undelivered tail as JSON; a restarted node loads the snapshot
+after the integrated system's own recovery logic runs (the paper's
+view-change analogue is the caller rebuilding the node and then invoking
+:func:`restore_state`), then calls
+:meth:`~repro.core.stabilizer.Stabilizer.request_catchup` so peers replay
+what it missed while down.
+
+Version 2 added the send buffer and receive watermarks; version-1
+snapshots still restore (without buffer replay of the node's own stream).
 """
 
 from __future__ import annotations
@@ -16,12 +22,31 @@ from typing import Union
 
 from repro.core.stabilizer import Stabilizer
 from repro.errors import StabilizerError
+from repro.transport.messages import SyntheticPayload
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _encode_payload(payload):
+    if isinstance(payload, SyntheticPayload):
+        return {"synthetic": payload.length}
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return {"hex": bytes(payload).hex()}
+    raise StabilizerError(
+        f"cannot snapshot payload of type {type(payload).__name__}"
+    )
+
+
+def _decode_payload(data):
+    if "synthetic" in data:
+        return SyntheticPayload(data["synthetic"])
+    return bytes.fromhex(data["hex"])
 
 
 def snapshot_state(stabilizer: Stabilizer) -> dict:
     """Capture everything a restarted node needs to resume its role."""
+    buffer = stabilizer.dataplane.buffer
     return {
         "version": SNAPSHOT_VERSION,
         "config": stabilizer.config.to_dict(),
@@ -31,6 +56,22 @@ def snapshot_state(stabilizer: Stabilizer) -> dict:
             for origin, table in stabilizer.tables.items()
         },
         "frontiers": stabilizer.engine.snapshot_frontiers(),
+        "monitor_high": stabilizer.engine.snapshot_monitor_high(),
+        # The undelivered tail of this node's own stream.  "When a message
+        # has been delivered everywhere, the buffer space is reclaimed" —
+        # so what is still here is exactly what some peer may be missing.
+        "buffer": {
+            "reclaimed_up_to": buffer.reclaimed_up_to,
+            "entries": [
+                {
+                    "seq": entry.seq,
+                    "size": entry.size,
+                    "payload": _encode_payload(entry.payload),
+                    "chunk_meta": list(entry.chunk_meta),
+                }
+                for entry in buffer.entries_above(buffer.reclaimed_up_to)
+            ],
+        },
     }
 
 
@@ -39,9 +80,14 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
 
     The node must have been built with the same deployment config (node
     list and groups); its sequence counter resumes after the last persisted
-    message so the stream never reuses a number.
+    message so the stream never reuses a number.  Restores the ACK tables,
+    the frontier values (rebuilding the engine's reverse dependency index
+    and releasing any waiter the restored frontier already covers), the
+    per-origin receive watermarks, and — for version-2 snapshots — the
+    send buffer's undelivered tail, ready for
+    :meth:`~repro.core.stabilizer.Stabilizer.request_catchup` replay.
     """
-    if snapshot.get("version") != SNAPSHOT_VERSION:
+    if snapshot.get("version") not in _SUPPORTED_VERSIONS:
         raise StabilizerError(
             f"unsupported snapshot version {snapshot.get('version')!r}"
         )
@@ -59,9 +105,36 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
             raise StabilizerError(f"snapshot has unknown origin {origin!r}")
         table.restore(rows)
     stabilizer.engine.restore_frontiers(snapshot["frontiers"])
+    stabilizer.engine.restore_monitor_high(snapshot.get("monitor_high", {}))
     stabilizer.dataplane._next_seq = max(
         stabilizer.dataplane._next_seq, int(snapshot["next_seq"])
     )
+    # Receive watermarks: what this node acknowledged as received for each
+    # remote stream is in its own column of the restored tables; the data
+    # plane resumes each stream there instead of mid-stream-join logic.
+    received = stabilizer.type_id("received")
+    local_index = stabilizer.local_index
+    for origin in stabilizer.config.node_names:
+        if origin == stabilizer.name:
+            continue
+        stabilizer.dataplane.restore_highest_received(
+            origin, stabilizer.tables[origin].get(local_index, received)
+        )
+    buffer_state = snapshot.get("buffer")
+    if buffer_state is not None:
+        buffer = stabilizer.dataplane.buffer
+        buffer._reclaimed_up_to = max(
+            buffer._reclaimed_up_to, int(buffer_state["reclaimed_up_to"])
+        )
+        for entry in buffer_state["entries"]:
+            chunk_meta = tuple(entry["chunk_meta"])
+            buffer.add(
+                entry["seq"],
+                entry["size"],
+                meta=chunk_meta[4],
+                payload=_decode_payload(entry["payload"]),
+                chunk_meta=chunk_meta,
+            )
 
 
 def save_snapshot(stabilizer: Stabilizer, path: Union[str, Path]) -> None:

@@ -21,12 +21,13 @@ client APIs, and neither are ours.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.dataplane import DataPlane
+from repro.core.degradation import DegradationPolicy
 from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
 from repro.errors import StabilizerError
@@ -76,9 +77,20 @@ class Stabilizer:
             self.tables,
             on_table_update=self._on_table_update,
             on_heard=self.detector.heard_from,
+            on_resume=self._on_resume_request,
         )
         for key, source in config.predicates.items():
             self.engine.register_predicate(key, source)
+        # Partition-aware degradation (Section III-E): transport dead-peer
+        # reports feed the detector; suspicion and recovery transitions are
+        # logged and handed to the user-registered degradation policy.
+        self.degradation_policy: Optional[DegradationPolicy] = None
+        self._degradation_log: List[Tuple[float, str, str]] = []
+        self.degradations = 0
+        self.reinclusions = 0
+        self.endpoint.on_peer_dead = self._on_peer_dead
+        self.detector.on_suspect(self._on_peer_suspected)
+        self.detector.on_recover(self._on_peer_recovered)
         self.detector.start()
 
     # ------------------------------------------------------------------ sending
@@ -209,6 +221,93 @@ class Stabilizer:
     def suspected_nodes(self):
         return self.detector.suspected()
 
+    def set_degradation_policy(
+        self,
+        policy: Optional[DegradationPolicy] = None,
+        protect=frozenset(),
+    ) -> DegradationPolicy:
+        """Install the user-defined degradation policy (Section III-E).
+
+        With no arguments installs the stock
+        :class:`~repro.core.degradation.MaskSuspectedPolicy`, which
+        rewrites dependent predicates to exclude suspected nodes via the
+        ``change_predicate`` path and restores them on recovery;
+        ``protect`` lists predicate keys it must never touch.  Pass your
+        own :class:`~repro.core.degradation.DegradationPolicy` subclass
+        for anything else.  Returns the installed policy.
+        """
+        if policy is None:
+            from repro.core.degradation import MaskSuspectedPolicy
+
+            policy = MaskSuspectedPolicy(protect=set(protect))
+        self.degradation_policy = policy
+        # Peers already under suspicion degrade immediately.
+        for peer in self.detector.suspected():
+            policy.on_suspect(self, peer)
+        return policy
+
+    def degradation_log(self) -> List[Tuple[float, str, str]]:
+        """Every (virtual time, transition, peer) suspicion/recovery
+        event observed at this node, oldest first."""
+        return list(self._degradation_log)
+
+    def _on_peer_dead(self, peer: str, channel_name: str) -> None:
+        # The paper's "data transmission failure information": the
+        # transport exhausted its retransmit budget toward this peer.
+        self._degradation_log.append((self.sim.now, "transport_dead", peer))
+        self.detector.suspect(peer)
+
+    def _on_peer_suspected(self, peer: str) -> None:
+        self._degradation_log.append((self.sim.now, "suspect", peer))
+        if self.degradation_policy is not None:
+            self.degradations += 1
+            self.degradation_policy.on_suspect(self, peer)
+
+    def _on_peer_recovered(self, peer: str) -> None:
+        self._degradation_log.append((self.sim.now, "recover", peer))
+        # Suspended transport channels to the peer resume immediately —
+        # the detector heard from it, so it is worth retransmitting.
+        self.endpoint.revive_peer(peer)
+        if self.degradation_policy is not None:
+            self.reinclusions += 1
+            self.degradation_policy.on_recover(self, peer)
+
+    # ------------------------------------------------------------------ recovery
+    def request_catchup(self) -> None:
+        """Ask every peer to replay what this node missed while down.
+
+        Called after :func:`repro.core.recovery.restore_state` on a
+        restarted node: broadcasts a resume frame carrying the highest
+        sequence this node holds per origin stream; each peer replays its
+        buffered chunks above that watermark and re-sends its full control
+        rows, all on freshly reset transport streams.  This node also
+        replays its *own* buffered tail to any peer whose received-ack for
+        our stream trails what we have buffered.
+        """
+        have = {}
+        for origin in self.config.node_names:
+            if origin == self.name:
+                continue
+            idx = self.config.node_index(origin)
+            have[idx] = self.dataplane.highest_received(origin)
+        self.controlplane.send_resume(have)
+        # Our own stream: anything peers had not acked as received when we
+        # snapshotted is still in the restored send buffer — resend it.
+        received = self._type_ids["received"]
+        table = self.tables[self.name]
+        for peer in self.config.remote_names():
+            peer_has = table.get(self.config.node_index(peer), received)
+            if self.dataplane.last_sent_seq() > peer_has:
+                self.dataplane.replay_to(peer, peer_has)
+
+    def _on_resume_request(self, peer: str, have: Dict[int, int]) -> None:
+        """A restarted ``peer`` asked for catch-up: replay our stream
+        above its watermark and resync our acknowledgment rows."""
+        self._degradation_log.append((self.sim.now, "resume_request", peer))
+        self.dataplane.replay_to(peer, have.get(self.local_index, 0))
+        self.controlplane.resync_to(peer)
+        self.detector.heard_from(peer)
+
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, float]:
         """Operational counters (for dashboards and tests)."""
@@ -229,6 +328,18 @@ class Stabilizer:
             "predicate_cache_hits": self.engine.compiler.cache_hits,
             "pending_waiters": self.engine.pending_waiters(),
             "suspected_nodes": len(self.detector.suspected()),
+            "suspicions": self.detector.suspicions,
+            "recoveries": self.detector.recoveries,
+            "degradations": self.degradations,
+            "reinclusions": self.reinclusions,
+            "duplicates_dropped": self.dataplane.duplicates_dropped,
+            "replayed_chunks": self.dataplane.replayed_chunks,
+            "transport_retransmissions": sum(
+                c.retransmissions for c in self.endpoint.channels().values()
+            ),
+            "transport_suspensions": sum(
+                c.suspensions for c in self.endpoint.channels().values()
+            ),
         }
 
     # ------------------------------------------------------------------ internals

@@ -3,17 +3,26 @@
 Every protocol in the reproduction (Stabilizer data/control planes, Paxos,
 pub/sub) builds on named FIFO channels.  An endpoint owns the host's side
 of every channel and demultiplexes incoming packets by channel name.
+
+The endpoint is also where dead-peer reports surface: a channel that
+exhausts its retransmit attempts suspends itself and the endpoint invokes
+``on_peer_dead`` (the Stabilizer wires this into its failure detector).
+Any packet later observed *from* that peer — data, ack, anything —
+revives every suspended channel to it, so a healed partition resumes
+without an explicit recovery message.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import TransportError
 from repro.net.topology import Network
 from repro.transport.fifo import FifoChannel
 
 TRANSPORT_PORT = "transport"
+
+PeerDeadFn = Callable[[str, str], None]  # (peer, channel name)
 
 
 class TransportEndpoint:
@@ -24,14 +33,18 @@ class TransportEndpoint:
         self.sim = net.sim
         self.node_name = node_name
         self.port = port
+        self.closed = False
         self._channels: Dict[Tuple[str, str], FifoChannel] = {}
+        self._suspended_peers: Set[str] = set()
+        # Invoked (peer, channel_name) when a channel gives up retrying.
+        self.on_peer_dead: Optional[PeerDeadFn] = None
         net.host(node_name).bind(port, self._on_packet)
 
     def channel(self, peer: str, name: str, **kwargs) -> FifoChannel:
         """Get or create the channel to ``peer`` named ``name``.
 
-        Keyword arguments (``rto``, ``ack_every``, ``ack_interval``) apply
-        only at creation time.
+        Keyword arguments (``rto``, ``ack_every``, ``ack_interval``, the
+        adaptive-RTO knobs, ...) apply only at creation time.
         """
         if peer == self.node_name:
             raise TransportError("no loopback channels; deliver locally instead")
@@ -49,8 +62,18 @@ class TransportEndpoint:
     def channels(self) -> Dict[Tuple[str, str], FifoChannel]:
         return dict(self._channels)
 
+    def revive_peer(self, peer: str) -> None:
+        """Revive every suspended channel to ``peer`` (e.g. on an
+        out-of-band sign of life such as a failure-detector recovery)."""
+        for (p, _name), chan in list(self._channels.items()):
+            if p == peer and chan.suspended:
+                chan.revive()
+
     def close(self) -> None:
-        """Close every channel and unbind from the network."""
+        """Close every channel and unbind from the network.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
         for chan in self._channels.values():
             chan.close()
         self.net.host(self.node_name).unbind(self.port)
@@ -59,7 +82,20 @@ class TransportEndpoint:
     def _send_raw(self, peer: str, frame, size_bytes: int) -> None:
         self.net.send(self.node_name, peer, self.port, frame, max(size_bytes, 1))
 
+    def _channel_suspended(self, chan: FifoChannel) -> None:
+        self._suspended_peers.add(chan.peer)
+        if self.on_peer_dead is not None:
+            self.on_peer_dead(chan.peer, chan.name)
+
+    def _channel_revived(self, chan: FifoChannel) -> None:
+        if not any(
+            c.suspended for (p, _n), c in self._channels.items() if p == chan.peer
+        ):
+            self._suspended_peers.discard(chan.peer)
+
     def _on_packet(self, packet) -> None:
+        if self.closed:
+            return
         frame = packet.payload
         kind = frame[0]
         if kind == "data":
@@ -72,3 +108,6 @@ class TransportEndpoint:
             chan._handle_ack(cumulative, epoch)
         else:
             raise TransportError(f"unknown transport frame kind: {kind!r}")
+        # Any packet from a peer with suspended channels proves it is alive.
+        if packet.src in self._suspended_peers:
+            self.revive_peer(packet.src)

@@ -8,7 +8,20 @@ possibly-lossy link model:
 - the receiver delivers in order, buffering out-of-order arrivals;
 - cumulative ACKs flow back every ``ack_every`` frames or ``ack_interval``
   seconds, releasing the sender's retransmission buffer;
-- a go-back-N retransmit fires when no progress happens within ``rto``.
+- a go-back-N retransmit fires when no progress happens within the
+  retransmission timeout.
+
+The retransmission timeout is *adaptive* (Jacobson/Karn): ACKed frames
+that were never retransmitted contribute RTT samples to an EWMA estimator
+(``srtt``/``rttvar``), and the base timeout is ``srtt + 4·rttvar`` clamped
+to ``[min_rto, max_rto]``.  Consecutive unproductive retransmissions back
+off exponentially, and after ``max_retransmit_attempts`` of them the
+channel *suspends* — it stops the retry timer and surfaces a dead-peer
+report to the endpoint instead of retrying silently forever.  A suspended
+channel keeps its unacknowledged frames; any later sign of life from the
+peer (an ACK, or any packet observed by the endpoint) revives it, which
+retransmits everything outstanding — so a healed partition or a restarted
+peer catches up without losing a single frame.
 
 With loss-free links (the default in the paper's experiments) the overhead
 is one periodic timer and occasional tiny ACK frames.
@@ -29,15 +42,21 @@ DeliverFn = Callable[[Payload, object], None]
 TRANSPORT_HEADER_BYTES = 24  # seq + channel id + flags, matching messages.py scale
 ACK_FRAME_BYTES = 20
 
+# RTO granularity: rttvar collapses to ~0 on jitter-free virtual links,
+# and an RTO equal to the RTT would retransmit on every ack delay.
+RTO_GRANULE_S = 0.01
+
 
 class _OutFrame:
-    __slots__ = ("seq", "payload", "size", "meta")
+    __slots__ = ("seq", "payload", "size", "meta", "sent_at", "retransmitted")
 
     def __init__(self, seq: int, payload: Payload, size: int, meta):
         self.seq = seq
         self.payload = payload
         self.size = size
         self.meta = meta
+        self.sent_at = 0.0
+        self.retransmitted = False
 
 
 class FifoChannel:
@@ -56,11 +75,22 @@ class FifoChannel:
         ack_every: int = 32,
         ack_interval: float = 0.05,
         max_inflight_bytes: Optional[int] = None,
+        adaptive_rto: bool = True,
+        min_rto: float = 0.05,
+        max_rto: float = 5.0,
+        retransmit_backoff: float = 2.0,
+        max_retransmit_attempts: Optional[int] = None,
     ):
         if rto <= 0 or ack_interval <= 0 or ack_every <= 0:
             raise TransportError("rto, ack_every and ack_interval must be positive")
         if max_inflight_bytes is not None and max_inflight_bytes <= 0:
             raise TransportError("max_inflight_bytes must be positive")
+        if min_rto <= 0 or max_rto < min_rto:
+            raise TransportError("need 0 < min_rto <= max_rto")
+        if retransmit_backoff < 1.0:
+            raise TransportError("retransmit_backoff must be >= 1")
+        if max_retransmit_attempts is not None and max_retransmit_attempts <= 0:
+            raise TransportError("max_retransmit_attempts must be positive")
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self.local = endpoint.node_name
@@ -69,9 +99,20 @@ class FifoChannel:
         self.rto = rto
         self.ack_every = ack_every
         self.ack_interval = ack_interval
+        self.adaptive_rto = adaptive_rto
+        # An RTO below the peer's delayed-ack window would retransmit on
+        # every ack delay; both ends are built with the same parameters.
+        self.min_rto = max(min_rto, 2.0 * ack_interval)
+        self.max_rto = max_rto
+        self.retransmit_backoff = retransmit_backoff
+        self.max_retransmit_attempts = max_retransmit_attempts
 
         self.on_deliver: Optional[DeliverFn] = None
         self.closed = False
+        # Suspended: the retry loop concluded the peer is dead (see module
+        # docstring).  Frames are retained and sends still transmit — they
+        # double as probes — but no timer burns until a sign of life.
+        self.suspended = False
         # Stream epoch: stamped into every frame.  A restarted node's new
         # channel carries a later epoch; the receiver resets its stream
         # state on an epoch change (the TCP-connection-establishment
@@ -91,6 +132,11 @@ class FifoChannel:
         self._lowest_unacked = 0
         self._retransmit_timer = None
         self._last_progress = 0.0
+        self._attempts = 0  # consecutive unproductive retransmissions
+        # RTT estimator (Jacobson); base RTO starts at the configured rto.
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._base_rto = min(max(rto, self.min_rto), self.max_rto)
 
         # Receiver state.
         self._next_deliver_seq = 0
@@ -104,6 +150,10 @@ class FifoChannel:
         self.frames_delivered = 0
         self.retransmissions = 0
         self.acks_sent = 0
+        self.suspensions = 0
+        self.revivals = 0
+        self.rtt_samples = 0
+        self.stream_resets = 0
 
     # -- sending ------------------------------------------------------------
     def send(self, payload: Payload, meta=None) -> int:
@@ -127,9 +177,10 @@ class FifoChannel:
     def _launch(self, frame: _OutFrame) -> None:
         self._unacked[frame.seq] = frame
         self._unacked_bytes += frame.size
+        frame.sent_at = self.sim.now
         self._transmit(frame)
         self.frames_sent += 1
-        if self._retransmit_timer is None:
+        if self._retransmit_timer is None and not self.suspended:
             self._arm_retransmit()
 
     def unacked_count(self) -> int:
@@ -148,37 +199,140 @@ class FifoChannel:
             frame.size,
         )
 
+    # -- retransmission ------------------------------------------------------
+    def current_rto(self) -> float:
+        """The effective timeout: the (possibly RTT-estimated) base RTO
+        backed off exponentially by the consecutive-failure count."""
+        rto = self._base_rto * (self.retransmit_backoff ** self._attempts)
+        return min(rto, self.max_rto)
+
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    def _observe_rtt(self, sample: float) -> None:
+        if sample < 0:
+            return
+        self.rtt_samples += 1
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        rto = self._srtt + max(4.0 * self._rttvar, RTO_GRANULE_S)
+        self._base_rto = min(max(rto, self.min_rto), self.max_rto)
+
     def _arm_retransmit(self) -> None:
         self._last_progress = self.sim.now
-        self._retransmit_timer = self.sim.call_later(self.rto, self._check_retransmit)
+        self._retransmit_timer = self.sim.call_later(
+            self.current_rto(), self._check_retransmit
+        )
 
     def _check_retransmit(self) -> None:
         self._retransmit_timer = None
-        if self.closed or not self._unacked:
+        if self.closed or self.suspended or not self._unacked:
             return
-        if self.sim.now - self._last_progress >= self.rto:
-            # Go-back-N: resend every unacked frame in order.
+        if self.sim.now - self._last_progress >= self.current_rto():
+            self._attempts += 1
+            if (
+                self.max_retransmit_attempts is not None
+                and self._attempts > self.max_retransmit_attempts
+            ):
+                self._suspend()
+                return
+            # Go-back-N: resend every unacked frame in order (Karn's rule:
+            # retransmitted frames stop contributing RTT samples).
             for seq in sorted(self._unacked):
-                self._transmit(self._unacked[seq])
+                frame = self._unacked[seq]
+                frame.retransmitted = True
+                self._transmit(frame)
                 self.retransmissions += 1
             self._last_progress = self.sim.now
-        self._retransmit_timer = self.sim.call_later(self.rto, self._check_retransmit)
+        self._retransmit_timer = self.sim.call_later(
+            self.current_rto(), self._check_retransmit
+        )
+
+    def _suspend(self) -> None:
+        """Give up retrying: the peer looks dead.  Frames are retained."""
+        self.suspended = True
+        self.suspensions += 1
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        self.endpoint._channel_suspended(self)
+
+    def revive(self) -> None:
+        """Resume a suspended channel: the peer showed signs of life.
+
+        Retransmits everything outstanding immediately and re-arms the
+        retry timer from a clean backoff state.  No-op unless suspended.
+        """
+        if self.closed or not self.suspended:
+            return
+        self.suspended = False
+        self.revivals += 1
+        self._attempts = 0
+        self.endpoint._channel_revived(self)
+        for seq in sorted(self._unacked):
+            frame = self._unacked[seq]
+            frame.retransmitted = True
+            self._transmit(frame)
+            self.retransmissions += 1
+        if self._unacked and self._retransmit_timer is None:
+            self._arm_retransmit()
+
+    def reset_stream(self) -> None:
+        """Restart the send direction as a brand-new stream.
+
+        Bumps the epoch (so the receiver resets on the next frame), drops
+        every outstanding frame and restarts sequence numbering from 0.
+        Used by crash-restart catch-up: a peer replaying its buffer to a
+        restarted node must not make the fresh receiver wait for transport
+        sequence numbers that died with the old incarnation.
+        """
+        if self.closed:
+            raise TransportError(f"channel {self.name!r} is closed")
+        # Strictly greater than any epoch this channel ever used, even when
+        # the reset happens in the same virtual instant as creation.
+        self.epoch = max(self.sim.now, self.epoch + 1e-9)
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        if self.suspended:
+            self.suspended = False
+            self.endpoint._channel_revived(self)
+        self._next_send_seq = 0
+        self._lowest_unacked = 0
+        self._unacked.clear()
+        self._unacked_bytes = 0
+        self._backlog.clear()
+        self._attempts = 0
+        self.stream_resets += 1
 
     def _handle_ack(
         self, cumulative_seq: int, epoch: Optional[float] = None
     ) -> None:
+        if self.closed:
+            return
         if epoch is not None and epoch != self.epoch:
             return  # an ack for a previous incarnation of this stream
         progressed = False
+        now = self.sim.now
         while self._lowest_unacked <= cumulative_seq:
             frame = self._unacked.pop(self._lowest_unacked, None)
             if frame is not None:
                 self._unacked_bytes -= frame.size
                 progressed = True
+                if self.adaptive_rto and not frame.retransmitted:
+                    self._observe_rtt(now - frame.sent_at)
             self._lowest_unacked += 1
         if progressed:
-            self._last_progress = self.sim.now
+            self._attempts = 0
+            self._last_progress = now
             self._drain_backlog()
+        if self.suspended:
+            # Any ack — even a duplicate — proves the peer is alive.
+            self.revive()
         if not self._unacked and self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
             self._retransmit_timer = None
@@ -196,6 +350,8 @@ class FifoChannel:
     def _handle_data(
         self, seq: int, payload: Payload, size: int, meta, epoch: float = 0.0
     ) -> None:
+        if self.closed:
+            return  # a torn-down node must not fire delivery callbacks
         if self._peer_epoch is None:
             self._peer_epoch = epoch
         elif epoch > self._peer_epoch:
@@ -228,7 +384,7 @@ class FifoChannel:
 
     def _ack_tick(self) -> None:
         self._ack_timer = None
-        if self._ack_dirty:
+        if self._ack_dirty and not self.closed:
             self._send_ack()
 
     def _send_ack(self) -> None:
@@ -243,6 +399,8 @@ class FifoChannel:
 
     # -- teardown ------------------------------------------------------------
     def close(self) -> None:
+        """Cancel every armed timer; a closed channel neither transmits
+        nor fires callbacks into the (possibly torn-down) node."""
         self.closed = True
         if self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
@@ -250,9 +408,13 @@ class FifoChannel:
         if self._ack_timer is not None:
             self._ack_timer.cancel()
             self._ack_timer = None
+        if self.suspended:
+            self.suspended = False
+            self.endpoint._channel_revived(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "suspended" if self.suspended else "closed" if self.closed else "up"
         return (
-            f"<FifoChannel {self.local}->{self.peer} {self.name!r} "
+            f"<FifoChannel {self.local}->{self.peer} {self.name!r} {state} "
             f"sent={self.frames_sent} unacked={len(self._unacked)}>"
         )

@@ -18,10 +18,13 @@ DATA_HEADER = struct.Struct("!BHQI")  # kind, origin-index, seq, payload-len
 ACK_HEADER = struct.Struct("!BHQ")  # kind, node-index, cumulative seq
 CONTROL_HEADER = struct.Struct("!BHH")  # kind, node-index, entry count
 CONTROL_ENTRY = struct.Struct("!HQ")  # type-id, seq
+RESUME_HEADER = struct.Struct("!BHH")  # kind, node-index, entry count
+RESUME_ENTRY = struct.Struct("!HQ")  # origin-index, highest received seq
 
 KIND_DATA = 1
 KIND_ACK = 2
 KIND_CONTROL = 3
+KIND_RESUME = 4
 
 
 class SyntheticPayload:
@@ -184,3 +187,48 @@ class ControlFrame:
             f"<ControlFrame from={self.node_index} origin={self.origin_index} "
             f"{self.entries}>"
         )
+
+
+class ResumeFrame:
+    """A restarted node's catch-up request (Section III-E recovery).
+
+    ``have`` maps an origin index to the highest sequence number the
+    restarted node already holds for that origin's stream (from its
+    restored snapshot).  Each peer responds by replaying its buffered
+    data-plane messages above the stated watermark and re-sending its
+    full control row, on freshly reset transport streams.
+    """
+
+    __slots__ = ("node_index", "have")
+
+    def __init__(self, node_index: int, have: Dict[int, int]):
+        self.node_index = node_index
+        self.have = dict(have)
+
+    def wire_size(self) -> int:
+        return RESUME_HEADER.size + RESUME_ENTRY.size * len(self.have)
+
+    def encode(self) -> bytes:
+        parts = [RESUME_HEADER.pack(KIND_RESUME, self.node_index, len(self.have))]
+        for origin, seq in sorted(self.have.items()):
+            parts.append(RESUME_ENTRY.pack(origin, seq))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ResumeFrame":
+        try:
+            kind, node, count = RESUME_HEADER.unpack_from(data)
+        except struct.error as exc:
+            raise TransportError(f"malformed resume frame: {exc}") from exc
+        if kind != KIND_RESUME:
+            raise TransportError(f"not a resume frame (kind={kind})")
+        offset = RESUME_HEADER.size
+        have: Dict[int, int] = {}
+        for _ in range(count):
+            origin, seq = RESUME_ENTRY.unpack_from(data, offset)
+            offset += RESUME_ENTRY.size
+            have[origin] = seq
+        return cls(node, have)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResumeFrame from={self.node_index} have={self.have}>"

@@ -1,0 +1,177 @@
+"""Degradation policies: partition-aware predicate adjustment (Section III-E)."""
+
+import pytest
+
+from repro.core import MaskSuspectedPolicy, StabilizerCluster, StabilizerConfig
+from repro.core.degradation import DegradationPolicy
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+NODES = ["a", "b", "c"]
+GROUPS = {"east": ["a"], "west": ["b", "c"]}
+
+
+def build(failure_timeout_s=0.3, predicates=None, **config_kwargs):
+    topo = Topology()
+    topo.add_node("a", "east")
+    topo.add_node("b", "west")
+    topo.add_node("c", "west")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        NODES,
+        GROUPS,
+        "a",
+        predicates=predicates
+        or {"all": "MIN($ALLWNODES - $MYWNODE)"},
+        control_interval_s=0.001,
+        failure_timeout_s=failure_timeout_s,
+        **config_kwargs,
+    )
+    return sim, net, StabilizerCluster(net, config)
+
+
+def test_masking_policy_unblocks_stability_past_a_dead_node():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    policy = a.set_degradation_policy()
+    a.send(b"warmup")
+    sim.run(until=0.2)
+
+    net.crash_node("c")
+    seq = a.send(b"while c is down")
+    sim.run(until=3.0)
+    # The strict all-nodes predicate would stall forever; the policy
+    # rewrote it to exclude the suspect, so stability advances on b alone.
+    assert policy.excluded_nodes() == {"c"}
+    assert policy.adjusted_keys() == ["all"]
+    assert a.get_stability_frontier("all") == seq
+
+
+def test_recovery_restores_the_pristine_predicate():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    policy = a.set_degradation_policy()
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    a.send(b"down")
+    sim.run(until=2.0)
+    assert policy.excluded_nodes() == {"c"}
+
+    net.recover_node("c")
+    seq = a.send(b"after heal")
+    sim.run(until=6.0)
+    assert policy.excluded_nodes() == set()
+    assert policy.adjusted_keys() == []
+    # The restored strict predicate catches up: c acked the new message.
+    assert a.get_stability_frontier("all") == seq
+    assert a.stats()["reinclusions"] >= 1
+
+
+def test_degradation_log_records_transitions_in_order():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    a.set_degradation_policy()
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    a.send(b"x")
+    sim.run(until=2.0)
+    net.recover_node("c")
+    a.send(b"y")
+    sim.run(until=5.0)
+
+    log = a.degradation_log()
+    transitions = [(kind, peer) for _t, kind, peer in log]
+    assert ("suspect", "c") in transitions
+    assert ("recover", "c") in transitions
+    assert transitions.index(("suspect", "c")) < transitions.index(
+        ("recover", "c")
+    )
+    times = [t for t, _k, _p in log]
+    assert times == sorted(times)
+    stats = a.stats()
+    assert stats["degradations"] >= 1
+    assert stats["suspicions"] >= 1
+    assert stats["recoveries"] >= 1
+
+
+def test_policy_installed_late_applies_to_current_suspects():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    a.send(b"x")
+    sim.run(until=2.0)
+    assert "c" in a.suspected_nodes()
+    policy = a.set_degradation_policy()  # installed after the suspicion
+    assert policy.excluded_nodes() == {"c"}
+
+
+def test_protected_keys_are_never_rewritten():
+    sim, net, cluster = build(
+        predicates={
+            "all": "MIN($ALLWNODES - $MYWNODE)",
+            "quorum": "MIN($ALLWNODES - $MYWNODE)",
+        }
+    )
+    a = cluster["a"]
+    policy = a.set_degradation_policy(protect={"quorum"})
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    seq = a.send(b"x")
+    sim.run(until=3.0)
+    assert policy.adjusted_keys() == ["all"]
+    assert a.get_stability_frontier("all") == seq
+    # The protected predicate still waits for the dead node.
+    assert a.get_stability_frontier("quorum") < seq
+
+
+def test_base_policy_is_a_noop():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    a.set_degradation_policy(DegradationPolicy())
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    seq = a.send(b"x")
+    sim.run(until=3.0)
+    # Suspicion is tracked but nothing is rewritten: strict stability stalls.
+    assert "c" in a.suspected_nodes()
+    assert a.get_stability_frontier("all") < seq
+
+
+def test_one_policy_serves_one_stabilizer():
+    sim, net, cluster = build()
+    a, b = cluster["a"], cluster["b"]
+    policy = MaskSuspectedPolicy()
+    a.set_degradation_policy(policy)
+    policy.on_suspect(a, "c")
+    with pytest.raises(ValueError):
+        policy.on_suspect(b, "c")
+
+
+def test_transport_dead_report_feeds_suspicion():
+    # A long heartbeat timeout: only the transport's retransmit budget can
+    # produce the suspicion within the test horizon.
+    sim, net, cluster = build(
+        failure_timeout_s=30.0,
+        max_retransmit_attempts=3,
+        transport_max_rto_s=0.5,
+    )
+    a = cluster["a"]
+    a.set_degradation_policy()
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")
+    a.send(b"x")
+    sim.run(until=20.0)
+    assert "c" in a.suspected_nodes()
+    assert ("transport_dead", "c") in [
+        (kind, peer) for _t, kind, peer in a.degradation_log()
+    ]
+    assert a.stats()["transport_suspensions"] >= 1

@@ -104,6 +104,66 @@ def test_last_heard_is_tracked():
     assert det.last_heard("b") == pytest.approx(0.7)
 
 
+def test_suspect_flap_counts_every_transition():
+    sim = Simulator()
+    det = detector(sim, timeout=1.0)
+    suspects, recovered = [], []
+    det.on_suspect(suspects.append)
+    det.on_recover(recovered.append)
+    det.start()
+    # b flaps: heard, silent past timeout, heard again — twice over.
+    for start in (0.1, 3.0):
+        sim.call_later(start, det.heard_from, "b")
+    sim.run(until=6.0)
+    assert suspects == ["b", "b"]
+    assert recovered == ["b"]
+    assert det.suspicions == 2
+    assert det.recoveries == 1
+
+
+def test_forced_suspect_fires_callbacks_once():
+    sim = Simulator()
+    det = detector(sim)
+    suspects = []
+    det.on_suspect(suspects.append)
+    det.start()
+    det.suspect("b")
+    det.suspect("b")  # already suspected: no double report
+    assert suspects == ["b"]
+    assert det.suspicions == 1
+    assert det.is_suspected("b")
+
+
+def test_forced_suspect_while_stopped_is_silent():
+    sim = Simulator()
+    det = detector(sim)
+    suspects = []
+    det.on_suspect(suspects.append)
+    det.suspect("b")  # never started
+    assert det.is_suspected("b")
+    assert suspects == []
+    assert det.suspicions == 0
+
+
+def test_heard_from_after_stop_records_without_callbacks():
+    sim = Simulator()
+    det = detector(sim, timeout=0.5)
+    recovered = []
+    det.on_recover(recovered.append)
+    det.start()
+    det.heard_from("b")
+    sim.run(until=2.0)
+    assert det.is_suspected("b")
+    det.stop()
+    det.heard_from("b")
+    # The timestamp is fresh (for a later restart) and the suspicion is
+    # cleared, but no recovery fires into the torn-down node.
+    assert det.last_heard("b") == pytest.approx(sim.now)
+    assert not det.is_suspected("b")
+    assert recovered == []
+    assert det.recoveries == 0
+
+
 # ---------------------------------------------------------------------------
 # Crash detection through the whole stack.
 # ---------------------------------------------------------------------------
@@ -169,3 +229,115 @@ def test_restore_rejects_bad_version():
 def test_load_snapshot_missing_file(tmp_path):
     with pytest.raises(StabilizerError):
         load_snapshot(tmp_path / "missing.json")
+
+
+# ---------------------------------------------------------------------------
+# Version-2 snapshots: buffer tail, watermarks, engine rebuild.
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_roundtrips_the_unreclaimed_buffer_tail():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    a.send(b"warmup")
+    sim.run(until=0.2)
+    net.crash_node("c")  # c never acks: reclamation stalls at the floor
+    seqs = [a.send(b"unreclaimed-%d" % i) for i in range(3)]
+    sim.run(until=1.0)
+    snap = snapshot_state(a)
+    assert snap["version"] == 2
+    held = [entry["seq"] for entry in snap["buffer"]["entries"]]
+    assert set(seqs) <= set(held)
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    restarted = Stabilizer(net2, a.config)
+    restore_state(restarted, snap)
+    buffer = restarted.dataplane.buffer
+    restored = [e.seq for e in buffer.entries_above(buffer.reclaimed_up_to)]
+    assert restored == held
+    # The restored tail is replayable: this is what catch-up resends.
+    floor = buffer.reclaimed_up_to
+    assert restarted.dataplane.replay_to("b", floor) == len(held)
+
+
+def test_restore_rebuilds_index_and_keeps_advancing():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    seq = a.send(b"before")
+    event = a.waitfor(seq, "all")
+    sim.run_until_triggered(event, limit=2.0)
+    snap = snapshot_state(a)
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    cluster2 = StabilizerCluster(net2, a.config)
+    restarted = cluster2["a"]
+    restore_state(restarted, snap)
+    restarted.request_catchup()
+    # The rebuilt reverse dependency index still routes new ACK traffic to
+    # the predicate: stability advances past the restored value.
+    seq2 = restarted.send(b"after restart")
+    event2 = restarted.waitfor(seq2, "all", timeout_s=5.0)
+    sim2.run_until_triggered(event2, limit=5.0)
+    assert event2.ok
+    assert restarted.get_stability_frontier("all") == seq2
+
+
+def test_restore_releases_already_covered_waiters():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    seq = a.send(b"stable everywhere")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=2.0)
+    snap = snapshot_state(a)
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    restarted = Stabilizer(net2, a.config)
+    # Register the waiter *before* restoring: the restored frontier
+    # already covers it and must release it immediately.
+    event = restarted.waitfor(seq, "all", timeout_s=10.0)
+    assert not event.triggered
+    restore_state(restarted, snap)
+    sim2.run(until=0.001)
+    assert event.ok
+
+
+def test_monitor_high_survives_the_restart():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    seq = a.send(b"reported")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=2.0)
+    snap = snapshot_state(a)
+    assert snap["monitor_high"]["a"]["all"] == seq
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    restarted = Stabilizer(net2, a.config)
+    reported = []
+    restarted.monitor_stability_frontier(
+        "all", lambda origin, value, old: reported.append((origin, value))
+    )
+    restore_state(restarted, snap)
+    sim2.run(until=0.1)
+    # Restoring must not re-report anything at or below the pre-crash
+    # high-water mark to the fresh monitors.
+    assert all(value > seq for _origin, value in reported)
+
+
+def test_version_1_snapshot_still_restores():
+    sim, net, cluster = build()
+    a = cluster["a"]
+    seq = a.send(b"legacy")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=2.0)
+    snap = snapshot_state(a)
+    snap["version"] = 1
+    del snap["buffer"]
+    del snap["monitor_high"]
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    restarted = Stabilizer(net2, a.config)
+    restore_state(restarted, snap)
+    assert restarted.get_stability_frontier("all") == seq
+    assert restarted.send(b"next") == seq + 1

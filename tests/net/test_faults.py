@@ -84,3 +84,48 @@ def test_fired_records_actual_times():
     schedule = FaultSchedule(net).crash(1.25, "c").arm()
     sim.run(until=2.0)
     assert schedule.fired == [(1.25, "crash", ("c",))]
+
+
+def test_declarations_out_of_order_still_fire_in_time_order():
+    # Declared recover-before-crash; arm() sorts by time, so the node is
+    # down at the end, not up.
+    sim, net = build()
+    schedule = FaultSchedule(net).recover(2.0, "b").crash(1.0, "b").arm()
+    sim.run(until=1.5)
+    assert net.host("b").crashed
+    sim.run(until=3.0)
+    assert not net.host("b").crashed
+    assert [kind for _t, kind, _a in schedule.fired] == ["crash", "recover"]
+
+
+def test_overlapping_partitions_accumulate_until_heal():
+    sim, net = build()
+    (
+        FaultSchedule(net)
+        .partition(1.0, ["a"], ["b"])
+        .partition(2.0, ["a"], ["c"])  # second cut while the first holds
+        .heal(3.0)
+        .arm()
+    )
+    sim.run(until=1.5)
+    assert not net.link("a", "b").up
+    assert net.link("a", "c").up
+    sim.run(until=2.5)
+    assert not net.link("a", "b").up  # the earlier cut still holds
+    assert not net.link("a", "c").up
+    assert net.link("b", "c").up  # uninvolved pair untouched
+    sim.run(until=3.5)
+    # One heal restores every cut, both directions.
+    for x in ("a", "b", "c"):
+        for y in ("a", "b", "c"):
+            if x != y:
+                assert net.link(x, y).up
+
+
+def test_recover_without_prior_crash_is_harmless():
+    sim, net = build()
+    schedule = FaultSchedule(net).recover(1.0, "b").arm()
+    sim.run(until=2.0)
+    assert not net.host("b").crashed
+    assert schedule.fired == [(1.0, "recover", ("b",))]
+    assert schedule.pending() == 0
