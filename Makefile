@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-smoke bench-full chaos-smoke report clean
+.PHONY: install test bench bench-smoke bench-full chaos-smoke \
+        durability-smoke verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +24,14 @@ bench-full:
 # enough for CI (seconds, not minutes).
 chaos-smoke:
 	pytest -m chaos_smoke
+
+# The 20-seed disk-fault chaos sweep over the durability-honesty and
+# no-acked-persisted-loss invariants.
+durability-smoke:
+	pytest -m durability_smoke
+
+# The whole gate in one target: tier-1 tests, then every smoke sweep.
+verify: test bench-smoke chaos-smoke durability-smoke
 
 report:
 	python -m repro report

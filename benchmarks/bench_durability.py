@@ -1,0 +1,166 @@
+"""Group-commit batch size vs. persisted-stability latency.
+
+Not a figure of the paper — it guards the durability path added on top
+of the reproduction.  With WAL-backed ``.persisted`` (honest durability)
+every persisted claim costs an fsync, and the group-commit batch size
+sets the trade: small batches fsync per message (low latency, high
+fsync rate), large batches ride the group-commit interval (amortized
+fsyncs, latency bounded by the timer).
+
+A 3-AZ cluster runs a fixed traffic pattern per batch size; the origin
+monitors ``MIN($ALLWNODES.persisted)`` and records, per message, the
+virtual time from ``send()`` until the claim is fsync-backed on *every*
+node.  Results land in ``BENCH_durability.json`` at the repo root so
+the perf trajectory covers the durability path too.
+"""
+
+import json
+import statistics
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.core.cluster import StabilizerCluster
+from repro.core.config import StabilizerConfig
+from repro.net.tc import NetemSpec
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.storage.faultio import MemoryFileSystem
+from repro.transport.messages import SyntheticPayload
+from conftest import full_scale
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+BATCHES = (1, 4, 16, 64)
+#: The timer that backstops a partial batch — large enough that the
+#: batch trigger, not the timer, dominates for small batches.
+COMMIT_INTERVAL_S = 0.05
+SEND_INTERVAL_S = 0.005
+PAYLOAD_BYTES = 256
+
+
+def run_once(batch: int, messages: int) -> dict:
+    topo = Topology()
+    for az in ("az0", "az1", "az2"):
+        topo.add_node(f"n-{az}", group=az)
+    topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig.from_topology(
+        topo,
+        local="n-az0",
+        predicates={"durable": "MIN($ALLWNODES.persisted)"},
+        control_interval_s=0.005,
+        durability=True,
+        durability_group_commit_batch=batch,
+        durability_group_commit_interval_s=COMMIT_INTERVAL_S,
+    )
+    cluster = StabilizerCluster(
+        net, config, fs_factory=lambda name: MemoryFileSystem(seed=batch)
+    )
+    origin = cluster["n-az0"]
+
+    send_times = {}
+    latencies = {}
+
+    def observe(stream, frontier, old):
+        if stream != origin.name:
+            return
+        for seq in range(old + 1, frontier + 1):
+            if seq in send_times:
+                latencies[seq] = sim.now - send_times[seq]
+
+    origin.monitor_stability_frontier("durable", observe)
+
+    def send_tick(remaining):
+        seq = origin.send(SyntheticPayload(PAYLOAD_BYTES))
+        send_times[seq] = sim.now
+        if remaining > 1:
+            sim.call_later(SEND_INTERVAL_S, send_tick, remaining - 1)
+
+    sim.call_later(SEND_INTERVAL_S, send_tick, messages)
+    deadline = SEND_INTERVAL_S * messages + 5.0
+    sim.run(until=deadline)
+
+    fsyncs = sum(node.stats()["wal_group_commits"] for node in cluster)
+    appends = sum(node.stats()["wal_appends"] for node in cluster)
+    cluster.close()
+    values = [latencies[seq] for seq in sorted(latencies)]
+    assert len(values) == messages, (
+        f"batch {batch}: only {len(values)}/{messages} messages reached "
+        "persisted stability before the deadline"
+    )
+    values_ms = [v * 1e3 for v in values]
+    return {
+        "batch": batch,
+        "messages": messages,
+        "mean_ms": statistics.fmean(values_ms),
+        "p50_ms": statistics.median(values_ms),
+        "p99_ms": sorted(values_ms)[int(0.99 * (len(values_ms) - 1))],
+        "max_ms": max(values_ms),
+        "fsyncs": fsyncs,
+        "fsyncs_per_message": fsyncs / messages,
+        "wal_appends": appends,
+    }
+
+
+def test_group_commit_batch_vs_persisted_latency(benchmark, report):
+    messages = 1000 if full_scale() else 200
+    results = benchmark.pedantic(
+        lambda: [run_once(batch, messages) for batch in BATCHES],
+        rounds=1,
+        iterations=1,
+    )
+    report.add(
+        format_table(
+            [
+                "batch",
+                "msgs",
+                "mean ms",
+                "p50 ms",
+                "p99 ms",
+                "max ms",
+                "fsyncs",
+                "fsyncs/msg",
+            ],
+            [
+                (
+                    r["batch"],
+                    r["messages"],
+                    f"{r['mean_ms']:.1f}",
+                    f"{r['p50_ms']:.1f}",
+                    f"{r['p99_ms']:.1f}",
+                    f"{r['max_ms']:.1f}",
+                    r["fsyncs"],
+                    f"{r['fsyncs_per_message']:.2f}",
+                )
+                for r in results
+            ],
+            title="Persisted-stability latency (virtual) vs. group-commit batch",
+        )
+    )
+    report.add_data("results", results)
+
+    trajectory = {"runs": []}
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory["runs"].append(
+        {
+            "messages": messages,
+            "commit_interval_s": COMMIT_INTERVAL_S,
+            "send_interval_s": SEND_INTERVAL_S,
+            "batches": list(BATCHES),
+            "mean_ms": [r["mean_ms"] for r in results],
+            "p99_ms": [r["p99_ms"] for r in results],
+            "fsyncs_per_message": [r["fsyncs_per_message"] for r in results],
+        }
+    )
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    # The trade the knob exists for: batching amortizes fsyncs...
+    # (fsync counts are cluster-wide: 3 nodes each fsync every stream)
+    per_message = [r["fsyncs_per_message"] for r in results]
+    assert per_message == sorted(per_message, reverse=True)
+    assert results[0]["fsyncs_per_message"] >= 2.9  # batch=1: 1/msg per node
+    assert results[-1]["fsyncs_per_message"] < 0.5  # batch=64: amortized
+    # ...at the price of persisted-stability latency.
+    assert results[0]["mean_ms"] <= results[-1]["mean_ms"]

@@ -13,17 +13,27 @@ of safety invariants is asserted after every event and at quiescence:
   node's ACK table;
 - ACK-table cells only ever advance;
 - every message sent before a crash or partition is delivered everywhere
-  once the cluster heals and settles.
+  once the cluster heals and settles;
+- with durability on (the default), no node's ``persisted`` claim ever
+  exceeds its WAL's fsync watermark, and any persisted claim a peer
+  observed survives the claimant's crash-restart — checked under
+  injected disk faults (failed fsyncs, torn writes, ENOSPC, EIO).
 
 Everything is deterministic per seed: the same seed reproduces the same
 schedule, the same event interleaving, and the same final frontiers.
 """
 
-from repro.chaos.harness import ChaosConfig, ChaosHarness, run_chaos
+from repro.chaos.harness import (
+    CHAOS_DISK_FAULTS,
+    ChaosConfig,
+    ChaosHarness,
+    run_chaos,
+)
 from repro.chaos.invariants import InvariantChecker, InvariantViolation
 from repro.chaos.schedule import ChaosEvent, generate_schedule
 
 __all__ = [
+    "CHAOS_DISK_FAULTS",
     "ChaosConfig",
     "ChaosEvent",
     "ChaosHarness",

@@ -36,15 +36,24 @@ from repro.chaos.invariants import InvariantChecker, InvariantViolation
 from repro.chaos.schedule import ChaosEvent, generate_schedule
 from repro.core.cluster import StabilizerCluster
 from repro.core.config import StabilizerConfig
-from repro.core.recovery import snapshot_state
+from repro.core.recovery import save_snapshot, snapshot_state
+from repro.errors import DiskFaultError
 from repro.net.tc import NetemSpec
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.storage.faultio import MemoryFileSystem
 from repro.transport.messages import SyntheticPayload
 
 STRICT_KEY = "all_remote"
 RELAXED_KEY = "any_remote"
+DURABLE_KEY = "durable_all"
+
+#: Disk faults honest software can survive: clean write errors, torn
+#: writes (self-healed by the log), and lost pages after a failed fsync
+#: (poison-and-rewrite).  Silent bit rot is deliberately absent — no
+#: correct implementation can keep promises about bytes that lie.
+CHAOS_DISK_FAULTS = ("fsync_fail", "eio_write", "enospc", "torn_write")
 
 
 class ChaosConfig:
@@ -66,6 +75,13 @@ class ChaosConfig:
         first_event_at: float = 1.0,
         min_gap_s: float = 0.5,
         max_gap_s: float = 2.0,
+        durability: bool = True,
+        disk_faults: bool = False,
+        disk_fault_kinds: Tuple[str, ...] = CHAOS_DISK_FAULTS,
+        disk_fault_rate: float = 0.3,
+        checkpoint_interval_s: Optional[float] = None,
+        durability_batch: int = 8,
+        durability_interval_s: float = 0.01,
     ):
         self.seed = seed
         self.azs = azs
@@ -81,6 +97,13 @@ class ChaosConfig:
         self.first_event_at = first_event_at
         self.min_gap_s = min_gap_s
         self.max_gap_s = max_gap_s
+        self.durability = durability
+        self.disk_faults = disk_faults
+        self.disk_fault_kinds = tuple(disk_fault_kinds)
+        self.disk_fault_rate = disk_fault_rate
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.durability_batch = durability_batch
+        self.durability_interval_s = durability_interval_s
 
     def groups(self) -> Dict[str, List[str]]:
         return {
@@ -104,6 +127,9 @@ class ChaosHarness:
             start=self.config.first_event_at,
             min_gap=self.config.min_gap_s,
             max_gap=self.config.max_gap_s,
+            disk_fault_kinds=(
+                self.config.disk_fault_kinds if self.config.disk_faults else ()
+            ),
         )
         self.fired: List[Tuple[float, str, Tuple[str, ...]]] = []
         self._crashed: Dict[str, dict] = {}  # node -> crash-instant snapshot
@@ -118,21 +144,47 @@ class ChaosHarness:
         topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
         self.sim = Simulator()
         self.net = topo.build(self.sim, RngRegistry(self.config.seed))
+        predicates = {
+            STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
+            RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
+        }
+        if self.config.durability:
+            # Released only when every node's WAL has fsynced the bytes —
+            # the claim the durability-honesty invariants police.
+            predicates[DURABLE_KEY] = "MIN($ALLWNODES.persisted)"
         base = StabilizerConfig.from_topology(
             topo,
             local=self.node_names[0],
-            predicates={
-                STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
-                RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
-            },
+            predicates=predicates,
             control_interval_s=0.005,
             failure_timeout_s=self.config.failure_timeout_s,
             # Channels give up fast so dead-peer reports (not just the
             # heartbeat timer) drive suspicion during the run.
             max_retransmit_attempts=5,
             transport_max_rto_s=1.0,
+            durability=self.config.durability,
+            durability_group_commit_batch=self.config.durability_batch,
+            durability_group_commit_interval_s=self.config.durability_interval_s,
         )
-        self.cluster = StabilizerCluster(self.net, base)
+        fs_factory = None
+        if self.config.durability:
+            # One seeded, fault-injectable filesystem per *host* — it
+            # survives process crash-restarts, exactly like a disk.
+            def fs_factory(name, _seed=self.config.seed):
+                return MemoryFileSystem(
+                    seed=(_seed << 8) ^ self.node_names.index(name)
+                )
+
+        self.cluster = StabilizerCluster(self.net, base, fs_factory=fs_factory)
+        if self.config.checkpoint_interval_s is not None:
+            for name in self.node_names:
+                self.sim.call_later(
+                    self.config.checkpoint_interval_s,
+                    self._checkpoint_tick,
+                    name,
+                )
+        self.checkpoints_taken = 0
+        self.checkpoint_faults = 0
         for node in self.cluster:
             node.set_degradation_policy()
             self.checker.attach(node)
@@ -163,10 +215,35 @@ class ChaosHarness:
                 node, seq, STRICT_KEY, timeout_s=60.0
             )
             event.add_callback(self._count_timeout)
+            if self.config.durability:
+                durable = self.checker.guarded_waitfor(
+                    node, seq, DURABLE_KEY, timeout_s=60.0
+                )
+                durable.add_callback(self._count_timeout)
 
     def _count_timeout(self, event) -> None:
         if event.failed:
             self._waiter_timeouts += 1
+
+    # -- checkpoints ---------------------------------------------------------------
+    def _checkpoint_tick(self, name: str) -> None:
+        """Periodic snapshot + WAL compaction at ``name`` — written through
+        the node's own (fault-injecting) filesystem, so a checkpoint can
+        itself hit ENOSPC or a failed fsync and must fail cleanly."""
+        self.sim.call_later(
+            self.config.checkpoint_interval_s, self._checkpoint_tick, name
+        )
+        if name in self._crashed:
+            return
+        node = self.cluster[name]
+        fs = self.cluster.filesystems[name]
+        try:
+            save_snapshot(node, "snapshot.json", fs=fs)
+            if node.durability is not None:
+                node.durability.checkpoint()
+            self.checkpoints_taken += 1
+        except DiskFaultError:
+            self.checkpoint_faults += 1
 
     # -- fault execution -----------------------------------------------------------
     def _arm_schedule(self) -> None:
@@ -181,7 +258,13 @@ class ChaosHarness:
             # reclaim waits for *everyone*, so what peers still buffer is
             # a superset of anything this snapshot lacks.
             self._crashed[name] = snapshot_state(node)
-            node.close()
+            node.crash()
+            fs = self.cluster.filesystems.get(name)
+            if fs is not None and hasattr(fs, "crash"):
+                # The disk loses everything not fsynced — with a torn
+                # (injector-random) fraction of the unsynced tail left
+                # behind for recovery to truncate.
+                fs.crash(torn=True)
             self.net.crash_node(name)
         elif event.kind == "restart":
             name = event.target[0]
@@ -189,6 +272,19 @@ class ChaosHarness:
             node = self.cluster.restart_node(name, self._crashed.pop(name))
             node.set_degradation_policy()
             self.checker.attach(node)
+            # Invariants 6+7: the recovered WAL must back the restored
+            # persisted claims and everything peers ever observed.
+            self.checker.check_restart(node)
+        elif event.kind == "disk_fault":
+            name, fault = event.target
+            fs = self.cluster.filesystems.get(name)
+            if fs is not None and fs.injector is not None:
+                fs.injector.arm(fault, self.config.disk_fault_rate)
+        elif event.kind == "disk_heal":
+            name = event.target[0]
+            fs = self.cluster.filesystems.get(name)
+            if fs is not None and fs.injector is not None:
+                fs.injector.clear()
         elif event.kind == "partition":
             a, b = event.target
             self.net.partition(self.groups[a], self.groups[b])
@@ -255,6 +351,15 @@ class ChaosHarness:
             "invariant_checks": self.checker.checks,
             "monitor_events": self.checker.monitor_events,
             "releases_checked": self.checker.releases_checked,
+            "restarts_checked": self.checker.restarts_checked,
+            "durability": self.config.durability,
+            "disk_faults_injected": sum(
+                sum(fs.injector.injected.values())
+                for fs in self.cluster.filesystems.values()
+                if fs is not None and fs.injector is not None
+            ),
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_faults": self.checkpoint_faults,
             "violations": list(self.checker.violations),
             "cluster_totals": totals,
             "elapsed_s": elapsed_s,

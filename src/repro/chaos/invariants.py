@@ -20,6 +20,14 @@ monitor / waiter / stats surfaces an application uses — and raises
 5. **Eventual delivery.**  At quiescence, every message sent by every
    origin — including before a crash or partition — has been received
    by every node (checked via the data plane's per-origin watermark).
+6. **Durability honesty.**  On every durability-enabled node, the node's
+   own ``persisted`` ACK cell never exceeds its WAL's fsync-confirmed
+   watermark — sampled continuously and re-checked across crash-restart
+   (the recovered WAL must back everything the node ever claimed).
+7. **No acked-persisted loss.**  Any sequence whose ``persisted`` report
+   from node A was *observed at a peer* (A published the claim; an
+   application may have acted on it) survives A's crash: after restart,
+   A's recovered WAL watermark covers every observed claim.
 
 Every individual comparison counts toward ``checks``; the bench harness
 divides by wall-clock time for the invariant-check throughput trajectory.
@@ -46,9 +54,12 @@ class InvariantChecker:
         self._sent: Dict[str, int] = {}
         # (node, origin) -> last sampled ACK-table rows.
         self._rows: Dict[Tuple[str, str], List[List[int]]] = {}
+        # (claimant, origin) -> highest persisted claim a *peer* holds.
+        self._observed_persisted: Dict[Tuple[str, str], int] = {}
         self.checks = 0
         self.monitor_events = 0
         self.releases_checked = 0
+        self.restarts_checked = 0
         self.violations: List[str] = []
 
     # -- wiring ----------------------------------------------------------------
@@ -124,7 +135,8 @@ class InvariantChecker:
             )
 
     def check_tables(self, nodes) -> None:
-        """Assert no sampled ACK cell regressed since the last sample."""
+        """Assert no sampled ACK cell regressed since the last sample;
+        sample durability honesty and peer-observed persisted claims."""
         for node in nodes:
             for origin, table in node.tables.items():
                 current = table.snapshot()
@@ -141,6 +153,60 @@ class InvariantChecker:
                                     f"{old_value} -> {current[row_i][col_i]}"
                                 )
                 self._rows[slot] = current
+                self._observe_persisted(node, origin, current)
+            self._check_durability_honesty(node)
+
+    def _observe_persisted(self, node, origin: str, rows) -> None:
+        """Record every *other* node's persisted claim as held at
+        ``node`` — once a claim reaches a peer it can never be unsaid,
+        and :meth:`check_restart` holds the claimant's recovered WAL to
+        it."""
+        if not hasattr(node, "type_id"):
+            return  # a stub observer (unit tests) with no type registry
+        persisted = node.type_id("persisted")
+        for row_i, row in enumerate(rows):
+            claimant = node.config.node_names[row_i]
+            if claimant == node.name:
+                continue  # own column: locally derived, not an observation
+            slot = (claimant, origin)
+            if row[persisted] > self._observed_persisted.get(slot, 0):
+                self._observed_persisted[slot] = row[persisted]
+
+    def _check_durability_honesty(self, node) -> None:
+        """Invariant 6: a node's own persisted cell never exceeds what
+        its WAL has actually fsynced."""
+        if getattr(node, "durability", None) is None:
+            return
+        persisted = node.type_id("persisted")
+        for origin, table in node.tables.items():
+            self.checks += 1
+            claimed = table.get(node.local_index, persisted)
+            fsynced = node.durability.watermark(origin)
+            if claimed > fsynced:
+                self._fail(
+                    f"durability lie at {node.name}: persisted cell for "
+                    f"origin {origin!r} claims {claimed} but the WAL has "
+                    f"fsynced only {fsynced}"
+                )
+
+    def check_restart(self, node) -> None:
+        """Invariants 6 + 7 across a crash-restart: the recovered WAL
+        backs the node's restored claims *and* every claim a peer ever
+        observed from its previous incarnations."""
+        self.restarts_checked += 1
+        self._check_durability_honesty(node)
+        if getattr(node, "durability", None) is None:
+            return
+        for origin in node.config.node_names:
+            self.checks += 1
+            observed = self._observed_persisted.get((node.name, origin), 0)
+            recovered = node.durability.watermark(origin)
+            if recovered < observed:
+                self._fail(
+                    f"acked-persisted loss at {node.name}: a peer observed "
+                    f"persisted={observed} for origin {origin!r} but the "
+                    f"recovered WAL proves only {recovered}"
+                )
 
     def forget_node(self, name: str) -> None:
         """Drop table samples for a crashing node.

@@ -12,7 +12,12 @@ can actually execute against a cluster:
   *every* link, so overlapping partitions would heal together anyway);
 - the schedule ends with a heal and the restart of every crashed node,
   so the cluster always returns to full health before the final
-  delivered-everywhere check.
+  delivered-everywhere check;
+- with ``disk_fault_kinds`` given, ``disk_fault`` events arm a storage
+  fault (from that list) on one node's filesystem and ``disk_heal``
+  events clear it — at most one armed fault per node at a time, every
+  fault healed by the end.  The default (no disk faults) leaves
+  historical seeds byte-identical.
 """
 
 from __future__ import annotations
@@ -25,8 +30,9 @@ class ChaosEvent(NamedTuple):
     """One scheduled fault transition."""
 
     at: float  # virtual seconds
-    kind: str  # "crash" | "restart" | "partition" | "heal"
-    target: Tuple[str, ...]  # node name, or the two partitioned AZ names
+    kind: str  # "crash" | "restart" | "partition" | "heal" | "disk_fault" | "disk_heal"
+    # node name; the two partitioned AZ names; or (node, fault_kind).
+    target: Tuple[str, ...]
 
 
 def generate_schedule(
@@ -37,6 +43,7 @@ def generate_schedule(
     min_gap: float = 0.5,
     max_gap: float = 2.0,
     max_crashed: Optional[int] = None,
+    disk_fault_kinds: Sequence[str] = (),
 ) -> List[ChaosEvent]:
     """Generate a valid schedule of at least ``events`` fault events.
 
@@ -57,6 +64,7 @@ def generate_schedule(
 
     schedule: List[ChaosEvent] = []
     crashed: List[str] = []
+    disk_faulted: List[str] = []
     partitioned = False
     t = start
 
@@ -69,17 +77,21 @@ def generate_schedule(
         # Close every open fault before the budget runs out: each crashed
         # node needs one restart and an open partition needs one heal.
         budget_left = events - len(schedule)
-        must_close = len(crashed) + (1 if partitioned else 0)
+        must_close = len(crashed) + len(disk_faulted) + (1 if partitioned else 0)
         choices = []
         if budget_left > must_close:
             if len(crashed) < max_crashed:
                 choices.append("crash")
             if not partitioned:
                 choices.append("partition")
+            if disk_fault_kinds and len(disk_faulted) < len(nodes):
+                choices.append("disk_fault")
         if crashed:
             choices.append("restart")
         if partitioned:
             choices.append("heal")
+        if disk_faulted:
+            choices.append("disk_heal")
         kind = rng.choice(choices)
         if kind == "crash":
             victim = rng.choice(sorted(set(nodes) - set(crashed)))
@@ -92,12 +104,22 @@ def generate_schedule(
             a, b = rng.sample(az_names, 2)
             partitioned = True
             emit("partition", (a, b))
+        elif kind == "disk_fault":
+            victim = rng.choice(sorted(set(nodes) - set(disk_faulted)))
+            fault = rng.choice(list(disk_fault_kinds))
+            disk_faulted.append(victim)
+            emit("disk_fault", (victim, fault))
+        elif kind == "disk_heal":
+            victim = disk_faulted.pop(rng.randrange(len(disk_faulted)))
+            emit("disk_heal", (victim,))
         else:
             partitioned = False
             emit("heal", ())
     # Close anything still open (can exceed the requested count).
     if partitioned:
         emit("heal", ())
+    for victim in list(disk_faulted):
+        emit("disk_heal", (victim,))
     for victim in list(crashed):
         emit("restart", (victim,))
     return schedule

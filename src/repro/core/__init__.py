@@ -11,6 +11,7 @@ from repro.core.config import StabilizerConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.dataplane import DataPlane, SendBuffer
 from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
+from repro.core.durability import DurabilityManager
 from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
 from repro.core.recovery import (
@@ -26,6 +27,7 @@ __all__ = [
     "ControlPlane",
     "DataPlane",
     "DegradationPolicy",
+    "DurabilityManager",
     "FailureDetector",
     "MaskSuspectedPolicy",
     "FrontierEngine",

@@ -54,17 +54,24 @@ class AckTable:
                 advanced.append((type_id, seq))
         return advanced
 
-    def set_all_types(self, node: int, seq: int) -> List[int]:
+    def set_all_types(
+        self, node: int, seq: int, skip: Sequence[int] = ()
+    ) -> List[int]:
         """Advance every column of ``node`` to at least ``seq``.
 
         Implements the completeness rule: "all stability properties hold
         for the WAN node that originated a message" (Section III-C) — on
         send, the origin's whole row jumps to the new sequence number.
-        Returns the type ids that advanced (empty, hence falsy, when the
-        whole row was already past ``seq``).
+        ``skip`` excludes columns whose truth is established elsewhere
+        (a durability-enabled node must not claim ``persisted`` before
+        its WAL fsync confirms it).  Returns the type ids that advanced
+        (empty, hence falsy, when the whole row was already past
+        ``seq``).
         """
         advanced = []
         for type_id in range(self.type_count):
+            if type_id in skip:
+                continue
             if self.update(node, type_id, seq):
                 advanced.append(type_id)
         return advanced

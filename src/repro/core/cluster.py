@@ -7,7 +7,7 @@ built network, sharing one deployment config.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.core.config import StabilizerConfig
 from repro.core.stabilizer import Stabilizer
@@ -15,15 +15,32 @@ from repro.net.topology import Network
 
 
 class StabilizerCluster:
-    """All Stabilizer instances of one deployment, keyed by node name."""
+    """All Stabilizer instances of one deployment, keyed by node name.
 
-    def __init__(self, net: Network, base_config: StabilizerConfig):
+    With durability enabled each node gets its own filesystem (by default
+    a fresh in-memory one; ``fs_factory(name)`` overrides — chaos runs
+    pass seeded fault-injecting filesystems).  Filesystems belong to the
+    *host*, not the process: :meth:`restart_node` hands the same one back
+    to the rebuilt Stabilizer so WAL recovery reads what the crash left.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        base_config: StabilizerConfig,
+        fs_factory: Optional[Callable[[str], object]] = None,
+    ):
         self.net = net
         self.sim = net.sim
         self.base_config = base_config
+        self.filesystems: Dict[str, object] = {}
         self.nodes: Dict[str, Stabilizer] = {}
         for name in base_config.node_names:
-            self.nodes[name] = Stabilizer(net, base_config.for_node(name))
+            fs = fs_factory(name) if fs_factory is not None else None
+            node = Stabilizer(net, base_config.for_node(name), fs=fs)
+            self.nodes[name] = node
+            # Stabilizer may have created a default filesystem itself.
+            self.filesystems[name] = node.fs if fs is None else fs
 
     def restart_node(self, name: str, snapshot: Optional[dict] = None) -> Stabilizer:
         """Crash-restart ``name``: rebuild its Stabilizer, restore the
@@ -40,8 +57,13 @@ class StabilizerCluster:
         old = self.nodes.get(name)
         if old is not None:
             old.close()
-        node = Stabilizer(self.net, self.base_config.for_node(name))
+        node = Stabilizer(
+            self.net,
+            self.base_config.for_node(name),
+            fs=self.filesystems.get(name),
+        )
         self.nodes[name] = node
+        self.filesystems[name] = node.fs
         if snapshot is not None:
             restore_state(node, snapshot)
         node.request_catchup()

@@ -56,6 +56,21 @@ class StabilizerConfig:
         behaviour).
     transport_min_rto_s / transport_max_rto_s:
         Clamp for the adaptive (Jacobson/Karn) retransmission timeout.
+    durability:
+        When True the node runs a :class:`~repro.core.durability.DurabilityManager`
+        and ``persisted`` stability is only ever reported after a
+        successful fsync of the covering WAL group commit.  When False
+        (the historical default) ``persisted`` advances with delivery —
+        persistence is modelled, not performed.
+    durability_group_commit_interval_s / durability_group_commit_batch:
+        Group-commit policy: the WAL fsyncs at least every
+        ``interval_s`` seconds of pending writes, or as soon as
+        ``batch`` records are staged, whichever comes first.
+    durability_segment_bytes:
+        WAL segment rotation threshold (checked after each commit).
+    durability_dir:
+        Directory (inside the node's filesystem namespace) holding the
+        WAL segments and manifest.
     """
 
     def __init__(
@@ -74,6 +89,11 @@ class StabilizerConfig:
         max_retransmit_attempts: Optional[int] = 8,
         transport_min_rto_s: float = 0.05,
         transport_max_rto_s: float = 5.0,
+        durability: bool = False,
+        durability_group_commit_interval_s: float = 0.005,
+        durability_group_commit_batch: int = 32,
+        durability_segment_bytes: int = 64 * 1024,
+        durability_dir: str = "wal",
     ):
         if local not in node_names:
             raise ConfigError(f"local node {local!r} not in node list")
@@ -91,6 +111,14 @@ class StabilizerConfig:
             raise ConfigError("max_retransmit_attempts must be positive or None")
         if transport_min_rto_s <= 0 or transport_max_rto_s < transport_min_rto_s:
             raise ConfigError("need 0 < transport_min_rto_s <= transport_max_rto_s")
+        if durability_group_commit_interval_s <= 0:
+            raise ConfigError("durability_group_commit_interval_s must be positive")
+        if durability_group_commit_batch <= 0:
+            raise ConfigError("durability_group_commit_batch must be positive")
+        if durability_segment_bytes <= 0:
+            raise ConfigError("durability_segment_bytes must be positive")
+        if not durability_dir:
+            raise ConfigError("durability_dir must be non-empty")
         for name in ack_types:
             if name in BUILTIN_TYPES:
                 raise ConfigError(f"ack type {name!r} is built in")
@@ -111,6 +139,11 @@ class StabilizerConfig:
         self.max_retransmit_attempts = max_retransmit_attempts
         self.transport_min_rto_s = transport_min_rto_s
         self.transport_max_rto_s = transport_max_rto_s
+        self.durability = durability
+        self.durability_group_commit_interval_s = durability_group_commit_interval_s
+        self.durability_group_commit_batch = durability_group_commit_batch
+        self.durability_segment_bytes = durability_segment_bytes
+        self.durability_dir = durability_dir
 
     # -- derived views ----------------------------------------------------------
     @property
@@ -159,6 +192,11 @@ class StabilizerConfig:
             max_retransmit_attempts=self.max_retransmit_attempts,
             transport_min_rto_s=self.transport_min_rto_s,
             transport_max_rto_s=self.transport_max_rto_s,
+            durability=self.durability,
+            durability_group_commit_interval_s=self.durability_group_commit_interval_s,
+            durability_group_commit_batch=self.durability_group_commit_batch,
+            durability_segment_bytes=self.durability_segment_bytes,
+            durability_dir=self.durability_dir,
         )
 
     def channel_kwargs(self) -> dict:
@@ -210,6 +248,11 @@ class StabilizerConfig:
             "max_retransmit_attempts": self.max_retransmit_attempts,
             "transport_min_rto_s": self.transport_min_rto_s,
             "transport_max_rto_s": self.transport_max_rto_s,
+            "durability": self.durability,
+            "durability_group_commit_interval_s": self.durability_group_commit_interval_s,
+            "durability_group_commit_batch": self.durability_group_commit_batch,
+            "durability_segment_bytes": self.durability_segment_bytes,
+            "durability_dir": self.durability_dir,
         }
 
     @classmethod

@@ -29,7 +29,8 @@ DATA_CHANNEL = "stab.data"
 ChunkMeta = Tuple[int, int, int, int, object]
 
 DeliverFn = Callable[[str, int, Payload, object], None]
-ReceivedFn = Callable[[str, int], None]
+ReceivedFn = Callable[[str, int, Payload], None]
+SentFn = Callable[[int, Payload], None]
 
 
 class _BufferEntry:
@@ -102,12 +103,17 @@ class DataPlane:
         config: StabilizerConfig,
         on_deliver: Optional[DeliverFn] = None,
         on_received: Optional[ReceivedFn] = None,
+        on_sent: Optional[SentFn] = None,
     ):
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self.config = config
         self.on_deliver = on_deliver
         self.on_received = on_received
+        # Called once per locally originated chunk, after it is buffered
+        # and transmitted — the durability layer's ingest point for the
+        # node's own stream.
+        self.on_sent = on_sent
         self.chunker = Chunker(config.chunk_bytes)
         self.buffer = SendBuffer(config.max_buffer_bytes)
         self._next_seq = 1  # message sequence numbers are 1-based
@@ -162,6 +168,8 @@ class DataPlane:
             for channel in self._out_channels.values():
                 channel.send(chunk.payload, meta=chunk_meta)
             self.messages_sent += 1
+            if self.on_sent is not None:
+                self.on_sent(seq, chunk.payload)
         return first_seq, self._next_seq - 1
 
     def last_sent_seq(self) -> int:
@@ -256,6 +264,6 @@ class DataPlane:
                 Chunk(object_id, chunk_index, chunk_count, payload)
             )
         if self.on_received is not None:
-            self.on_received(origin, seq)
+            self.on_received(origin, seq, payload)
         if complete is not None and self.on_deliver is not None:
             self.on_deliver(origin, seq, complete, user_meta)

@@ -10,22 +10,25 @@ view-change analogue is the caller rebuilding the node and then invoking
 :meth:`~repro.core.stabilizer.Stabilizer.request_catchup` so peers replay
 what it missed while down.
 
-Version 2 added the send buffer and receive watermarks; version-1
-snapshots still restore (without buffer replay of the node's own stream).
+Version 2 added the send buffer and receive watermarks; version 3 added
+the durability section (the WAL watermarks the snapshot was compacted
+against) and made :func:`save_snapshot` crash-atomic.  Older snapshots
+still restore (version 1 without buffer replay of the node's own stream).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.stabilizer import Stabilizer
-from repro.errors import StabilizerError
+from repro.errors import StabilizerError, StorageError
+from repro.storage.faultio import OS_FS
 from repro.transport.messages import SyntheticPayload
 
-SNAPSHOT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+SNAPSHOT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _encode_payload(payload):
@@ -72,6 +75,14 @@ def snapshot_state(stabilizer: Stabilizer) -> dict:
                 for entry in buffer.entries_above(buffer.reclaimed_up_to)
             ],
         },
+        # v3: the fsync-confirmed WAL watermarks at snapshot time.  A
+        # restore may use these to *check* honesty, never to advance it —
+        # only the recovered WAL itself can justify a persisted claim.
+        "durability": (
+            {"watermarks": stabilizer.durability.watermarks()}
+            if stabilizer.durability is not None
+            else None
+        ),
     }
 
 
@@ -99,6 +110,23 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
             f"snapshot belongs to node {config['local']!r}, "
             f"not {stabilizer.config.local!r}"
         )
+    # Durability honesty clamp: a snapshot may not reinstate a persisted
+    # claim the recovered WAL cannot back.  (Snapshots are taken with the
+    # persisted column equal to the fsync watermark, and fsynced bytes
+    # survive a crash, so a violation here means corrupted state or a
+    # snapshot from a different disk — refuse it rather than lie.)
+    if stabilizer.durability is not None:
+        persisted = stabilizer.type_id("persisted")
+        local_index = stabilizer.local_index
+        for origin, rows in snapshot["tables"].items():
+            claimed = rows[local_index][persisted]
+            proven = stabilizer.durability.watermark(origin)
+            if claimed > proven:
+                raise StabilizerError(
+                    f"snapshot claims {stabilizer.name!r} persisted "
+                    f"{origin!r}:{claimed} but the recovered WAL proves "
+                    f"only {proven} — refusing a dishonest restore"
+                )
     for origin, rows in snapshot["tables"].items():
         table = stabilizer.tables.get(origin)
         if table is None:
@@ -137,12 +165,30 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
             )
 
 
-def save_snapshot(stabilizer: Stabilizer, path: Union[str, Path]) -> None:
-    Path(path).write_text(json.dumps(snapshot_state(stabilizer)))
-
-
-def load_snapshot(path: Union[str, Path]) -> dict:
+def save_snapshot(
+    stabilizer: Stabilizer, path: Union[str, Path], fs=None
+) -> None:
+    """Write the snapshot crash-atomically: temp file in the same
+    directory, fsync, then an atomic rename over the target.  A crash at
+    any instant leaves either the old snapshot or the new one — never a
+    torn half of each.  ``fs`` selects the filesystem (default: the real
+    OS; chaos runs pass the node's fault-injecting filesystem, so a
+    checkpoint can itself hit ENOSPC or a failed fsync)."""
+    filesystem = fs if fs is not None else OS_FS
+    data = json.dumps(snapshot_state(stabilizer)).encode()
+    tmp = str(path) + ".tmp"
+    fh = filesystem.open(tmp, "wb")
     try:
-        return json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        fh.write(data)
+        filesystem.fsync(fh)
+    finally:
+        fh.close()
+    filesystem.replace(tmp, str(path))
+
+
+def load_snapshot(path: Union[str, Path], fs=None) -> dict:
+    filesystem = fs if fs is not None else OS_FS
+    try:
+        return json.loads(filesystem.read_bytes(str(path)))
+    except (OSError, StorageError, ValueError) as exc:
         raise StabilizerError(f"cannot load snapshot {path}: {exc}") from exc

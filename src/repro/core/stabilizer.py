@@ -28,6 +28,7 @@ from repro.core.config import StabilizerConfig
 from repro.core.controlplane import ControlPlane
 from repro.core.dataplane import DataPlane
 from repro.core.degradation import DegradationPolicy
+from repro.core.durability import DurabilityManager
 from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
 from repro.errors import StabilizerError
@@ -47,6 +48,7 @@ class Stabilizer:
         net: Network,
         config: StabilizerConfig,
         endpoint: Optional[TransportEndpoint] = None,
+        fs=None,
     ):
         self.net = net
         self.sim = net.sim
@@ -64,12 +66,27 @@ class Stabilizer:
         self.engine = FrontierEngine(config.dsl_context(), config.node_names)
         self.detector = FailureDetector(self.sim, config)
 
+        # Honest durability (opt-in): a per-node WAL whose group-commit
+        # fsyncs gate every ``persisted`` claim this node makes.  Without
+        # it, ``persisted`` advances with delivery (modelled persistence,
+        # the historical behaviour).
+        self.durability: Optional[DurabilityManager] = None
+        if config.durability:
+            self.durability = DurabilityManager(
+                self.sim, config, fs=fs, on_durable=self._on_durable
+            )
+            self._persisted_skip = (self._type_ids["persisted"],)
+        else:
+            self._persisted_skip = ()
+        self.fs = self.durability.fs if self.durability is not None else fs
+
         self._delivery_handlers: list = []
         self.dataplane = DataPlane(
             self.endpoint,
             config,
             on_deliver=self._on_deliver,
             on_received=self._on_received,
+            on_sent=self._on_sent if self.durability is not None else None,
         )
         self.controlplane = ControlPlane(
             self.endpoint,
@@ -81,6 +98,13 @@ class Stabilizer:
         )
         for key, source in config.predicates.items():
             self.engine.register_predicate(key, source)
+        # A restarted node may honestly re-claim what its recovered WAL
+        # proves was fsynced before the crash — and must re-broadcast it,
+        # because monotonic control traffic never repeats old values.
+        if self.durability is not None:
+            persisted = self._type_ids["persisted"]
+            for origin, seq in self.durability.watermarks().items():
+                self.controlplane.note_local_ack(origin, persisted, seq)
         # Partition-aware degradation (Section III-E): transport dead-peer
         # reports feed the detector; suspicion and recovery transitions are
         # logged and handed to the user-registered degradation policy.
@@ -100,7 +124,12 @@ class Stabilizer:
         for it immediately (the Section III-C completeness rule)."""
         _first, last = self.dataplane.send(payload, meta)
         table = self.tables[self.name]
-        advanced = table.set_all_types(self.local_index, last)
+        # With durability on, ``persisted`` is excluded from the
+        # completeness rule: the origin may not claim its own bytes are
+        # on disk until the WAL group commit's fsync says so.
+        advanced = table.set_all_types(
+            self.local_index, last, skip=self._persisted_skip
+        )
         self.engine.reevaluate(
             self.name,
             table,
@@ -311,7 +340,7 @@ class Stabilizer:
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, float]:
         """Operational counters (for dashboards and tests)."""
-        return {
+        stats = {
             "messages_sent": self.dataplane.messages_sent,
             "messages_received": self.dataplane.messages_received,
             "buffered_bytes": self.dataplane.buffer.buffered_bytes(),
@@ -341,13 +370,32 @@ class Stabilizer:
                 c.suspensions for c in self.endpoint.channels().values()
             ),
         }
+        if self.durability is not None:
+            stats.update(self.durability.stats())
+        return stats
 
     # ------------------------------------------------------------------ internals
-    def _on_received(self, origin: str, seq: int) -> None:
-        # The origin implicitly holds every property for what it sent.
+    def _on_sent(self, seq: int, payload: Payload) -> None:
+        # Our own stream enters the WAL as each chunk is originated.
+        self.durability.append(self.name, seq, payload)
+
+    def _on_durable(self, origin: str, seq: int) -> None:
+        """A WAL group commit's fsync returned: everything of ``origin``
+        up to ``seq`` is genuinely on this node's disk — only now may
+        ``persisted`` be claimed (locally and to every peer)."""
+        self.controlplane.note_local_ack(
+            origin, self._type_ids["persisted"], seq
+        )
+
+    def _on_received(self, origin: str, seq: int, payload: Payload) -> None:
+        # The origin implicitly holds every property for what it sent —
+        # except ``persisted`` under durability, which only the origin's
+        # own fsyncs may claim (its control reports carry the claim here).
         table = self.tables[origin]
         origin_index = self.config.node_index(origin)
-        advanced = table.set_all_types(origin_index, seq)
+        advanced = table.set_all_types(
+            origin_index, seq, skip=self._persisted_skip
+        )
         if advanced:
             self.engine.reevaluate(
                 origin,
@@ -359,6 +407,8 @@ class Stabilizer:
         self.controlplane.note_local_ack(
             origin, self._type_ids["received"], seq
         )
+        if self.durability is not None:
+            self.durability.append(origin, seq, payload)
 
     def _on_deliver(self, origin: str, seq: int, payload: Payload, meta) -> None:
         for handler in self._delivery_handlers:
@@ -383,6 +433,21 @@ class Stabilizer:
 
     # ------------------------------------------------------------------ teardown
     def close(self) -> None:
+        """Graceful shutdown: the WAL gets a final group commit (whose
+        ``persisted`` reports still flow while the control plane lives),
+        then timers stop."""
+        if self.durability is not None:
+            self.durability.close(sync=True)
+        self.detector.stop()
+        self.controlplane.close()
+        self.endpoint.close()
+
+    def crash(self) -> None:
+        """Crash teardown: no parting flush, no goodbyes.  Whatever the
+        WAL had not fsynced is abandoned — exactly the state of affairs
+        this node's ``persisted`` column always admitted to."""
+        if self.durability is not None:
+            self.durability.crash()
         self.detector.stop()
         self.controlplane.close()
         self.endpoint.close()

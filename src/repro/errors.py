@@ -82,6 +82,26 @@ class StorageError(ReproError):
     """Object-store or log failure (corruption, missing version)."""
 
 
+class DiskFaultError(StorageError):
+    """An injected (or real) storage-device failure.
+
+    ``kind`` names the fault (``"enospc"``, ``"eio_write"``,
+    ``"torn_write"``, ``"fsync_fail"``, ``"fsync_torn"``); ``written`` is
+    how many bytes of the attempted write landed before the fault — a
+    non-zero value means the file now ends in a torn, untrusted tail.
+    """
+
+    def __init__(self, message: str, kind: str = "eio", written: int = 0):
+        super().__init__(message)
+        self.kind = kind
+        self.written = written
+
+
+class LogCorruptionError(StorageError):
+    """A checksummed log found mid-log corruption while recovering in
+    strict mode (bit rot, not a torn tail — see ``AppendLog``)."""
+
+
 class PaxosError(ReproError):
     """Paxos replica failure (no leader, not enough acceptors)."""
 

@@ -9,7 +9,22 @@ integration needs — a single-site versioned object store with ``put`` /
 from scratch.
 """
 
+from repro.storage.faultio import (
+    FaultInjector,
+    MemoryFileSystem,
+    OS_FS,
+    OsFileSystem,
+)
 from repro.storage.log import AppendLog, LogRecord
 from repro.storage.objectstore import ObjectStore, Version
 
-__all__ = ["AppendLog", "LogRecord", "ObjectStore", "Version"]
+__all__ = [
+    "AppendLog",
+    "FaultInjector",
+    "LogRecord",
+    "MemoryFileSystem",
+    "ObjectStore",
+    "OS_FS",
+    "OsFileSystem",
+    "Version",
+]

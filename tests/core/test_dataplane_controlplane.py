@@ -118,7 +118,7 @@ def test_dataplane_delivery_and_received_callbacks():
         on_deliver=lambda origin, seq, payload, meta: delivered.append(
             (origin, seq, payload, meta)
         ),
-        on_received=lambda origin, seq: received.append(seq),
+        on_received=lambda origin, seq, payload: received.append(seq),
     )
     sender.send(SyntheticPayload(2500), meta="file-1")
     sim.run(until=1.0)

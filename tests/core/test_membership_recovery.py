@@ -245,7 +245,7 @@ def test_snapshot_roundtrips_the_unreclaimed_buffer_tail():
     seqs = [a.send(b"unreclaimed-%d" % i) for i in range(3)]
     sim.run(until=1.0)
     snap = snapshot_state(a)
-    assert snap["version"] == 2
+    assert snap["version"] == 3
     held = [entry["seq"] for entry in snap["buffer"]["entries"]]
     assert set(seqs) <= set(held)
 

@@ -1,0 +1,238 @@
+"""Fault-injecting filesystem tests: the disk model the WAL is tested on."""
+
+import pytest
+
+from repro.errors import DiskFaultError, StorageError
+from repro.storage.faultio import FaultInjector, MemoryFileSystem
+
+
+def fs_with(kind=None, count=1, seed=7):
+    fs = MemoryFileSystem(seed=seed)
+    if kind is not None:
+        fs.injector.arm_once(kind, count)
+    return fs
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector.
+# ---------------------------------------------------------------------------
+
+
+def test_injector_is_deterministic_per_seed():
+    a, b = FaultInjector(seed=3), FaultInjector(seed=3)
+    a.arm("eio_write", 0.5)
+    b.arm("eio_write", 0.5)
+    assert [a.decide("eio_write") for _ in range(50)] == [
+        b.decide("eio_write") for _ in range(50)
+    ]
+    assert a.injected == b.injected
+
+
+def test_arm_once_is_consumed_before_rates():
+    inj = FaultInjector(seed=0)
+    inj.arm_once("enospc", 2)
+    assert inj.decide("enospc") and inj.decide("enospc")
+    assert not inj.decide("enospc")  # script exhausted, no rate armed
+    assert inj.injected == {"enospc": 2}
+
+
+def test_unknown_kind_and_bad_rate_rejected():
+    inj = FaultInjector()
+    with pytest.raises(StorageError):
+        inj.arm("meteor_strike")
+    with pytest.raises(StorageError):
+        inj.arm("enospc", rate=1.5)
+
+
+def test_clear_disarms():
+    inj = FaultInjector()
+    inj.arm("fsync_fail", 1.0)
+    inj.arm_once("eio_write")
+    inj.clear("fsync_fail")
+    assert not inj.decide("fsync_fail")
+    inj.clear()
+    assert not inj.decide("eio_write")
+
+
+# ---------------------------------------------------------------------------
+# Write faults.
+# ---------------------------------------------------------------------------
+
+
+def test_clean_write_and_read_back():
+    fs = fs_with()
+    with fs.open("f", "ab") as fh:
+        fh.write(b"hello")
+    assert fs.read_bytes("f") == b"hello"
+    # Nothing fsynced: a crash loses it all.
+    assert fs.durable_bytes("f") == b""
+
+
+def test_enospc_and_eio_write_nothing():
+    for kind in ("enospc", "eio_write"):
+        fs = fs_with(kind)
+        fh = fs.open("f", "ab")
+        with pytest.raises(DiskFaultError) as err:
+            fh.write(b"payload")
+        assert err.value.kind == kind
+        assert err.value.written == 0
+        assert fs.read_bytes("f") == b""
+
+
+def test_torn_write_leaves_a_prefix():
+    fs = fs_with("torn_write")
+    fh = fs.open("f", "ab")
+    with pytest.raises(DiskFaultError) as err:
+        fh.write(b"x" * 100)
+    assert err.value.kind == "torn_write"
+    assert 0 <= err.value.written < 100
+    assert fs.read_bytes("f") == b"x" * err.value.written
+
+
+def test_bitflip_corrupts_silently():
+    fs = fs_with("bitflip")
+    with fs.open("f", "ab") as fh:
+        fh.write(b"\x00" * 64)  # no exception: the caller never knows
+    data = fs.read_bytes("f")
+    assert len(data) == 64
+    assert sum(bin(byte).count("1") for byte in data) == 1  # exactly one bit
+
+
+# ---------------------------------------------------------------------------
+# Fsync and the volatile/durable split.
+# ---------------------------------------------------------------------------
+
+
+def test_fsync_makes_bytes_durable():
+    fs = fs_with()
+    fh = fs.open("f", "ab")
+    fh.write(b"abc")
+    assert fs.durable_bytes("f") == b""
+    fs.fsync(fh)
+    assert fs.durable_bytes("f") == b"abc"
+    fh.write(b"def")
+    assert fs.unsynced_tail_len("f") == 3
+    fs.crash()
+    assert fs.read_bytes("f") == b"abc"
+
+
+def test_failed_fsync_drops_dirty_pages_forever():
+    """The fsyncgate contract: after a failed fsync, retrying succeeds
+    but the dropped pages never reach the disk."""
+    fs = fs_with("fsync_fail")
+    fh = fs.open("f", "ab")
+    fh.write(b"doomed--")
+    with pytest.raises(DiskFaultError) as err:
+        fs.fsync(fh)
+    assert err.value.kind == "fsync_fail"
+    fs.fsync(fh)  # the retry "succeeds"...
+    assert fs.durable_bytes("f") == b""  # ...but the bytes are gone
+    # Appending more and syncing exposes the hole: the lost range reads
+    # as zeroes once durable data exists beyond it.
+    fh.write(b"later-ok")
+    fs.fsync(fh)
+    assert fs.durable_bytes("f") == b"\x00" * 8 + b"later-ok"
+    fs.crash()
+    assert fs.read_bytes("f") == b"\x00" * 8 + b"later-ok"
+
+
+def test_rewriting_lost_pages_redeems_them():
+    fs = fs_with("fsync_fail")
+    fh = fs.open("f", "wb")
+    fh.write(b"doomed")
+    with pytest.raises(DiskFaultError):
+        fs.fsync(fh)
+    # Writing the same region again makes it dirty (not lost) — a fresh
+    # fsync covers it.
+    fh.seek(0)
+    fh.write(b"saved!")
+    fs.fsync(fh)
+    assert fs.durable_bytes("f") == b"saved!"
+
+
+def test_fsync_torn_keeps_a_prefix_of_dirty_ranges():
+    fs = fs_with("fsync_torn", seed=11)
+    fh = fs.open("f", "ab")
+    fh.write(b"aa")
+    fh.write(b"bb")
+    fh.write(b"cc")
+    with pytest.raises(DiskFaultError) as err:
+        fs.fsync(fh)
+    assert err.value.kind == "fsync_torn"
+    durable = fs.durable_bytes("f")
+    # Some prefix of the dirty ranges survived; the rest never landed.
+    assert durable in (b"", b"aa", b"aabb", b"aabbcc")
+
+
+# ---------------------------------------------------------------------------
+# Crash semantics.
+# ---------------------------------------------------------------------------
+
+
+def test_torn_crash_keeps_prefix_of_unsynced_tail():
+    fs = fs_with(seed=5)
+    fh = fs.open("f", "ab")
+    fh.write(b"base")
+    fs.fsync(fh)
+    fh.write(b"tail-bytes")
+    fs.crash(torn=True)
+    data = fs.read_bytes("f")
+    assert data.startswith(b"base")
+    assert b"base" + b"tail-bytes"[: len(data) - 4] == data
+
+
+def test_crash_file_keep_tail_is_exact():
+    fs = fs_with()
+    fh = fs.open("f", "ab")
+    fh.write(b"base")
+    fs.fsync(fh)
+    fh.write(b"0123456789")
+    for keep in range(11):
+        probe = fs.clone(seed=keep)
+        probe.crash_file("f", keep_tail=keep)
+        assert probe.read_bytes("f") == b"base" + b"0123456789"[:keep]
+    # The original is untouched by cloning.
+    assert fs.read_bytes("f") == b"base0123456789"
+
+
+def test_replace_is_atomic_and_durable():
+    fs = fs_with()
+    with fs.open("f.tmp", "wb") as fh:
+        fh.write(b"new")
+        fs.fsync(fh)
+    fs.replace("f.tmp", "f")
+    assert not fs.exists("f.tmp")
+    fs.crash()
+    assert fs.read_bytes("f") == b"new"
+
+
+def test_open_modes():
+    fs = fs_with()
+    with pytest.raises(StorageError):
+        fs.open("missing", "rb")
+    with pytest.raises(StorageError):
+        fs.open("f", "a")  # text mode is not modelled
+    with fs.open("f", "wb") as fh:
+        fh.write(b"x")
+    with fs.open("f", "rb") as fh:
+        assert fh.read() == b"x"
+        with pytest.raises(StorageError):
+            fh.write(b"nope")
+    closed = fs.open("f", "rb")
+    closed.close()
+    with pytest.raises(StorageError):
+        closed.read()
+
+
+def test_listdir_prefix_and_remove():
+    fs = fs_with()
+    for name in ("wal/wal-000001.log", "wal/wal-000002.log", "wal/wal.meta"):
+        fs.open(name, "ab").close()
+    assert fs.listdir("wal/wal-") == [
+        "wal/wal-000001.log",
+        "wal/wal-000002.log",
+    ]
+    fs.remove("wal/wal-000001.log")
+    assert fs.listdir("wal/wal-") == ["wal/wal-000002.log"]
+    with pytest.raises(StorageError):
+        fs.remove("wal/wal-000001.log")
