@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
-        durability-smoke verify report clean
+        durability-smoke obs-smoke verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,8 +30,13 @@ chaos-smoke:
 durability-smoke:
 	pytest -m durability_smoke
 
+# Flight-recorder dump + full-lifecycle trace check on an injected
+# chaos failure (and the tracer counters of a clean run).
+obs-smoke:
+	pytest -m obs_smoke
+
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
-verify: test bench-smoke chaos-smoke durability-smoke
+verify: test bench-smoke chaos-smoke durability-smoke obs-smoke
 
 report:
 	python -m repro report

@@ -61,6 +61,22 @@ def test_fig5_stability_frontier_latency(benchmark, report):
     report.add_data(
         "summaries", {key: series[key].summary() for key in ORDER}
     )
+    # Cross-check against the built-in stability instruments: the sender's
+    # registry measured the same send->stable delays independently (send()
+    # timestamps + frontier-advance hook).  Sample counts must agree
+    # exactly; the exact histogram mean must agree within 1%.
+    obs = result["obs_stability"]
+    for key in ORDER:
+        s = series[key]
+        assert obs[key]["count"] == len(s), (
+            f"{key}: obs histogram has {obs[key]['count']} samples, "
+            f"series has {len(s)}"
+        )
+        assert abs(obs[key]["mean"] - s.mean()) <= 0.01 * s.mean(), (
+            f"{key}: obs mean {obs[key]['mean']:.6f}s vs "
+            f"series mean {s.mean():.6f}s"
+        )
+    report.add_data("obs_stability", obs)
     from conftest import RESULTS_DIR
     RESULTS_DIR.mkdir(exist_ok=True)
     for key in ORDER:

@@ -53,6 +53,13 @@ def test_fig8_dynamic_reconfiguration(benchmark, report):
     )
     report.add_data("all_sites_mean_ms", all_sites.mean() * 1e3)
     report.add_data("three_sites_mean_ms", three_sites.mean() * 1e3)
+    # The sender's built-in stability instruments saw the same delays for
+    # the static phases; cross-check and record their summaries too.
+    for label, series in (("all_sites", all_sites), ("three_sites", three_sites)):
+        summary = result["obs"][label]
+        assert summary["count"] == len(series)
+        assert abs(summary["mean"] - series.mean()) <= 0.01 * series.mean()
+    report.add_data("obs", result["obs"])
     from conftest import RESULTS_DIR
     RESULTS_DIR.mkdir(exist_ok=True)
     changing.to_csv(RESULTS_DIR / "fig8_changing.csv")

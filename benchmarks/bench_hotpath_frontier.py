@@ -46,6 +46,8 @@ def test_hotpath_frontier_reports_per_sec(benchmark, report):
                 "incremental rps",
                 "brute rps",
                 "speedup",
+                "p50 us",
+                "p99 us",
                 "evaluations",
                 "skipped idx",
                 "skipped sc",
@@ -57,6 +59,8 @@ def test_hotpath_frontier_reports_per_sec(benchmark, report):
                     f"{r['incremental_rps']:.0f}",
                     f"{r['brute_rps']:.0f}",
                     f"{r['speedup']:.2f}x",
+                    f"{r['latency_p50_us']:.1f}",
+                    f"{r['latency_p99_us']:.1f}",
                     r["evaluations"],
                     r["skipped_by_index"],
                     r["skipped_by_shortcircuit"],
@@ -101,6 +105,8 @@ def test_hotpath_frontier_reports_per_sec(benchmark, report):
                 "incremental_rps": key_row["incremental_rps"],
                 "brute_rps": key_row["brute_rps"],
                 "speedup": key_row["speedup"],
+                "latency_p50_us": key_row["latency_p50_us"],
+                "latency_p99_us": key_row["latency_p99_us"],
             },
             "rows": rows,
         }
@@ -112,4 +118,5 @@ def test_hotpath_frontier_reports_per_sec(benchmark, report):
             f"incremental != brute at {row['predicates']}x{row['nodes']}"
         )
         assert row["evaluations"] <= row["brute_evaluations"]
+        assert 0 < row["latency_p50_us"] <= row["latency_p99_us"]
     assert key_row["speedup"] >= MIN_SPEEDUP

@@ -25,6 +25,7 @@ from repro.dsl.stdlib import standard_predicates
 from repro.net.probe import network_matrix
 from repro.net.tc import NetemSpec
 from repro.net.topology import Network, Topology
+from repro.obs import Histogram
 from repro.paxos import PaxosCluster
 from repro.pubsub import PulsarCluster, ReliableBroadcast, StabilizerBroker
 from repro.sim import Simulator
@@ -250,6 +251,12 @@ def run_trace_experiment(
         "messages": last_seq,
         "trace_files": len(records),
         "duration_s": sim.now,
+        # Independent measurement of the same delays, from the sender's
+        # built-in stability instruments (send() stamps, frontier-advance
+        # hook) — benchmarks cross-check the two within 1%.
+        "obs_stability": {
+            key: sender.stability.summary(key) for key in predicates
+        },
     }
 
 
@@ -428,7 +435,9 @@ THREE_SITES_PREDICATE = "KTH_MAX(3, $ALLWNODES - $MYWNODE)"
 SLOWEST_SITE = "CLEM"
 
 
-def _reconfig_static(predicate: str, messages: int, rate: float) -> Series:
+def _reconfig_static(
+    predicate: str, messages: int, rate: float
+) -> Tuple[Series, Dict[str, float]]:
     sim, net = build_network(cloudlab_topology())
     cluster = _cluster(
         net,
@@ -456,7 +465,7 @@ def _reconfig_static(predicate: str, messages: int, rate: float) -> Series:
     start = sim.now
     constant_rate(sim, rate, messages, send)
     sim.run(until=start + messages / rate + 30.0)
-    return series
+    return series, sender.stability.summary("p")
 
 
 def _reconfig_changing(messages: int, rate: float, toggle_every_s: float) -> Dict[str, object]:
@@ -510,14 +519,21 @@ def _reconfig_changing(messages: int, rate: float, toggle_every_s: float) -> Dic
 def run_reconfig(
     messages: int = 1600, rate: float = 80.0, toggle_every_s: float = 5.0
 ) -> Dict[str, object]:
-    all_sites = _reconfig_static(ALL_SITES_PREDICATE, messages, rate)
-    three_sites = _reconfig_static(THREE_SITES_PREDICATE, messages, rate)
+    all_sites, all_sites_obs = _reconfig_static(
+        ALL_SITES_PREDICATE, messages, rate
+    )
+    three_sites, three_sites_obs = _reconfig_static(
+        THREE_SITES_PREDICATE, messages, rate
+    )
     changing = _reconfig_changing(messages, rate, toggle_every_s)
     return {
         "all_sites": all_sites,
         "three_sites": three_sites,
         "changing": changing["series"],
         "toggles": changing["toggles"],
+        # Built-in stability-latency summaries for the static phases (the
+        # changing phase measures at subscribers, not the sender).
+        "obs": {"all_sites": all_sites_obs, "three_sites": three_sites_obs},
     }
 
 
@@ -859,6 +875,38 @@ def _hotpath_predicates(count: int, node_names: Sequence[str]) -> Dict[str, str]
     return predicates
 
 
+#: Microsecond-scale 1-2-5 ladder for single-report engine latencies.
+HOTPATH_LATENCY_BUCKETS_US = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+def _hotpath_latency_histogram(
+    node_names, groups, origin, predicates, updates
+) -> Histogram:
+    """Replay ``updates`` on a fresh incremental engine, timing each
+    report individually into a microsecond histogram."""
+    from repro.core.acks import AckTable
+    from repro.core.frontier import FrontierEngine
+
+    ctx = DslContext(node_names, groups, origin)
+    engine = FrontierEngine(ctx, node_names, incremental=True)
+    for key, source in predicates.items():
+        engine.register_predicate(key, source)
+    table = AckTable(len(node_names), 2)
+    engine.reevaluate(origin, table)
+    hist = Histogram("hotpath.report_latency_us", HOTPATH_LATENCY_BUCKETS_US)
+    for node, type_id, seq in updates:
+        table.update(node, type_id, seq)
+        started = time.perf_counter()
+        engine.reevaluate(
+            origin, table, updated_node=node, updated_cells=((type_id, seq),)
+        )
+        hist.observe((time.perf_counter() - started) * 1e6)
+    return hist
+
+
 def run_hotpath_frontier(
     predicate_counts: Sequence[int] = (4, 16, 64),
     node_counts: Sequence[int] = (2, 8, 16),
@@ -916,6 +964,12 @@ def run_hotpath_frontier(
                     )
                 timings[mode] = time.perf_counter() - started
                 engines[mode] = engine
+            # Per-report latency distribution of the incremental engine,
+            # from a separate replay so the timer calls do not skew the
+            # aggregate throughput numbers above.
+            latency = _hotpath_latency_histogram(
+                node_names, groups, origin, predicates, updates
+            )
             frontiers_match = all(
                 engines["incremental"].frontier(origin, key)
                 == engines["brute"].frontier(origin, key)
@@ -936,6 +990,8 @@ def run_hotpath_frontier(
                     "fast_advances": incremental.fast_advances,
                     "compiler_cache_hits": incremental.compiler.cache_hits,
                     "brute_evaluations": engines["brute"].evaluations,
+                    "latency_p50_us": latency.percentile(50.0),
+                    "latency_p99_us": latency.percentile(99.0),
                 }
             )
     return rows

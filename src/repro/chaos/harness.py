@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import random
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.invariants import InvariantChecker, InvariantViolation
@@ -40,6 +41,7 @@ from repro.core.recovery import save_snapshot, snapshot_state
 from repro.errors import DiskFaultError
 from repro.net.tc import NetemSpec
 from repro.net.topology import Topology
+from repro.obs.tracer import Tracer
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.storage.faultio import MemoryFileSystem
@@ -82,6 +84,9 @@ class ChaosConfig:
         checkpoint_interval_s: Optional[float] = None,
         durability_batch: int = 8,
         durability_interval_s: float = 0.01,
+        trace: bool = True,
+        trace_capacity: int = 65536,
+        trace_dir: str = ".",
     ):
         self.seed = seed
         self.azs = azs
@@ -104,6 +109,11 @@ class ChaosConfig:
         self.checkpoint_interval_s = checkpoint_interval_s
         self.durability_batch = durability_batch
         self.durability_interval_s = durability_interval_s
+        # Flight recorder: on by default — a failing seed must always
+        # come with its interleaving.  The ring bounds the cost.
+        self.trace = trace
+        self.trace_capacity = trace_capacity
+        self.trace_dir = trace_dir
 
     def groups(self) -> Dict[str, List[str]]:
         return {
@@ -144,6 +154,19 @@ class ChaosHarness:
         topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
         self.sim = Simulator()
         self.net = topo.build(self.sim, RngRegistry(self.config.seed))
+        # One flight recorder across the whole cluster (and every node
+        # incarnation), stamped with virtual time.  On an invariant
+        # failure the checker dumps it next to the test output.
+        self.tracer = Tracer(
+            clock=self.sim.clock,
+            capacity=self.config.trace_capacity,
+            enabled=self.config.trace,
+        )
+        self.checker.flight_recorder = self.tracer
+        self.checker.dump_path = (
+            Path(self.config.trace_dir)
+            / f"chaos_failure_{self.config.seed}.trace.json"
+        )
         predicates = {
             STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
             RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
@@ -175,7 +198,9 @@ class ChaosHarness:
                     seed=(_seed << 8) ^ self.node_names.index(name)
                 )
 
-        self.cluster = StabilizerCluster(self.net, base, fs_factory=fs_factory)
+        self.cluster = StabilizerCluster(
+            self.net, base, fs_factory=fs_factory, tracer=self.tracer
+        )
         if self.config.checkpoint_interval_s is not None:
             for name in self.node_names:
                 self.sim.call_later(
@@ -361,6 +386,8 @@ class ChaosHarness:
             "checkpoints_taken": self.checkpoints_taken,
             "checkpoint_faults": self.checkpoint_faults,
             "violations": list(self.checker.violations),
+            "trace_events": self.tracer.emitted,
+            "trace_dropped": self.tracer.dropped,
             "cluster_totals": totals,
             "elapsed_s": elapsed_s,
             "checks_per_s": (

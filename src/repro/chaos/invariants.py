@@ -61,6 +61,14 @@ class InvariantChecker:
         self.releases_checked = 0
         self.restarts_checked = 0
         self.violations: List[str] = []
+        # Flight recorder (optional): a shared Tracer the harness wires
+        # in.  On any violation its ring is dumped to ``dump_path`` as a
+        # Chrome trace and the last events are appended to the failure
+        # message, so a bare pytest log is actionable without a rerun.
+        self.flight_recorder = None
+        self.dump_path = None
+        self.tail_events = 50
+        self.dumped_to = None
 
     # -- wiring ----------------------------------------------------------------
     def note_sent(self, origin: str, seq: int) -> None:
@@ -101,8 +109,35 @@ class InvariantChecker:
 
     # -- the invariants ----------------------------------------------------------
     def _fail(self, message: str) -> None:
+        detail = self._flight_dump()
+        if detail:
+            message = f"{message}\n{detail}"
         self.violations.append(message)
         raise InvariantViolation(message)
+
+    def _flight_dump(self) -> str:
+        """Dump the flight recorder (if wired) and format its tail."""
+        recorder = self.flight_recorder
+        if recorder is None or not getattr(recorder, "enabled", False):
+            return ""
+        lines = []
+        if self.dump_path is not None:
+            try:
+                count = recorder.to_chrome_file(self.dump_path)
+            except OSError as exc:  # never mask the real violation
+                lines.append(f"flight recorder dump failed: {exc}")
+            else:
+                self.dumped_to = str(self.dump_path)
+                lines.append(
+                    f"flight recorder: {count} events "
+                    f"({recorder.dropped} older dropped) dumped to "
+                    f"{self.dump_path} (load in chrome://tracing)"
+                )
+        tail = min(self.tail_events, len(recorder))
+        if tail:
+            lines.append(f"last {tail} trace events:")
+            lines.append(recorder.format_tail(tail))
+        return "\n".join(lines)
 
     def _check_monitor(
         self, node_name: str, origin: str, key: str, frontier: int

@@ -207,6 +207,71 @@ def _cmd_scenario(args) -> None:
         print(f"per-predicate CSVs written under {args.out}")
 
 
+def _cmd_obs(args) -> None:
+    """Run the instrumented scenario; print metrics, write traces."""
+    from repro.obs.scenario import run_obs_scenario
+
+    result = run_obs_scenario(
+        nodes=args.nodes,
+        messages=args.messages,
+        seed=args.seed,
+        durability=args.durability,
+    )
+    print(
+        f"obs run: {len(result['nodes'])} nodes x "
+        f"{result['messages_per_node']} messages, "
+        f"{result['virtual_end_s']:.2f} s virtual"
+    )
+    rows = []
+    for name in result["nodes"]:
+        for key, s in result["stability_latency"][name].items():
+            if not s["count"]:
+                continue
+            rows.append(
+                (
+                    name,
+                    key,
+                    int(s["count"]),
+                    f"{s['mean'] * 1e3:.2f}",
+                    f"{s['p50'] * 1e3:.2f}",
+                    f"{s['p90'] * 1e3:.2f}",
+                    f"{s['p99'] * 1e3:.2f}",
+                    f"{s['max'] * 1e3:.2f}",
+                )
+            )
+    print(
+        format_table(
+            ["node", "predicate", "n", "mean ms", "p50 ms", "p90 ms",
+             "p99 ms", "max ms"],
+            rows,
+            title="send -> stable latency (per predicate key)",
+        )
+    )
+    lag_rows = []
+    for name in result["nodes"]:
+        metrics = result["snapshots"][name]["metrics"]
+        for metric, value in sorted(metrics.items()):
+            if metric.startswith("frontier_lag.") and value:
+                lag_rows.append((name, metric[len("frontier_lag."):], value))
+    if lag_rows:
+        print(format_table(
+            ["node", "origin.type", "lag"], lag_rows,
+            title="residual frontier lag (cells trailing the data plane)",
+        ))
+    tracer = result["tracer"]
+    print(
+        f"trace: {tracer.emitted} events emitted, "
+        f"{len(tracer)} retained ({tracer.dropped} dropped by the ring)"
+    )
+    if args.trace_out:
+        tracer.to_chrome_file(args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              "(load in chrome://tracing)")
+    if args.jsonl_out:
+        tracer.to_jsonl_file(args.jsonl_out)
+        print(f"JSONL trace written to {args.jsonl_out}")
+
+
 def _cmd_report(args) -> None:
     """Run every checked experiment and print a verdict table."""
     from repro.bench.paper import verdicts_for
@@ -290,6 +355,22 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--deployment", choices=("ec2", "cloudlab"), default="ec2")
     explain.add_argument("--node", default=None)
     explain.set_defaults(fn=_cmd_explain)
+    obs = sub.add_parser(
+        "obs",
+        help="instrumented run: stability-latency histograms, frontier "
+        "lags, and an exportable lifecycle trace",
+    )
+    obs.add_argument("--nodes", type=int, default=3)
+    obs.add_argument("--messages", type=int, default=120)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--durability", action="store_true")
+    obs.add_argument(
+        "--trace-out", default=None, help="write Chrome trace_event JSON here"
+    )
+    obs.add_argument(
+        "--jsonl-out", default=None, help="write JSONL trace events here"
+    )
+    obs.set_defaults(fn=_cmd_obs)
     rep = sub.add_parser(
         "report", help="run every checked experiment; print verdict table"
     )

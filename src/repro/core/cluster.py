@@ -29,15 +29,21 @@ class StabilizerCluster:
         net: Network,
         base_config: StabilizerConfig,
         fs_factory: Optional[Callable[[str], object]] = None,
+        tracer=None,
     ):
         self.net = net
         self.sim = net.sim
         self.base_config = base_config
+        # One shared tracer (or None) across every node — and across
+        # restarts, so a flight recording spans incarnations.
+        self.tracer = tracer
         self.filesystems: Dict[str, object] = {}
         self.nodes: Dict[str, Stabilizer] = {}
         for name in base_config.node_names:
             fs = fs_factory(name) if fs_factory is not None else None
-            node = Stabilizer(net, base_config.for_node(name), fs=fs)
+            node = Stabilizer(
+                net, base_config.for_node(name), fs=fs, tracer=tracer
+            )
             self.nodes[name] = node
             # Stabilizer may have created a default filesystem itself.
             self.filesystems[name] = node.fs if fs is None else fs
@@ -61,6 +67,7 @@ class StabilizerCluster:
             self.net,
             self.base_config.for_node(name),
             fs=self.filesystems.get(name),
+            tracer=self.tracer,
         )
         self.nodes[name] = node
         self.filesystems[name] = node.fs

@@ -74,6 +74,10 @@ class ControlPlane:
             self._heartbeat_interval, self._heartbeat_tick
         )
         self._closed = False
+        # Observability (installed on the endpoint before construction).
+        self.tracer = endpoint.tracer
+        self._trace_node = config.local
+        self._type_names = config.type_names()
 
     # -- local acknowledgments ------------------------------------------------------
     def note_local_ack(self, origin: str, type_id: int, seq: int) -> None:
@@ -88,6 +92,15 @@ class ControlPlane:
             raise StabilizerError(f"unknown origin stream {origin!r}")
         if not table.update(self.local_index, type_id, seq):
             return  # stale: monotonic overwrite means nothing to report
+        if self.tracer.enabled:
+            names = self._type_names
+            self.tracer.emit(
+                self._trace_node,
+                "ack.local",
+                origin=origin,
+                type=names[type_id] if type_id < len(names) else type_id,
+                seq=seq,
+            )
         self.on_table_update(origin, self.local_index, ((type_id, seq),))
         pending = self._pending.setdefault(origin, {})
         if type_id not in pending:
@@ -112,6 +125,7 @@ class ControlPlane:
             return
         pending, self._pending = self._pending, {}
         self._pending_count = 0
+        tracing = self.tracer.enabled
         for origin, entries in pending.items():
             frame = ControlFrame(
                 node_index=self.local_index,
@@ -124,6 +138,14 @@ class ControlPlane:
                 )
                 self.frames_sent += 1
                 self._last_sent_to_any = self.sim.now
+                if tracing:
+                    self.tracer.emit(
+                        self._trace_node,
+                        "control.send",
+                        peer=peer,
+                        origin=origin,
+                        cells=len(entries),
+                    )
 
     def _targets(self, origin: str):
         if self.config.control_fanout == "origin":
@@ -209,10 +231,24 @@ class ControlPlane:
         if self.on_heard is not None:
             self.on_heard(self.config.node_names[reporter])
         if isinstance(frame, ResumeFrame):
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node,
+                    "control.resume",
+                    peer=self.config.node_names[reporter],
+                )
             if self.on_resume is not None:
                 self.on_resume(self.config.node_names[reporter], frame.have)
             return
         origin = self.config.node_names[frame.origin_index]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node,
+                "control.receive",
+                peer=self.config.node_names[reporter],
+                origin=origin,
+                cells=len(frame.entries),
+            )
         table = self.tables.get(origin)
         if table is None:
             raise StabilizerError(f"control report for unknown origin {origin!r}")

@@ -135,6 +135,10 @@ class DataPlane:
         self.messages_received = 0
         self.duplicates_dropped = 0
         self.replayed_chunks = 0
+        # Observability: the Stabilizer installs the shared tracer on the
+        # endpoint before constructing the planes.
+        self.tracer = endpoint.tracer
+        self._trace_node = config.local
 
     # -- origin side -------------------------------------------------------------
     @property
@@ -151,6 +155,8 @@ class DataPlane:
         """
         chunks = self.chunker.split(payload)
         first_seq = self._next_seq
+        tracer = self.tracer
+        tracing = tracer.enabled
         for chunk in chunks:
             seq = self._next_seq
             self._next_seq += 1
@@ -165,8 +171,25 @@ class DataPlane:
             self.buffer.add(
                 seq, size, meta, payload=chunk.payload, chunk_meta=chunk_meta
             )
-            for channel in self._out_channels.values():
+            if tracing:
+                tracer.emit(
+                    self._trace_node,
+                    "data.enqueue",
+                    origin=self._trace_node,
+                    seq=seq,
+                    bytes=size,
+                    object=chunk.object_id,
+                )
+            for peer, channel in self._out_channels.items():
                 channel.send(chunk.payload, meta=chunk_meta)
+                if tracing:
+                    tracer.emit(
+                        self._trace_node,
+                        "data.peer_send",
+                        peer=peer,
+                        seq=seq,
+                        bytes=size,
+                    )
             self.messages_sent += 1
             if self.on_sent is not None:
                 self.on_sent(seq, chunk.payload)
@@ -204,6 +227,14 @@ class DataPlane:
             channel.send(entry.payload, meta=entry.chunk_meta)
             count += 1
         self.replayed_chunks += count
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node,
+                "data.replay",
+                peer=peer,
+                from_seq=from_seq,
+                chunks=count,
+            )
         return count
 
     # -- receiving side ------------------------------------------------------------
@@ -246,6 +277,10 @@ class DataPlane:
             # the peer's view of our received-watermark lags by control
             # latency.  Duplicates are harmless — drop them.
             self.duplicates_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node, "data.duplicate", origin=origin, seq=seq
+                )
             return
         if seq > expected:
             raise StabilizerError(
@@ -254,6 +289,14 @@ class DataPlane:
             )
         self._highest_received[origin] = seq
         self.messages_received += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node,
+                "data.receive",
+                origin=origin,
+                seq=seq,
+                object=object_id,
+            )
         if chunk_count == 1:
             complete: Optional[Payload] = payload
         else:
@@ -265,5 +308,14 @@ class DataPlane:
             )
         if self.on_received is not None:
             self.on_received(origin, seq, payload)
-        if complete is not None and self.on_deliver is not None:
-            self.on_deliver(origin, seq, complete, user_meta)
+        if complete is not None:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node,
+                    "data.deliver",
+                    origin=origin,
+                    seq=seq,
+                    object=object_id,
+                )
+            if self.on_deliver is not None:
+                self.on_deliver(origin, seq, complete, user_meta)

@@ -39,6 +39,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DiskFaultError, StabilizerError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.faultio import MemoryFileSystem
 from repro.storage.log import AppendLog
 from repro.transport.messages import SyntheticPayload
@@ -74,11 +75,14 @@ class DurabilityManager:
         config,
         fs=None,
         on_durable: Optional[DurableFn] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.config = config
         self.fs = fs if fs is not None else MemoryFileSystem(seed=config.local_index)
         self.on_durable = on_durable
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_node = config.local
         self.dir = config.durability_dir.rstrip("/")
         self.interval_s = config.durability_group_commit_interval_s
         self.batch = config.durability_group_commit_batch
@@ -186,6 +190,13 @@ class DurabilityManager:
             self._current_max[record.origin] = max(
                 self._current_max.get(record.origin, 0), record.seq
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node,
+                    "wal.append",
+                    origin=record.origin,
+                    seq=record.seq,
+                )
 
     def _tick(self) -> None:
         self._timer = None
@@ -212,9 +223,18 @@ class DurabilityManager:
         tops: Dict[str, int] = {}
         for record in committed:
             tops[record.origin] = max(tops.get(record.origin, 0), record.seq)
+        tracing = self.tracer.enabled
         for origin, top in tops.items():
             if top > self._watermarks.get(origin, 0):
                 self._watermarks[origin] = top
+                if tracing:
+                    self.tracer.emit(
+                        self._trace_node,
+                        "wal.fsync",
+                        origin=origin,
+                        seq=top,
+                        records=len(committed),
+                    )
                 if self.on_durable is not None:
                     self.on_durable(origin, top)
         if self._current_bytes() >= self.segment_bytes:
@@ -229,6 +249,10 @@ class DurabilityManager:
         self.poisoned_ranges += 1
         self.poisoned_records += len(self._written)
         self.rewritten_records += len(self._written)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node, "wal.fsync_fail", records=len(self._written)
+            )
         for record in reversed(self._written):
             self._queue.appendleft(record)
         self._written = []
@@ -452,3 +476,12 @@ class DurabilityManager:
                 mark += 1
             if mark > 0:
                 self._watermarks[origin] = mark
+        # One summary event, never per-record ``wal.append`` re-emission:
+        # replayed records were already traced by the prior incarnation.
+        if self.tracer.enabled and (self.recovered_records or self._watermarks):
+            self.tracer.emit(
+                self._trace_node,
+                "wal.recover",
+                records=self.recovered_records,
+                watermarks=dict(self._watermarks),
+            )

@@ -46,6 +46,7 @@ from repro.core.acks import AckTable
 from repro.dsl.compiler import CompiledPredicate, PredicateCompiler
 from repro.dsl.semantics import DslContext
 from repro.errors import PredicateNotFound, StabilizerError
+from repro.obs.tracer import NULL_TRACER
 
 MonitorFn = Callable[[str, int, int], None]  # (origin, frontier, old_frontier)
 WaiterFn = Callable[[], None]
@@ -115,6 +116,18 @@ class FrontierEngine:
         self.skipped_by_index = 0
         self.skipped_by_shortcircuit = 0
         self.fast_advances = 0
+        # Observability: optional advance callback (the Stabilizer wires
+        # its stability-latency instruments here) and a tracer.  Both
+        # default to inert so the engine stays runtime-agnostic and the
+        # hot path pays one flag/None check per advance.
+        self.on_advance: Optional[Callable[[str, str, int, int], None]] = None
+        self._tracer = NULL_TRACER
+        self._trace_node = ""
+
+    def bind_obs(self, tracer, node: str) -> None:
+        """Attach a :class:`~repro.obs.tracer.Tracer` (emits under ``node``)."""
+        self._tracer = tracer
+        self._trace_node = node
 
     # -- registry ---------------------------------------------------------------
     def register_predicate(self, key: str, source: str) -> CompiledPredicate:
@@ -362,13 +375,36 @@ class FrontierEngine:
         if value < old:
             return  # predicate was redefined; hold reports until caught up
         advanced[key] = value
+        if self.on_advance is not None:
+            self.on_advance(key, origin, value, old)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._trace_node,
+                "frontier.advance",
+                origin=origin,
+                key=key,
+                frontier=value,
+                old=old,
+            )
         # Monitors only ever see increasing values: a redefinition (mask /
         # restore) may drop the raw frontier, and partial re-advances
         # below the old high-water mark stay silent (the gap rule).
         high = self._monitor_high.get(slot, 0)
         if value > high:
             self._monitor_high[slot] = value
-            for monitor in self._monitors.get(key, ()):
+            monitors = self._monitors.get(key, ())
+            if monitors and tracer.enabled:
+                tracer.emit(
+                    self._trace_node,
+                    "monitor.fire",
+                    origin=origin,
+                    key=key,
+                    frontier=value,
+                    old=high,
+                    monitors=len(monitors),
+                )
+            for monitor in monitors:
                 monitor(origin, value, high)
         self._release_waiters(slot, value)
 
@@ -399,9 +435,19 @@ class FrontierEngine:
         heap = self._waiters.get(slot)
         if not heap:
             return
+        tracing = self._tracer.enabled
         while heap and heap[0][0] <= frontier:
             _seq, _tie, waiter = heapq.heappop(heap)
             waiter.released = True
+            if tracing:
+                self._tracer.emit(
+                    self._trace_node,
+                    "waiter.wake",
+                    origin=slot[0],
+                    key=slot[1],
+                    seq=waiter.seq,
+                    frontier=frontier,
+                )
             waiter.callback()
         if not heap:
             del self._waiters[slot]

@@ -33,6 +33,8 @@ from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
 from repro.errors import StabilizerError
 from repro.net.topology import Network
+from repro.obs import MetricsRegistry, StabilityInstruments
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import Event
 from repro.transport.endpoint import TransportEndpoint
 from repro.transport.messages import Payload
@@ -49,6 +51,7 @@ class Stabilizer:
         config: StabilizerConfig,
         endpoint: Optional[TransportEndpoint] = None,
         fs=None,
+        tracer: Optional[Tracer] = None,
     ):
         self.net = net
         self.sim = net.sim
@@ -57,6 +60,19 @@ class Stabilizer:
         self.local_index = config.local_index
         self.endpoint = endpoint or TransportEndpoint(net, config.local)
 
+        # Observability.  The registry is always on (plain counters and
+        # callables); the tracer defaults to the shared disabled singleton
+        # so every instrumented site reduces to one flag check.  It must
+        # land on the endpoint *before* the planes are built — they cache
+        # it from there.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.endpoint.tracer = self.tracer
+        self.registry = MetricsRegistry()
+        self.registry.add_collector(self._collect_stats)
+        self.stability = StabilityInstruments(
+            self.registry, clock=self.sim.clock, node=config.local
+        )
+
         self._type_ids: Dict[str, int] = config.type_ids()
         type_count = len(self._type_ids)
         self.tables: Dict[str, AckTable] = {
@@ -64,6 +80,8 @@ class Stabilizer:
             for origin in config.node_names
         }
         self.engine = FrontierEngine(config.dsl_context(), config.node_names)
+        self.engine.bind_obs(self.tracer, self.name)
+        self.engine.on_advance = self._on_frontier_advance
         self.detector = FailureDetector(self.sim, config)
 
         # Honest durability (opt-in): a per-node WAL whose group-commit
@@ -73,7 +91,11 @@ class Stabilizer:
         self.durability: Optional[DurabilityManager] = None
         if config.durability:
             self.durability = DurabilityManager(
-                self.sim, config, fs=fs, on_durable=self._on_durable
+                self.sim,
+                config,
+                fs=fs,
+                on_durable=self._on_durable,
+                tracer=self.tracer,
             )
             self._persisted_skip = (self._type_ids["persisted"],)
         else:
@@ -98,6 +120,7 @@ class Stabilizer:
         )
         for key, source in config.predicates.items():
             self.engine.register_predicate(key, source)
+            self.stability.register_key(key)
         # A restarted node may honestly re-claim what its recovered WAL
         # proves was fsynced before the crash — and must re-broadcast it,
         # because monotonic control traffic never repeats old values.
@@ -116,13 +139,30 @@ class Stabilizer:
         self.detector.on_suspect(self._on_peer_suspected)
         self.detector.on_recover(self._on_peer_recovered)
         self.detector.start()
+        # Frontier-lag gauges: how far each (origin, type) ACK-table cell
+        # of the *local row* trails the data plane's position.
+        for type_name, type_id in self._type_ids.items():
+            self._register_lag_gauges(type_name, type_id)
+
+    def _register_lag_gauges(self, type_name: str, type_id: int) -> None:
+        for origin in self.config.node_names:
+            def lag(origin=origin, type_id=type_id):
+                if origin == self.name:
+                    ref = self.dataplane.last_sent_seq()
+                else:
+                    ref = self.dataplane.highest_received(origin)
+                cell = self.tables[origin].get(self.local_index, type_id)
+                return max(0, ref - cell)
+
+            self.registry.gauge(f"frontier_lag.{origin}.{type_name}", fn=lag)
 
     # ------------------------------------------------------------------ sending
     def send(self, payload: Payload, meta=None) -> int:
         """Originate one message; returns the sequence number that stands
         for it (its last chunk).  Locally, every stability property holds
         for it immediately (the Section III-C completeness rule)."""
-        _first, last = self.dataplane.send(payload, meta)
+        first, last = self.dataplane.send(payload, meta)
+        self.stability.note_send(first, last)
         table = self.tables[self.name]
         # With durability on, ``persisted`` is excluded from the
         # completeness rule: the origin may not claim its own bytes are
@@ -188,6 +228,7 @@ class Stabilizer:
 
     def register_predicate(self, key: str, source: str) -> None:
         self.engine.register_predicate(key, source)
+        self.stability.register_key(key)
         # New predicates see the current table immediately.
         for origin, table in self.tables.items():
             self.engine.reevaluate(origin, table)
@@ -227,6 +268,7 @@ class Stabilizer:
         self._type_ids[type_name] = type_id
         self.engine.ctx.types[type_name] = type_id
         self.engine.compiler.invalidate()
+        self._register_lag_gauges(type_name, type_id)
         # Completeness rule: the origin's own row holds every property.
         own = self.tables[self.name]
         own.update(self.local_index, type_id, self.last_sent_seq())
@@ -339,8 +381,24 @@ class Stabilizer:
 
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, float]:
-        """Operational counters (for dashboards and tests)."""
-        stats = {
+        """Operational counters and gauges (for dashboards and tests).
+
+        Assembled by the node's :class:`~repro.obs.metrics.MetricsRegistry`:
+        the plane counters below plus every registered gauge (e.g. the
+        ``frontier_lag.<origin>.<type>`` family).  Histogram summaries are
+        not flattened here — see :meth:`obs_snapshot`.
+        """
+        return self.registry.collect()
+
+    def obs_snapshot(self) -> Dict[str, object]:
+        """The full observability view: flat metrics plus histogram
+        summaries (notably the ``stability_latency.<key>`` family)."""
+        snapshot = self.registry.snapshot()
+        snapshot["node"] = self.name
+        return snapshot
+
+    def _collect_stats(self, stats: Dict[str, float]) -> None:
+        stats.update({
             "messages_sent": self.dataplane.messages_sent,
             "messages_received": self.dataplane.messages_received,
             "buffered_bytes": self.dataplane.buffer.buffered_bytes(),
@@ -369,10 +427,14 @@ class Stabilizer:
             "transport_suspensions": sum(
                 c.suspensions for c in self.endpoint.channels().values()
             ),
-        }
+            "trace_events": self.tracer.emitted,
+        })
         if self.durability is not None:
-            stats.update(self.durability.stats())
-        return stats
+            for key, value in self.durability.stats().items():
+                stats[f"durability.{key}"] = value
+                # Deprecated: the unprefixed wal_* names collide with the
+                # shared namespace; kept as aliases for one release.
+                stats[key] = value
 
     # ------------------------------------------------------------------ internals
     def _on_sent(self, seq: int, payload: Payload) -> None:
@@ -413,6 +475,14 @@ class Stabilizer:
     def _on_deliver(self, origin: str, seq: int, payload: Payload, meta) -> None:
         for handler in self._delivery_handlers:
             handler(origin, seq, payload, meta)
+
+    def _on_frontier_advance(
+        self, key: str, origin: str, value: int, old: int
+    ) -> None:
+        # The engine reports every slot advance here; the instruments
+        # keep only local-origin samples (send→stable needs our clock at
+        # both ends).
+        self.stability.on_advance(key, origin, value)
 
     def _on_table_update(self, origin: str, node: int, cells=None) -> None:
         self.engine.reevaluate(

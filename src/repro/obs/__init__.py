@@ -1,0 +1,38 @@
+"""Zero-dependency observability: metrics, tracing, flight recorder.
+
+Three layers, all optional and all cheap when idle:
+
+- :mod:`repro.obs.metrics` — counters/gauges/histograms behind
+  ``Stabilizer.stats()`` and the benchmarks' percentile reporting.
+- :mod:`repro.obs.tracer` — the structured lifecycle event ring that
+  doubles as the chaos flight recorder; exports JSONL and Chrome
+  ``trace_event`` JSON.
+- :mod:`repro.obs.stability` — derived send→stable latency histograms
+  and the plumbing the frontier engine feeds them through.
+
+This package must not import :mod:`repro.core` (the core imports us);
+the demo scenario behind ``repro obs`` lives in
+:mod:`repro.obs.scenario` and is imported lazily by the CLI.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stability import StabilityInstruments
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "StabilityInstruments",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+]

@@ -1,0 +1,115 @@
+"""The instrumented demo run behind ``repro obs``.
+
+A small 3-AZ deployment with tracing enabled end to end: every node
+sends a share of the traffic, the run drains until every node's own
+stream is covered by the strict all-remote predicate, and the result
+carries each node's metrics snapshot (stability-latency histograms,
+frontier-lag gauges, plane counters) plus the shared trace ring for
+JSONL / Chrome export.
+
+Lives outside :mod:`repro.obs`'s import graph on purpose: this module
+imports :mod:`repro.core`, which imports :mod:`repro.obs` — the CLI
+pulls it in lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.cluster import StabilizerCluster
+from repro.core.config import StabilizerConfig
+from repro.net.tc import NetemSpec
+from repro.net.topology import Topology
+from repro.obs.tracer import Tracer
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.faultio import MemoryFileSystem
+from repro.transport.messages import SyntheticPayload
+
+STRICT_KEY = "all_remote"
+RELAXED_KEY = "any_remote"
+DURABLE_KEY = "durable_all"
+
+
+def run_obs_scenario(
+    nodes: int = 3,
+    messages: int = 120,
+    seed: int = 0,
+    durability: bool = False,
+    payload_bytes: int = 512,
+    send_interval_s: float = 0.02,
+    latency_ms: float = 10.0,
+    tracer: Optional[Tracer] = None,
+    trace_capacity: int = 65536,
+) -> Dict[str, object]:
+    """Run the scenario; returns stats snapshots and the trace ring."""
+    if nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    topo = Topology()
+    names = [f"n{i}" for i in range(nodes)]
+    for i, name in enumerate(names):
+        topo.add_node(name, group=f"az{i % 3}")
+    topo.set_default(NetemSpec(latency_ms=latency_ms, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim, RngRegistry(seed))
+    if tracer is None:
+        tracer = Tracer(clock=sim.clock, capacity=trace_capacity, enabled=True)
+    predicates = {
+        STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
+        RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
+    }
+    if durability:
+        predicates[DURABLE_KEY] = "MIN($ALLWNODES.persisted)"
+    config = StabilizerConfig.from_topology(
+        topo,
+        local=names[0],
+        predicates=predicates,
+        control_interval_s=0.005,
+        durability=durability,
+    )
+    fs_factory = None
+    if durability:
+        def fs_factory(name):
+            return MemoryFileSystem(seed=(seed << 8) ^ names.index(name))
+
+    cluster = StabilizerCluster(
+        net, config, fs_factory=fs_factory, tracer=tracer
+    )
+
+    per_node = max(1, messages // nodes)
+
+    def send_tick(name: str, remaining: int) -> None:
+        cluster[name].send(SyntheticPayload(payload_bytes))
+        if remaining > 1:
+            sim.call_later(send_interval_s, send_tick, name, remaining - 1)
+
+    for i, name in enumerate(names):
+        # Stagger first sends so streams do not tick in lockstep.
+        sim.call_later(
+            send_interval_s * (i + 1) / nodes, send_tick, name, per_node
+        )
+
+    # Drain: every node's own last message covered by the strict
+    # predicate *at that node* (which implies every remote received it).
+    sim.run(until=send_interval_s * per_node + 1.0)
+    drain_key = DURABLE_KEY if durability else STRICT_KEY
+    for name in names:
+        node = cluster[name]
+        event = node.waitfor(node.last_sent_seq(), drain_key)
+        sim.run_until_triggered(event, limit=sim.now + 60.0)
+    sim.run(until=sim.now + 0.5)  # let trailing control frames land
+
+    snapshots = {name: cluster[name].obs_snapshot() for name in names}
+    stability = {
+        name: cluster[name].stability.summaries() for name in names
+    }
+    result = {
+        "nodes": names,
+        "messages_per_node": per_node,
+        "virtual_end_s": sim.now,
+        "snapshots": snapshots,
+        "stability_latency": stability,
+        "tracer": tracer,
+    }
+    cluster.close()
+    return result

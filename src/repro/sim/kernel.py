@@ -46,6 +46,15 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    def clock(self) -> float:
+        """The virtual clock as a plain callable.
+
+        Pass the bound method (``sim.clock``) wherever a time source is
+        injected — e.g. :class:`repro.obs.tracer.Tracer` — so simulated
+        components stamp virtual time instead of wall time.
+        """
+        return self._now
+
     # -- scheduling primitives ----------------------------------------------
     def _schedule_at(self, time: float, fn: Callable, *args: Any) -> TimerHandle:
         if time < self._now:

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import TransportError
 from repro.net.topology import Network
+from repro.obs.tracer import NULL_TRACER
 from repro.transport.fifo import FifoChannel
 
 TRANSPORT_PORT = "transport"
@@ -38,6 +39,10 @@ class TransportEndpoint:
         self._suspended_peers: Set[str] = set()
         # Invoked (peer, channel_name) when a channel gives up retrying.
         self.on_peer_dead: Optional[PeerDeadFn] = None
+        # Observability: channels and the planes built on this endpoint
+        # read the tracer from here.  The Stabilizer replaces it before
+        # constructing its planes; standalone endpoints stay silent.
+        self.tracer = NULL_TRACER
         net.host(node_name).bind(port, self._on_packet)
 
     def channel(self, peer: str, name: str, **kwargs) -> FifoChannel:

@@ -242,6 +242,16 @@ class FifoChannel:
                 return
             # Go-back-N: resend every unacked frame in order (Karn's rule:
             # retransmitted frames stop contributing RTT samples).
+            tracer = self.endpoint.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    self.local,
+                    "transport.retransmit",
+                    peer=self.peer,
+                    channel=self.name,
+                    frames=len(self._unacked),
+                    attempt=self._attempts,
+                )
             for seq in sorted(self._unacked):
                 frame = self._unacked[seq]
                 frame.retransmitted = True
@@ -256,6 +266,10 @@ class FifoChannel:
         """Give up retrying: the peer looks dead.  Frames are retained."""
         self.suspended = True
         self.suspensions += 1
+        if self.endpoint.tracer.enabled:
+            self.endpoint.tracer.emit(
+                self.local, "transport.suspend", peer=self.peer, channel=self.name
+            )
         if self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
             self._retransmit_timer = None
@@ -273,6 +287,14 @@ class FifoChannel:
         self.revivals += 1
         self._attempts = 0
         self.endpoint._channel_revived(self)
+        if self.endpoint.tracer.enabled:
+            self.endpoint.tracer.emit(
+                self.local,
+                "transport.revive",
+                peer=self.peer,
+                channel=self.name,
+                frames=len(self._unacked),
+            )
         for seq in sorted(self._unacked):
             frame = self._unacked[seq]
             frame.retransmitted = True
@@ -308,6 +330,10 @@ class FifoChannel:
         self._backlog.clear()
         self._attempts = 0
         self.stream_resets += 1
+        if self.endpoint.tracer.enabled:
+            self.endpoint.tracer.emit(
+                self.local, "transport.reset", peer=self.peer, channel=self.name
+            )
 
     def _handle_ack(
         self, cumulative_seq: int, epoch: Optional[float] = None
@@ -391,6 +417,14 @@ class FifoChannel:
         self._ack_dirty = False
         self._since_ack = 0
         self.acks_sent += 1
+        if self.endpoint.tracer.enabled:
+            self.endpoint.tracer.emit(
+                self.local,
+                "transport.ack",
+                peer=self.peer,
+                channel=self.name,
+                cumulative=self._next_deliver_seq - 1,
+            )
         self.endpoint._send_raw(
             self.peer,
             ("ack", self.name, self._next_deliver_seq - 1, self._peer_epoch),

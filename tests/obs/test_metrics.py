@@ -1,0 +1,101 @@
+"""Unit tests for the metrics primitives and the registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter("x")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_stored_and_callable():
+    g = Gauge("stored")
+    g.set(3.5)
+    assert g.value == 3.5
+    backing = {"v": 1}
+    sampled = Gauge("sampled", fn=lambda: backing["v"])
+    assert sampled.value == 1
+    backing["v"] = 9
+    assert sampled.value == 9  # sampled at read time, not creation time
+    sampled.set(2)  # a set() pins the gauge and drops the callable
+    backing["v"] = 100
+    assert sampled.value == 2
+
+
+def test_histogram_exact_moments():
+    h = Histogram("lat")
+    for v in (0.0015, 0.003, 0.003, 0.040):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(0.0475)
+    assert h.mean == pytest.approx(0.0475 / 4)
+    assert h.min == 0.0015
+    assert h.max == 0.040
+    s = h.summary()
+    assert s["count"] == 4 and s["mean"] == pytest.approx(h.mean)
+
+
+def test_histogram_percentiles_clamped_to_observed_range():
+    h = Histogram("lat")
+    h.observe(0.0042)
+    # A single sample reports a point, not a bucket-wide smear.
+    assert h.percentile(50) == pytest.approx(0.0042)
+    assert h.percentile(99) == pytest.approx(0.0042)
+    assert h.summary()["p50"] == pytest.approx(0.0042)
+
+
+def test_histogram_percentile_ordering():
+    h = Histogram("lat")
+    for i in range(1, 101):
+        h.observe(i * 0.001)
+    assert 0 < h.percentile(50) <= h.percentile(90) <= h.percentile(99)
+    assert h.percentile(99) <= h.max
+    assert h.percentile(50) == pytest.approx(0.050, rel=0.25)
+
+
+def test_histogram_overflow_bucket():
+    h = Histogram("lat", buckets=(1.0, 2.0))
+    h.observe(99.0)
+    assert h.bucket_counts[-1] == 1
+    assert h.percentile(99) == pytest.approx(99.0)  # exact via observed max
+
+
+def test_empty_histogram_summary_is_zeroes():
+    s = Histogram("lat").summary()
+    assert s["count"] == 0 and s["mean"] == 0.0
+    assert s["min"] == 0.0 and s["max"] == 0.0 and s["p99"] == 0.0
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(DEFAULT_LATENCY_BUCKETS_S)
+
+
+def test_registry_get_or_create_and_collect():
+    r = MetricsRegistry()
+    assert r.counter("a") is r.counter("a")
+    assert r.gauge("g") is r.gauge("g")
+    assert r.histogram("h") is r.histogram("h")
+    r.counter("a").inc(2)
+    r.gauge("g").set(7)
+    r.add_collector(lambda out: out.update(plane_counter=11))
+    stats = r.collect()
+    assert stats == {"plane_counter": 11, "a": 2, "g": 7}
+
+
+def test_registry_snapshot_includes_histograms():
+    r = MetricsRegistry()
+    r.histogram("h").observe(0.5)
+    snap = r.snapshot()
+    assert snap["histograms"]["h"]["count"] == 1
+    assert "metrics" in snap

@@ -1,0 +1,95 @@
+"""The observability smoke run (``make obs-smoke``).
+
+A 3-AZ/6-node chaos cluster runs with the flight recorder on; an
+invariant violation is injected mid-run and the checker must dump the
+recorder to ``chaos_failure_<seed>.trace.json`` — a valid Chrome
+``trace_event`` document containing the full lifecycle (enqueue ->
+receive -> ack -> frontier advance -> fsync) for at least one message —
+and cite the dump path plus the last trace events in the failure
+message itself.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosHarness, InvariantViolation
+
+pytestmark = pytest.mark.obs_smoke
+
+SEED = 21
+INJECT_AT_S = 3.0
+
+
+def test_injected_violation_dumps_loadable_flight_recording(tmp_path):
+    config = ChaosConfig(seed=SEED, events=6, trace_dir=str(tmp_path))
+    harness = ChaosHarness(config)
+    assert harness.tracer.enabled  # the recorder is on by default
+    # Break an invariant mid-run, after real traffic and faults flowed.
+    harness.sim.call_later(
+        INJECT_AT_S, harness.checker._fail, "injected: obs smoke violation"
+    )
+    with pytest.raises(InvariantViolation) as excinfo:
+        harness.run()
+    harness.close()
+
+    # The failure message alone is actionable: dump path + event tail.
+    message = str(excinfo.value)
+    dump = tmp_path / f"chaos_failure_{SEED}.trace.json"
+    assert "injected: obs smoke violation" in message
+    assert str(dump) in message
+    assert "chrome://tracing" in message
+    assert "trace events:" in message
+    assert harness.checker.dumped_to == str(dump)
+    assert harness.checker.violations and dump.exists()
+
+    # The dump is valid chrome://tracing JSON with named processes.
+    doc = json.loads(dump.read_text())
+    events = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+    metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+    assert len(events) > 100
+    assert any(m["name"] == "process_name" for m in metas)
+    assert doc["otherData"]["emitted"] >= len(events)
+
+    # At least one message's full lifecycle is in the recording.
+    def matching(name, origin, cond):
+        return any(
+            e["name"] == name
+            and e["args"].get("origin") == origin
+            and cond(e["args"])
+            for e in events
+        )
+
+    enqueued = [
+        (e["args"]["origin"], e["args"]["seq"])
+        for e in events
+        if e["name"] == "data.enqueue"
+    ]
+    assert enqueued
+    full_lifecycle = [
+        (origin, seq)
+        for origin, seq in enqueued
+        if matching("data.receive", origin, lambda a: a["seq"] == seq)
+        and matching("ack.local", origin, lambda a: a["seq"] >= seq)
+        and matching(
+            "frontier.advance", origin, lambda a: a["frontier"] >= seq
+        )
+        and matching("wal.fsync", origin, lambda a: a["seq"] >= seq)
+    ]
+    assert full_lifecycle, (
+        "no message shows enqueue->receive->ack->advance->fsync in the dump"
+    )
+
+
+def test_chaos_report_carries_trace_counters(tmp_path):
+    config = ChaosConfig(
+        seed=SEED, events=6, trace_dir=str(tmp_path), trace_capacity=256
+    )
+    harness = ChaosHarness(config)
+    report = harness.run()
+    harness.close()
+    assert report["violations"] == []
+    assert report["trace_events"] > 256  # ring smaller than the run
+    assert report["trace_dropped"] == report["trace_events"] - 256
+    # A clean run dumps nothing.
+    assert not (tmp_path / f"chaos_failure_{SEED}.trace.json").exists()

@@ -1,0 +1,104 @@
+"""Disabled tracing must be (close to) free on the frontier hot path.
+
+Every instrumented site guards with one ``tracer.enabled`` flag check,
+so an engine wired to a *disabled* tracer must replay the hot-path
+update stream within 3% of the unwired engine (the pre-observability
+baseline: ``NULL_TRACER``, no advance callback).  Interleaved min-of-N
+timing keeps scheduler noise out of the ratio.
+"""
+
+import time
+
+from repro.core.acks import AckTable
+from repro.core.frontier import FrontierEngine
+from repro.dsl.semantics import DslContext
+from repro.obs import Tracer
+from repro.sim.rng import RngRegistry
+
+NODES = [f"n{i}" for i in range(1, 9)]
+GROUPS = {"east": NODES[:4], "west": NODES[4:]}
+ORIGIN = NODES[0]
+PREDICATES = {
+    "all": "MIN($ALLWNODES)",
+    "any": "MAX($ALLWNODES)",
+    "kth": "KTH_MAX(3, $ALLWNODES)",
+    "per": "MIN($ALLWNODES.persisted)",
+}
+REPORTS = 2_000
+ROUNDS = 9
+MAX_OVERHEAD = 1.03
+
+
+def make_updates():
+    rng = RngRegistry(0).stream("obs-overhead")
+    values = [[0, 0] for _ in NODES]
+    updates = []
+    for _ in range(REPORTS):
+        node = rng.randrange(len(NODES))
+        type_id = rng.randrange(2)
+        values[node][type_id] += rng.randint(1, 3)
+        updates.append((node, type_id, values[node][type_id]))
+    return updates
+
+
+def make_engine(wired: bool):
+    ctx = DslContext(NODES, GROUPS, ORIGIN)
+    engine = FrontierEngine(ctx, NODES, incremental=True)
+    for key, source in PREDICATES.items():
+        engine.register_predicate(key, source)
+    if wired:
+        engine.bind_obs(Tracer(enabled=False), ORIGIN)
+    return engine
+
+
+def replay(engine, updates) -> float:
+    table = AckTable(len(NODES), 2)
+    engine.reevaluate(ORIGIN, table)
+    started = time.perf_counter()
+    for node, type_id, seq in updates:
+        table.update(node, type_id, seq)
+        engine.reevaluate(
+            ORIGIN, table, updated_node=node, updated_cells=((type_id, seq),)
+        )
+    return time.perf_counter() - started
+
+
+def measure_ratio(updates) -> float:
+    baseline = float("inf")
+    wired = float("inf")
+    # Interleave A/B (alternating order to cancel drift) and keep
+    # per-side minima: the min over many rounds estimates the true cost
+    # with transient noise stripped.
+    for round_i in range(ROUNDS):
+        sides = (False, True) if round_i % 2 == 0 else (True, False)
+        for side in sides:
+            elapsed = replay(make_engine(wired=side), updates)
+            if side:
+                wired = min(wired, elapsed)
+            else:
+                baseline = min(baseline, elapsed)
+    return wired / baseline
+
+
+def test_disabled_tracing_overhead_under_3_percent():
+    updates = make_updates()
+    ratio = float("inf")
+    # Timer noise on a loaded machine exceeds the effect being measured
+    # (a single flag check); take the best of a few full measurements.
+    for _attempt in range(3):
+        ratio = min(ratio, measure_ratio(updates))
+        if ratio <= MAX_OVERHEAD:
+            break
+    assert ratio <= MAX_OVERHEAD, (
+        f"disabled tracing costs {ratio:.3f}x on the frontier hot path"
+    )
+
+
+def test_wired_engine_matches_baseline_frontiers():
+    updates = make_updates()
+    a = make_engine(wired=False)
+    b = make_engine(wired=True)
+    replay(a, updates)
+    replay(b, updates)
+    for key in PREDICATES:
+        assert a.frontier(ORIGIN, key) == b.frontier(ORIGIN, key)

@@ -1,0 +1,109 @@
+"""Tracing across crash-restart: one shared tracer spans incarnations,
+and recovery replay never re-emits lifecycle events.
+
+Receives replayed by peers after a restart arrive as ``data.replay`` /
+``data.duplicate`` on the wire and only genuinely-new sequences emit
+``data.receive``; WAL recovery emits a single ``wal.recover`` summary,
+never per-record ``wal.append`` (those were traced by the previous
+incarnation).  So per (node, origin, seq), ``data.receive`` and
+``wal.append`` each appear at most once across the whole recording.
+"""
+
+from collections import Counter as TallyCounter
+
+from repro.core import StabilizerCluster, StabilizerConfig, snapshot_state
+from repro.net import NetemSpec, Topology
+from repro.obs import Tracer
+from repro.sim import Simulator
+
+NODES = ["a", "b", "c"]
+GROUPS = {"east": ["a"], "west": ["b", "c"]}
+
+
+def build(durability=False):
+    topo = Topology()
+    topo.add_node("a", "east")
+    topo.add_node("b", "west")
+    topo.add_node("c", "west")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        NODES,
+        GROUPS,
+        "a",
+        predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+        control_interval_s=0.005,
+        failure_timeout_s=0.5,
+        max_retransmit_attempts=5,
+        transport_max_rto_s=1.0,
+        durability=durability,
+    )
+    tracer = Tracer(clock=sim.clock, enabled=True)
+    return sim, net, StabilizerCluster(net, config, tracer=tracer), tracer
+
+
+def crash_restart_run(durability):
+    sim, net, cluster, tracer = build(durability)
+    a, b = cluster["a"], cluster["b"]
+    a.send(b"warmup from a")
+    b.send(b"warmup from b")
+    sim.run(until=0.5)
+
+    snapshot = snapshot_state(cluster["c"])
+    cluster["c"].close()
+    net.crash_node("c")
+    missed = [a.send(b"while c is down %d" % i) for i in range(5)]
+    sim.run(until=2.0)
+
+    net.recover_node("c")
+    c = cluster.restart_node("c", snapshot)
+    sim.run(until=6.0)
+    assert c.dataplane.highest_received("a") == missed[-1]
+    cluster.close()
+    return tracer
+
+
+def lifecycle_tallies(tracer, etype):
+    """(node, origin, seq) -> occurrences of ``etype``."""
+    return TallyCounter(
+        (ev.node, ev.fields["origin"], ev.fields["seq"])
+        for ev in tracer.events()
+        if ev.etype == etype
+    )
+
+
+def test_no_duplicate_receive_events_across_restart():
+    tracer = crash_restart_run(durability=False)
+    receives = lifecycle_tallies(tracer, "data.receive")
+    assert receives, "expected data.receive events in the recording"
+    dupes = {slot: n for slot, n in receives.items() if n > 1}
+    assert not dupes, f"re-emitted data.receive: {dupes}"
+    # The catch-up itself is visible as replay traffic, not re-receives.
+    etypes = {ev.etype for ev in tracer.events()}
+    assert "data.replay" in etypes
+    # c's new incarnation did receive the messages it missed.
+    c_receives = [slot for slot in receives if slot[0] == "c"]
+    assert c_receives
+
+
+def test_no_duplicate_wal_appends_and_single_recover_summary():
+    tracer = crash_restart_run(durability=True)
+    appends = lifecycle_tallies(tracer, "wal.append")
+    assert appends, "expected wal.append events in the recording"
+    dupes = {slot: n for slot, n in appends.items() if n > 1}
+    assert not dupes, f"re-emitted wal.append: {dupes}"
+    # Recovery reported once, as a summary, from c's new incarnation.
+    recovers = [ev for ev in tracer.events() if ev.etype == "wal.recover"]
+    assert len(recovers) == 1
+    assert recovers[0].node == "c"
+    assert recovers[0].fields["records"] > 0
+
+
+def test_trace_spans_incarnations_in_one_timeline():
+    tracer = crash_restart_run(durability=False)
+    stamps = [ev.ts for ev in tracer.events()]
+    assert stamps == sorted(stamps)  # one monotonic virtual timeline
+    # Events exist from before the crash and after the restart.
+    c_events = [ev.ts for ev in tracer.events() if ev.node == "c"]
+    assert min(c_events) < 0.5 < 2.0 < max(c_events)

@@ -1,0 +1,121 @@
+"""Unit tests for the event tracer, its exports, and the ring bound."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+def make_tracer(**kwargs):
+    t = [0.0]
+
+    def clock():
+        t[0] += 0.001
+        return t[0]
+
+    return Tracer(clock=clock, **kwargs)
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = make_tracer(enabled=False)
+    tracer.emit("n0", "data.enqueue", seq=1)
+    assert len(tracer) == 0
+    assert tracer.emitted == 0
+    assert tracer.dropped == 0
+
+
+def test_null_tracer_is_disabled_and_cannot_be_enabled():
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.emit("n0", "data.enqueue", seq=1)
+    assert len(NULL_TRACER) == 0
+    with pytest.raises(RuntimeError):
+        NULL_TRACER.enable()
+    # A regular tracer toggles freely.
+    tracer = make_tracer(enabled=False)
+    tracer.enable()
+    tracer.emit("n0", "x")
+    assert len(tracer) == 1
+    tracer.disable()
+    tracer.emit("n0", "y")
+    assert len(tracer) == 1
+
+
+def test_events_and_tail_ordering():
+    tracer = make_tracer()
+    for i in range(5):
+        tracer.emit("n0", "data.enqueue", seq=i)
+    assert [e.fields["seq"] for e in tracer.events()] == [0, 1, 2, 3, 4]
+    assert [e.fields["seq"] for e in tracer.tail(2)] == [3, 4]
+    assert tracer.tail(0) == []
+
+
+def test_jsonl_export_round_trips():
+    tracer = make_tracer()
+    tracer.emit("n0", "data.receive", origin="n1", seq=3)
+    lines = tracer.jsonl_lines()
+    assert len(lines) == 1
+    obj = json.loads(lines[0])
+    assert obj["node"] == "n0"
+    assert obj["etype"] == "data.receive"
+    assert obj["origin"] == "n1" and obj["seq"] == 3
+    assert obj["ts"] > 0
+
+
+def test_jsonl_file(tmp_path):
+    tracer = make_tracer()
+    tracer.emit("n0", "a")
+    tracer.emit("n0", "b")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.to_jsonl_file(path) == 2
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_chrome_trace_structure():
+    tracer = make_tracer()
+    tracer.emit("n0", "data.peer_send", peer="n1", seq=1)
+    tracer.emit("n1", "data.receive", origin="n0", seq=1)
+    doc = tracer.chrome_trace()
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 2
+    # Two nodes -> two process_name metas, each with one lane thread.
+    assert sum(1 for m in metas if m["name"] == "process_name") == 2
+    assert sum(1 for m in metas if m["name"] == "thread_name") == 2
+    for ev in instants:
+        assert ev["s"] == "t"
+        assert ev["ts"] > 0  # microseconds
+        assert ev["cat"] in ("data",)
+    # The whole document is valid JSON.
+    json.loads(json.dumps(doc))
+
+
+def test_ring_truncation_still_valid_json(tmp_path):
+    tracer = make_tracer(capacity=8)
+    for i in range(50):
+        tracer.emit(f"n{i % 3}", "data.enqueue", origin=f"n{i % 3}", seq=i)
+    assert len(tracer) == 8
+    assert tracer.emitted == 50
+    assert tracer.dropped == 42
+    path = tmp_path / "trace.json"
+    assert tracer.to_chrome_file(path) == 8
+    doc = json.loads(path.read_text())  # parses despite eviction
+    assert doc["otherData"] == {"emitted": 50, "dropped": 42}
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert [e["args"]["seq"] for e in instants] == list(range(42, 50))
+
+
+def test_format_tail_is_humane():
+    tracer = make_tracer()
+    tracer.emit("n0", "frontier.advance", key="all", frontier=4)
+    text = tracer.format_tail(10)
+    assert "frontier.advance" in text
+    assert "key=all" in text and "frontier=4" in text
+
+
+def test_clear_resets_ring_and_counts():
+    tracer = make_tracer()
+    tracer.emit("n0", "a")
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.emitted == 0
