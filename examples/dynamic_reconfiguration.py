@@ -10,7 +10,8 @@ leaves the observation list — without interrupting the data flow.
 Run:  python examples/dynamic_reconfiguration.py
 """
 
-from repro import ReliableBroadcast, StabilizerBroker, SyntheticPayload
+from repro import ReliableBroadcast, StabilizerBroker
+from repro.testing import SyntheticPayload
 from repro.bench.runners import build_network
 from repro.bench.topologies import CLOUDLAB_SENDER, cloudlab_topology
 from repro.core import StabilizerCluster, StabilizerConfig

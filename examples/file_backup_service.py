@@ -9,7 +9,8 @@ allowing access to the contents".
 Run:  python examples/file_backup_service.py
 """
 
-from repro import SyntheticPayload, WanKVStore
+from repro import WanKVStore
+from repro.testing import SyntheticPayload
 from repro.apps import FileBackupService
 from repro.bench.runners import build_network
 from repro.bench.topologies import EC2_SENDER, ec2_topology

@@ -8,7 +8,8 @@ persistent mode where reliability means "logged at every subscriber site".
 Run:  python examples/pubsub_wan.py
 """
 
-from repro import StabilizerBroker, SyntheticPayload
+from repro import StabilizerBroker
+from repro.testing import SyntheticPayload
 from repro.bench.runners import build_network
 from repro.bench.topologies import CLOUDLAB_SENDER, cloudlab_topology
 from repro.core import StabilizerCluster, StabilizerConfig

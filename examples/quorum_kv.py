@@ -9,7 +9,8 @@ property), and that read latency tracks the second-fastest member's RTT.
 Run:  python examples/quorum_kv.py
 """
 
-from repro import QuorumKV, SyntheticPayload, WanKVStore
+from repro import QuorumKV, WanKVStore
+from repro.testing import SyntheticPayload
 from repro.bench.runners import QUORUM_MEMBERS, build_network
 from repro.bench.topologies import cloudlab_topology
 from repro.core import StabilizerCluster, StabilizerConfig

@@ -36,6 +36,7 @@ Quick start::
     sim.run_until_triggered(cluster["paris"].waitfor(seq, "all"))
 """
 
+from repro import testing
 from repro.apps import FileBackupService, QuorumKV, WanKVStore
 from repro.core import (
     Stabilizer,
@@ -43,22 +44,31 @@ from repro.core import (
     StabilizerConfig,
     build_cluster,
 )
+from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
 from repro.dsl import CompiledPredicate, PredicateCompiler, standard_predicates
-from repro.errors import ReproError
+from repro.errors import BackpressureError, ReproError
 from repro.net import NetemSpec, Network, Topology
+from repro.obs import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.paxos import PaxosCluster
 from repro.pubsub import PulsarCluster, ReliableBroadcast, StabilizerBroker
 from repro.runtime import RealtimeScheduler
 from repro.sim import Simulator
 from repro.storage import AppendLog, ObjectStore
-from repro.transport.messages import SyntheticPayload
 
 __version__ = "1.0.0"
 
+#: The public surface, alphabetical — the single source of truth.  The
+#: snapshot test (``tests/test_public_api.py``) holds this list to the
+#: checked-in ``docs/api_surface.txt``; changing either is an API event.
 __all__ = [
     "AppendLog",
+    "BackpressureError",
     "CompiledPredicate",
+    "DegradationPolicy",
     "FileBackupService",
+    "MaskSuspectedPolicy",
+    "MetricsRegistry",
     "NetemSpec",
     "Network",
     "ObjectStore",
@@ -74,9 +84,30 @@ __all__ = [
     "StabilizerBroker",
     "StabilizerCluster",
     "StabilizerConfig",
-    "SyntheticPayload",
     "Topology",
+    "Tracer",
     "WanKVStore",
     "build_cluster",
     "standard_predicates",
+    "testing",
 ]
+
+
+def __getattr__(name):
+    if name == "SyntheticPayload":
+        # Moved behind the testing namespace: it is an experiment double,
+        # not part of the replication API.
+        import warnings
+
+        warnings.warn(
+            "repro.SyntheticPayload is deprecated; "
+            "import it from repro.testing instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return testing.SyntheticPayload
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

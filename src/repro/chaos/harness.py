@@ -77,6 +77,9 @@ class ChaosConfig:
         first_event_at: float = 1.0,
         min_gap_s: float = 0.5,
         max_gap_s: float = 2.0,
+        window_bytes: Optional[int] = 4 * 1024,
+        frame_bytes: Optional[int] = 2 * 1024,
+        frame_delay_ms: float = 2.0,
         durability: bool = True,
         disk_faults: bool = False,
         disk_fault_kinds: Tuple[str, ...] = CHAOS_DISK_FAULTS,
@@ -102,6 +105,12 @@ class ChaosConfig:
         self.first_event_at = first_event_at
         self.min_gap_s = min_gap_s
         self.max_gap_s = max_gap_s
+        # Deliberately tiny window and frame budgets: partitions and
+        # suspensions must close windows and stall streams mid-run, so the
+        # stall/resume and reclaim invariants see real traffic.
+        self.window_bytes = window_bytes
+        self.frame_bytes = frame_bytes
+        self.frame_delay_ms = frame_delay_ms
         self.durability = durability
         self.disk_faults = disk_faults
         self.disk_fault_kinds = tuple(disk_fault_kinds)
@@ -185,6 +194,9 @@ class ChaosHarness:
             # heartbeat timer) drive suspicion during the run.
             max_retransmit_attempts=5,
             transport_max_rto_s=1.0,
+            window_bytes=self.config.window_bytes,
+            frame_bytes=self.config.frame_bytes,
+            frame_delay_ms=self.config.frame_delay_ms,
             durability=self.config.durability,
             durability_group_commit_batch=self.config.durability_batch,
             durability_group_commit_interval_s=self.config.durability_interval_s,

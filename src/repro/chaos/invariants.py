@@ -28,6 +28,17 @@ monitor / waiter / stats surfaces an application uses — and raises
    from node A was *observed at a peer* (A published the claim; an
    application may have acted on it) survives A's crash: after restart,
    A's recovered WAL watermark covers every observed claim.
+8. **No reclaim before global delivery.**  A node's send buffer is only
+   reclaimed up to sequences every peer has actually received: for every
+   live pair (A, B), A's ``reclaimed_up_to`` never exceeds B's receive
+   watermark for A's stream.  (Crashed peers freeze A's ACK row for
+   them, so reclaim cannot outrun a node that is down.)
+9. **Window accounting never leaks credits.**  On every windowed
+   transport channel, the unacked-bytes counter equals the sum of the
+   in-flight frame sizes, never exceeds the window by more than the
+   one-frame-always-flies allowance, and transport backlog only exists
+   while something is genuinely in flight.  The data plane's per-peer
+   pending tail is held to the same sum rule.
 
 Every individual comparison counts toward ``checks``; the bench harness
 divides by wall-clock time for the invariant-check throughput trajectory.
@@ -190,6 +201,76 @@ class InvariantChecker:
                 self._rows[slot] = current
                 self._observe_persisted(node, origin, current)
             self._check_durability_honesty(node)
+        self.check_reclaim(nodes)
+        self.check_windows(nodes)
+
+    def check_reclaim(self, nodes) -> None:
+        """Invariant 8: no live node has reclaimed send-buffer space for a
+        sequence some other live node has not received."""
+        live = [n for n in nodes if hasattr(n, "dataplane")]
+        for node in live:
+            reclaimed = node.dataplane.buffer.reclaimed_up_to
+            if reclaimed == 0:
+                continue
+            for peer in live:
+                if peer is node:
+                    continue
+                self.checks += 1
+                got = peer.dataplane.highest_received(node.name)
+                if reclaimed > got:
+                    self._fail(
+                        f"premature reclaim at {node.name}: buffer reclaimed "
+                        f"up to {reclaimed} but {peer.name} has received only "
+                        f"{got} of {node.name}'s stream"
+                    )
+
+    def check_windows(self, nodes) -> None:
+        """Invariant 9: window credit accounting never leaks."""
+        for node in nodes:
+            if not hasattr(node, "endpoint"):
+                continue
+            for channel in node.endpoint.channels().values():
+                inflight = sum(f.size for f in channel._unacked.values())
+                self.checks += 1
+                if channel._unacked_bytes != inflight:
+                    self._fail(
+                        f"credit leak at {node.name}: channel "
+                        f"{channel.name!r} to {channel.peer} counts "
+                        f"{channel._unacked_bytes}B unacked but holds "
+                        f"{inflight}B of frames"
+                    )
+                limit = channel.max_inflight_bytes
+                if limit is not None:
+                    # One frame may always fly, however large — but only one.
+                    largest = max(
+                        (f.size for f in channel._unacked.values()), default=0
+                    )
+                    self.checks += 1
+                    if channel._unacked_bytes > max(limit, largest):
+                        self._fail(
+                            f"window overrun at {node.name}: channel "
+                            f"{channel.name!r} to {channel.peer} has "
+                            f"{channel._unacked_bytes}B in flight against a "
+                            f"{limit}B window"
+                        )
+                    self.checks += 1
+                    if channel._backlog and not channel._unacked:
+                        self._fail(
+                            f"stuck backlog at {node.name}: channel "
+                            f"{channel.name!r} to {channel.peer} backlogs "
+                            f"{len(channel._backlog)} frames with nothing "
+                            "in flight"
+                        )
+            if hasattr(node, "dataplane"):
+                for stream in node.dataplane._streams.values():
+                    self.checks += 1
+                    tail = sum(e.size for e in stream.pending)
+                    if stream.pending_bytes != tail:
+                        self._fail(
+                            f"pending-tail leak at {node.name}: stream to "
+                            f"{stream.peer} counts {stream.pending_bytes}B "
+                            f"but holds {tail}B"
+                        )
 
     def _observe_persisted(self, node, origin: str, rows) -> None:
         """Record every *other* node's persisted claim as held at

@@ -45,6 +45,30 @@ class StabilizerConfig:
         ``"all"`` streams stability reports to every peer (each WAN site
         evaluates predicates independently); ``"origin"`` reports only to
         the stream's primary, halving control traffic.
+    window_bytes:
+        Per-peer credit-based send window: at most this many bytes may be
+        in flight (unacknowledged) toward one peer; cumulative transport
+        acks return credits.  A slow or suspected peer backpressures only
+        its own stream.  ``None`` disables windowing (the pre-pipelining
+        behaviour).
+    frame_bytes:
+        WAN frame coalescing threshold: sequenced messages accumulate
+        into one transport frame until the frame reaches this size.
+        ``None`` disables coalescing — every message rides its own frame.
+    frame_delay_ms:
+        How long a partial frame may wait for more messages before the
+        frame clock flushes it.  ``0`` (the default) flushes at the end
+        of every ``send()`` call, adding no latency; larger values trade
+        latency for batching on high-rate streams.  The control plane's
+        ack coalescing honours the same clock: its flush interval is at
+        least this long.
+    send_policy:
+        What a full send buffer (``max_buffer_bytes``) does to ``send()``:
+        ``"except"`` raises :class:`~repro.errors.BackpressureError`;
+        ``"block"`` admits the message anyway (the bound goes soft) and
+        relies on the registered backpressure callbacks /
+        ``waitfor_capacity()`` to pause the producer — a hard block would
+        deadlock the single-threaded simulator.
     failure_timeout_s:
         Silence threshold after which a peer is suspected (Section III-E's
         "predicate update timer").
@@ -86,6 +110,10 @@ class StabilizerConfig:
         control_fanout: str = "all",
         failure_timeout_s: float = 5.0,
         max_buffer_bytes: Optional[int] = None,
+        window_bytes: Optional[int] = 1024 * 1024,
+        frame_bytes: Optional[int] = 32 * 1024,
+        frame_delay_ms: float = 0.0,
+        send_policy: str = "except",
         max_retransmit_attempts: Optional[int] = 8,
         transport_min_rto_s: float = 0.05,
         transport_max_rto_s: float = 5.0,
@@ -107,6 +135,14 @@ class StabilizerConfig:
             raise ConfigError("control_fanout must be 'all' or 'origin'")
         if failure_timeout_s <= 0:
             raise ConfigError("failure_timeout_s must be positive")
+        if window_bytes is not None and window_bytes <= 0:
+            raise ConfigError("window_bytes must be positive or None")
+        if frame_bytes is not None and frame_bytes <= 0:
+            raise ConfigError("frame_bytes must be positive or None")
+        if frame_delay_ms < 0:
+            raise ConfigError("frame_delay_ms must be non-negative")
+        if send_policy not in ("except", "block"):
+            raise ConfigError("send_policy must be 'except' or 'block'")
         if max_retransmit_attempts is not None and max_retransmit_attempts <= 0:
             raise ConfigError("max_retransmit_attempts must be positive or None")
         if transport_min_rto_s <= 0 or transport_max_rto_s < transport_min_rto_s:
@@ -136,6 +172,10 @@ class StabilizerConfig:
         self.control_fanout = control_fanout
         self.failure_timeout_s = failure_timeout_s
         self.max_buffer_bytes = max_buffer_bytes
+        self.window_bytes = window_bytes
+        self.frame_bytes = frame_bytes
+        self.frame_delay_ms = frame_delay_ms
+        self.send_policy = send_policy
         self.max_retransmit_attempts = max_retransmit_attempts
         self.transport_min_rto_s = transport_min_rto_s
         self.transport_max_rto_s = transport_max_rto_s
@@ -189,6 +229,10 @@ class StabilizerConfig:
             control_fanout=self.control_fanout,
             failure_timeout_s=self.failure_timeout_s,
             max_buffer_bytes=self.max_buffer_bytes,
+            window_bytes=self.window_bytes,
+            frame_bytes=self.frame_bytes,
+            frame_delay_ms=self.frame_delay_ms,
+            send_policy=self.send_policy,
             max_retransmit_attempts=self.max_retransmit_attempts,
             transport_min_rto_s=self.transport_min_rto_s,
             transport_max_rto_s=self.transport_max_rto_s,
@@ -199,6 +243,15 @@ class StabilizerConfig:
             durability_dir=self.durability_dir,
         )
 
+    def replace(self, **changes) -> "StabilizerConfig":
+        """A copy with the given fields changed; validation re-runs."""
+        data = self.to_dict()
+        for key in changes:
+            if key not in data:
+                raise ConfigError(f"unknown config field {key!r}")
+        data.update(changes)
+        return type(self)(**data)
+
     def channel_kwargs(self) -> dict:
         """Transport-channel options the Stabilizer planes create channels
         with (first creation wins; data and control planes share them)."""
@@ -206,7 +259,18 @@ class StabilizerConfig:
             "max_retransmit_attempts": self.max_retransmit_attempts,
             "min_rto": self.transport_min_rto_s,
             "max_rto": self.transport_max_rto_s,
+            "max_inflight_bytes": self.window_bytes,
         }
+
+    def frame_delay_s(self) -> float:
+        """The frame clock in seconds (0 = flush at the end of each send)."""
+        return self.frame_delay_ms / 1000.0
+
+    def control_flush_interval_s(self) -> float:
+        """The control plane's ack-coalescing cadence: its own interval,
+        but never faster than the data plane's frame clock — stability
+        reports piggyback on the same rhythm WAN frames are cut to."""
+        return max(self.control_interval_s, self.frame_delay_s())
 
     # -- (de)serialization ----------------------------------------------------
     def to_json_file(self, path) -> None:
@@ -245,6 +309,10 @@ class StabilizerConfig:
             "control_fanout": self.control_fanout,
             "failure_timeout_s": self.failure_timeout_s,
             "max_buffer_bytes": self.max_buffer_bytes,
+            "window_bytes": self.window_bytes,
+            "frame_bytes": self.frame_bytes,
+            "frame_delay_ms": self.frame_delay_ms,
+            "send_policy": self.send_policy,
             "max_retransmit_attempts": self.max_retransmit_attempts,
             "transport_min_rto_s": self.transport_min_rto_s,
             "transport_max_rto_s": self.transport_max_rto_s,

@@ -20,7 +20,12 @@ from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
 from repro.errors import StabilizerError, TransportError
 from repro.transport.endpoint import TransportEndpoint
-from repro.transport.messages import ControlFrame, ResumeFrame, SyntheticPayload
+from repro.transport.messages import (
+    ControlBatch,
+    ControlFrame,
+    ResumeFrame,
+    SyntheticPayload,
+)
 
 CONTROL_CHANNEL = "stab.ctrl"
 
@@ -64,8 +69,13 @@ class ControlPlane:
         self._pending: Dict[str, Dict[int, int]] = {}
         self._pending_count = 0
         self._flush_timer = None
+        # The ack-coalescing cadence honours the data plane's frame clock:
+        # never flush faster than WAN frames are cut.
+        self._flush_interval_s = config.control_flush_interval_s()
         self.frames_sent = 0
         self.frames_received = 0
+        self.reports_sent = 0
+        self.reports_coalesced = 0
         # Liveness heartbeats: an otherwise-idle node must still prove it
         # is alive, or the failure detector would suspect every quiet peer.
         self._heartbeat_interval = config.failure_timeout_s / 3.0
@@ -113,11 +123,12 @@ class ControlPlane:
             self.flush()
         elif self._flush_timer is None:
             self._flush_timer = self.sim.call_later(
-                self.config.control_interval_s, self._flush_tick
+                self._flush_interval_s, self._flush_tick
             )
 
     def flush(self) -> None:
-        """Transmit every pending report now."""
+        """Transmit every pending report now — one coalesced transport
+        frame per peer, however many origin streams the flush covers."""
         if self._flush_timer is not None:
             self._flush_timer.cancel()
             self._flush_timer = None
@@ -126,6 +137,7 @@ class ControlPlane:
         pending, self._pending = self._pending, {}
         self._pending_count = 0
         tracing = self.tracer.enabled
+        per_peer: Dict[str, list] = {}
         for origin, entries in pending.items():
             frame = ControlFrame(
                 node_index=self.local_index,
@@ -133,19 +145,27 @@ class ControlPlane:
                 entries=entries,
             )
             for peer in self._targets(origin):
-                self._out_channels[peer].send(
-                    SyntheticPayload(frame.wire_size()), meta=frame
+                per_peer.setdefault(peer, []).append(frame)
+        for peer, frames in per_peer.items():
+            if len(frames) == 1:
+                outgoing = frames[0]
+            else:
+                outgoing = ControlBatch(self.local_index, frames)
+                self.reports_coalesced += len(frames)
+            self._out_channels[peer].send(
+                SyntheticPayload(outgoing.wire_size()), meta=outgoing
+            )
+            self.frames_sent += 1
+            self.reports_sent += len(frames)
+            self._last_sent_to_any = self.sim.now
+            if tracing:
+                self.tracer.emit(
+                    self._trace_node,
+                    "control.send",
+                    peer=peer,
+                    origins=len(frames),
+                    cells=sum(len(f.entries) for f in frames),
                 )
-                self.frames_sent += 1
-                self._last_sent_to_any = self.sim.now
-                if tracing:
-                    self.tracer.emit(
-                        self._trace_node,
-                        "control.send",
-                        peer=peer,
-                        origin=origin,
-                        cells=len(entries),
-                    )
 
     def _targets(self, origin: str):
         if self.config.control_fanout == "origin":
@@ -240,6 +260,14 @@ class ControlPlane:
             if self.on_resume is not None:
                 self.on_resume(self.config.node_names[reporter], frame.have)
             return
+        if isinstance(frame, ControlBatch):
+            for report in frame.frames:
+                self._apply_report(report)
+            return
+        self._apply_report(frame)
+
+    def _apply_report(self, frame: ControlFrame) -> None:
+        reporter = frame.node_index
         origin = self.config.node_names[frame.origin_index]
         if self.tracer.enabled:
             self.tracer.emit(

@@ -1,4 +1,4 @@
-"""The data plane: aggressive sequenced streaming with a reclaimable buffer.
+"""The data plane: pipelined sequenced streaming with a reclaimable buffer.
 
 Section III-B: the data plane "can maximize utilization of WAN bandwidth by
 sending data aggressively as soon as it has been assigned a sequence
@@ -11,19 +11,40 @@ One :class:`DataPlane` instance serves one node: it *originates* that
 node's stream (fan-out to every remote peer over reliable FIFO channels)
 and *receives* every remote stream (reassembling objects and reporting
 ``received`` acknowledgments to the control plane).
+
+The send path is *pipelined* per peer:
+
+- every remote peer has its own credit-based send window on the transport
+  channel (``window_bytes``), so a slow or suspected peer backpressures
+  only its own stream;
+- sequenced messages coalesce into WAN frames of up to ``frame_bytes``
+  (one transport header and one link packet per frame instead of per
+  message), cut immediately at the end of each ``send()`` call, when a
+  frame fills, when the ``frame_delay_ms`` frame clock ticks, or the
+  moment a stalled window reopens;
+- the retained send buffer is bounded (``max_buffer_bytes``): when the
+  WAN cannot drain, ``send()`` either raises
+  :class:`~repro.errors.BackpressureError` or — under the ``"block"``
+  policy — admits the message and signals the registered backpressure
+  callbacks so the producer pauses itself.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import StabilizerConfig
-from repro.errors import StabilizerError, TransportError
-from repro.transport.chunker import Chunker, Reassembler
+from repro.errors import BackpressureError, StabilizerError, TransportError
+from repro.transport.chunker import Chunker, FrameBuilder, Reassembler, split_frame_payload
 from repro.transport.endpoint import TransportEndpoint
-from repro.transport.messages import Payload, payload_length
+from repro.transport.messages import BATCH_ENTRY, Payload, payload_length
 
 DATA_CHANNEL = "stab.data"
+
+#: Tag discriminating a coalesced-frame meta from a plain chunk meta (whose
+#: first element is an integer sequence number).
+FRAME_TAG = "frame"
 
 # (seq, object_id, chunk_index, chunk_count, user_meta)
 ChunkMeta = Tuple[int, int, int, int, object]
@@ -31,6 +52,13 @@ ChunkMeta = Tuple[int, int, int, int, object]
 DeliverFn = Callable[[str, int, Payload, object], None]
 ReceivedFn = Callable[[str, int, Payload], None]
 SentFn = Callable[[int, Payload], None]
+BackpressureFn = Callable[[bool, int], None]
+
+#: Backpressure engages when the retained buffer passes this fraction of
+#: ``max_buffer_bytes`` and releases once reclamation drains it below
+#: ``BACKPRESSURE_LOW`` — hysteresis, so callbacks do not flap.
+BACKPRESSURE_HIGH = 0.75
+BACKPRESSURE_LOW = 0.5
 
 
 class _BufferEntry:
@@ -47,25 +75,37 @@ class _BufferEntry:
 
 
 class SendBuffer:
-    """Retains sent chunks until they are globally delivered."""
+    """Retains sent chunks until they are globally delivered.
 
-    def __init__(self, max_bytes: Optional[int] = None):
+    With ``strict`` (the default) an overflowing ``add`` raises; the
+    pipelined data plane instead enforces its admission policy *before*
+    sequencing a message and runs the buffer in non-strict mode, so a
+    ``"block"``-policy overflow degrades to a soft bound.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None, strict: bool = True):
         self.max_bytes = max_bytes
+        self.strict = strict
         self._entries: Dict[int, _BufferEntry] = {}
         self._bytes = 0
         self._reclaimed_up_to = 0
         self.total_reclaimed = 0
 
+    def would_overflow(self, nbytes: int) -> bool:
+        return self.max_bytes is not None and self._bytes + nbytes > self.max_bytes
+
     def add(
         self, seq: int, size: int, meta=None, payload=None, chunk_meta=None
-    ) -> None:
-        if self.max_bytes is not None and self._bytes + size > self.max_bytes:
+    ) -> _BufferEntry:
+        if self.strict and self.would_overflow(size):
             raise StabilizerError(
                 f"send buffer full ({self._bytes}B of {self.max_bytes}B); "
                 "reclaim has not caught up"
             )
-        self._entries[seq] = _BufferEntry(seq, size, meta, payload, chunk_meta)
+        entry = _BufferEntry(seq, size, meta, payload, chunk_meta)
+        self._entries[seq] = entry
         self._bytes += size
+        return entry
 
     def reclaim_up_to(self, seq: int) -> int:
         """Release every entry with sequence <= ``seq``; returns count."""
@@ -94,6 +134,33 @@ class SendBuffer:
         return len(self._entries)
 
 
+class _PeerStream:
+    """One peer's share of the pipelined send path: the not-yet-framed
+    tail of the stream plus its frame-clock timer and stall state."""
+
+    __slots__ = ("peer", "channel", "pending", "pending_bytes", "timer", "stalled")
+
+    def __init__(self, peer: str, channel):
+        self.peer = peer
+        self.channel = channel
+        self.pending: Deque[_BufferEntry] = deque()
+        self.pending_bytes = 0
+        self.timer = None
+        self.stalled = False
+
+    def enqueue(self, entry: _BufferEntry) -> None:
+        self.pending.append(entry)
+        self.pending_bytes += entry.size
+
+    def clear(self) -> None:
+        self.pending.clear()
+        self.pending_bytes = 0
+        self.stalled = False
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
 class DataPlane:
     """See module docstring."""
 
@@ -111,20 +178,30 @@ class DataPlane:
         self.on_deliver = on_deliver
         self.on_received = on_received
         # Called once per locally originated chunk, after it is buffered
-        # and transmitted — the durability layer's ingest point for the
-        # node's own stream.
+        # and queued for transmission — the durability layer's ingest
+        # point for the node's own stream.
         self.on_sent = on_sent
         self.chunker = Chunker(config.chunk_bytes)
-        self.buffer = SendBuffer(config.max_buffer_bytes)
+        # Admission policy runs before sequencing (see send()); the buffer
+        # itself is non-strict so a "block"-policy overflow stays soft.
+        self.buffer = SendBuffer(config.max_buffer_bytes, strict=False)
+        self._send_policy = config.send_policy
         self._next_seq = 1  # message sequence numbers are 1-based
+        self._frame_bytes = config.frame_bytes
+        self._frame_delay_s = config.frame_delay_s()
+        self._builder = FrameBuilder()
         channel_kwargs = config.channel_kwargs()
         self._out_channels = {}
+        self._streams: Dict[str, _PeerStream] = {}
         for peer in config.remote_names():
             try:
                 channel = endpoint.channel(peer, DATA_CHANNEL, **channel_kwargs)
             except TransportError:
                 channel = endpoint.channel(peer, DATA_CHANNEL)
             self._out_channels[peer] = channel
+            stream = _PeerStream(peer, channel)
+            self._streams[peer] = stream
+            channel.on_window_open = self._make_window_open(stream)
         # Receiving state, per origin.
         self._reassemblers: Dict[str, Reassembler] = {}
         self._highest_received: Dict[str, int] = {}
@@ -135,6 +212,24 @@ class DataPlane:
         self.messages_received = 0
         self.duplicates_dropped = 0
         self.replayed_chunks = 0
+        # Pipelining counters (per-frame view of the same traffic).
+        self.frames_sent = 0
+        self.frame_messages = 0
+        self.frame_payload_bytes = 0
+        self.frames_received = 0
+        self.max_frame_messages = 0
+        self.flush_causes = {"inline": 0, "size": 0, "timer": 0, "window": 0}
+        self.window_stalls = 0
+        self.window_opens = 0
+        # Backpressure state (engaged while the WAN cannot drain).
+        self._bp_handlers: List[BackpressureFn] = []
+        self._bp_engaged = False
+        self.backpressure_events = 0
+        if config.max_buffer_bytes is not None:
+            self._bp_high = int(config.max_buffer_bytes * BACKPRESSURE_HIGH)
+            self._bp_low = int(config.max_buffer_bytes * BACKPRESSURE_LOW)
+        else:
+            self._bp_high = self._bp_low = None
         # Observability: the Stabilizer installs the shared tracer on the
         # endpoint before constructing the planes.
         self.tracer = endpoint.tracer
@@ -149,14 +244,24 @@ class DataPlane:
         """Stream one application message to every remote peer.
 
         The payload is split into ≤ ``chunk_bytes`` chunks, each assigned
-        the next sequence number and transmitted immediately.  Returns
-        ``(first_seq, last_seq)``; the message's stability is the
-        stability of ``last_seq``.
+        the next sequence number; chunks coalesce into WAN frames per
+        peer (see module docstring).  Returns ``(first_seq, last_seq)``;
+        the message's stability is the stability of ``last_seq``.
         """
         chunks = self.chunker.split(payload)
+        total = sum(payload_length(chunk.payload) for chunk in chunks)
+        if self.buffer.would_overflow(total) and self._send_policy == "except":
+            raise BackpressureError(
+                f"send buffer full ({self.buffer.buffered_bytes()}B of "
+                f"{self.buffer.max_bytes}B); the WAN has not drained — "
+                "wait for reclamation (see Stabilizer.on_backpressure)",
+                buffered_bytes=self.buffer.buffered_bytes(),
+                max_bytes=self.buffer.max_bytes,
+            )
         first_seq = self._next_seq
         tracer = self.tracer
         tracing = tracer.enabled
+        coalescing = self._frame_bytes is not None
         for chunk in chunks:
             seq = self._next_seq
             self._next_seq += 1
@@ -168,7 +273,7 @@ class DataPlane:
                 chunk.chunk_count,
                 meta,
             )
-            self.buffer.add(
+            entry = self.buffer.add(
                 seq, size, meta, payload=chunk.payload, chunk_meta=chunk_meta
             )
             if tracing:
@@ -180,27 +285,198 @@ class DataPlane:
                     bytes=size,
                     object=chunk.object_id,
                 )
-            for peer, channel in self._out_channels.items():
-                channel.send(chunk.payload, meta=chunk_meta)
-                if tracing:
-                    tracer.emit(
-                        self._trace_node,
-                        "data.peer_send",
-                        peer=peer,
-                        seq=seq,
-                        bytes=size,
-                    )
+            if coalescing:
+                for stream in self._streams.values():
+                    stream.enqueue(entry)
+            else:
+                # Pre-pipelining path: one transport frame per message.
+                for channel in self._out_channels.values():
+                    channel.send(chunk.payload, meta=chunk_meta)
             self.messages_sent += 1
             if self.on_sent is not None:
                 self.on_sent(seq, chunk.payload)
+        if coalescing:
+            for stream in self._streams.values():
+                self._pump(stream, "inline")
+        self._update_backpressure()
         return first_seq, self._next_seq - 1
 
     def last_sent_seq(self) -> int:
         return self._next_seq - 1
 
+    # -- frame pipeline ----------------------------------------------------------
+    def _make_window_open(self, stream: _PeerStream):
+        def window_open() -> None:
+            if stream.pending:
+                self.window_opens += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self._trace_node,
+                        "window.open",
+                        peer=stream.peer,
+                        pending=stream.pending_bytes,
+                    )
+                self._pump(stream, "window")
+
+        return window_open
+
+    def _frame_tick(self, stream: _PeerStream) -> None:
+        stream.timer = None
+        if stream.pending:
+            self._pump(stream, "timer")
+
+    def _pump(self, stream: _PeerStream, cause: str) -> None:
+        """Cut as many frames as the flush policy and window allow."""
+        channel = stream.channel
+        if channel.closed:
+            stream.clear()
+            return
+        # With a frame clock, an inline flush ships only *full* frames;
+        # the partial tail waits for the timer (or a window-open event).
+        # With no clock (frame_delay 0) every flush drains everything.
+        only_full = cause == "inline" and self._frame_delay_s > 0.0
+        while stream.pending:
+            if only_full and stream.pending_bytes < self._frame_bytes:
+                break
+            avail = channel.window_available()
+            if avail is not None and avail <= 0:
+                if not stream.stalled:
+                    stream.stalled = True
+                    self.window_stalls += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            self._trace_node,
+                            "window.stall",
+                            peer=stream.peer,
+                            pending=stream.pending_bytes,
+                        )
+                return  # window-open will resume this stream
+            self._cut_frame(stream, cause)
+        stream.stalled = False
+        if (
+            stream.pending
+            and self._frame_delay_s > 0.0
+            and stream.timer is None
+        ):
+            stream.timer = self.sim.call_later(
+                self._frame_delay_s, self._frame_tick, stream
+            )
+
+    def _cut_frame(self, stream: _PeerStream, cause: str) -> None:
+        builder = self._builder
+        pending = stream.pending
+        while pending:
+            entry = pending[0]
+            if (
+                builder.message_count
+                and builder.pending_bytes + entry.size > self._frame_bytes
+            ):
+                break  # frame full; the next frame takes it
+            pending.popleft()
+            stream.pending_bytes -= entry.size
+            builder.add(entry.payload, entry.chunk_meta)
+            if builder.pending_bytes >= self._frame_bytes:
+                break
+        payload, metas, lengths = builder.build()
+        if len(metas) == 1:
+            # A lone message needs no batch framing.
+            stream.channel.send(payload, meta=metas[0])
+        else:
+            stream.channel.send(
+                payload,
+                meta=(FRAME_TAG, metas, lengths),
+                wire_overhead=BATCH_ENTRY.size * len(metas),
+            )
+        self.frames_sent += 1
+        self.frame_messages += len(metas)
+        self.frame_payload_bytes += sum(lengths)
+        if len(metas) > self.max_frame_messages:
+            self.max_frame_messages = len(metas)
+        cause_key = (
+            "size"
+            if cause == "inline" and len(metas) > 1 and self._frame_delay_s > 0.0
+            else cause
+        )
+        self.flush_causes[cause_key] = self.flush_causes.get(cause_key, 0) + 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node,
+                "data.frame_send",
+                peer=stream.peer,
+                messages=len(metas),
+                bytes=sum(lengths),
+                cause=cause,
+            )
+
+    def flush(self) -> None:
+        """Cut every partial frame now, window permitting — the manual
+        counterpart of the frame clock (e.g. before a planned shutdown)."""
+        for stream in self._streams.values():
+            if stream.pending:
+                self._pump(stream, "timer")
+
+    def pending_frame_bytes(self, peer: str) -> int:
+        """Bytes accumulated for ``peer`` that no frame has shipped yet."""
+        stream = self._streams.get(peer)
+        return stream.pending_bytes if stream is not None else 0
+
+    def close(self) -> None:
+        """Cancel frame-clock timers (the node is going away)."""
+        for stream in self._streams.values():
+            stream.clear()
+
+    # -- backpressure ------------------------------------------------------------
+    def on_backpressure(self, fn: BackpressureFn) -> None:
+        """Register ``fn(engaged, buffered_bytes)``; fired when the
+        retained buffer crosses the high watermark and again when
+        reclamation drains it below the low one."""
+        self._bp_handlers.append(fn)
+
+    def remove_backpressure(self, fn: BackpressureFn) -> None:
+        try:
+            self._bp_handlers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def backpressure_engaged(self) -> bool:
+        return self._bp_engaged
+
+    def _update_backpressure(self) -> None:
+        if self._bp_high is None:
+            return
+        buffered = self.buffer.buffered_bytes()
+        if not self._bp_engaged and buffered >= self._bp_high:
+            self._bp_engaged = True
+        elif self._bp_engaged and buffered <= self._bp_low:
+            self._bp_engaged = False
+        else:
+            return
+        self.backpressure_events += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._trace_node,
+                "data.backpressure",
+                engaged=self._bp_engaged,
+                buffered=buffered,
+            )
+        for fn in list(self._bp_handlers):
+            fn(self._bp_engaged, buffered)
+
+    # -- reclamation -------------------------------------------------------------
     def reclaim_up_to(self, seq: int) -> int:
         """Called by the facade once ``seq`` is delivered everywhere."""
-        return self.buffer.reclaim_up_to(seq)
+        released = self.buffer.reclaim_up_to(seq)
+        if released:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node,
+                    "data.reclaim",
+                    up_to=seq,
+                    released=released,
+                )
+            self._update_backpressure()
+        return released
 
     def replay_to(self, peer: str, from_seq: int) -> int:
         """Re-stream every buffered chunk above ``from_seq`` to ``peer``.
@@ -221,6 +497,11 @@ class DataPlane:
                 f"cannot replay to {peer!r} from seq {from_seq}: buffer "
                 f"reclaimed up to {self.buffer.reclaimed_up_to}"
             )
+        stream = self._streams.get(peer)
+        if stream is not None:
+            # The unframed tail is a subset of the buffered entries about
+            # to be replayed — clear it or the peer would see duplicates.
+            stream.clear()
         channel.reset_stream()
         count = 0
         for entry in self.buffer.entries_above(from_seq):
@@ -251,8 +532,16 @@ class DataPlane:
             )
 
     def _make_receiver(self, origin: str):
-        def receive(payload: Payload, meta: ChunkMeta) -> None:
-            self._on_chunk(origin, payload, meta)
+        def receive(payload: Payload, meta) -> None:
+            if isinstance(meta, tuple) and meta and meta[0] == FRAME_TAG:
+                _tag, metas, lengths = meta
+                self.frames_received += 1
+                for chunk_meta, part in zip(
+                    metas, split_frame_payload(payload, lengths)
+                ):
+                    self._on_chunk(origin, part, chunk_meta)
+            else:
+                self._on_chunk(origin, payload, meta)
 
         return receive
 

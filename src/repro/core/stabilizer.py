@@ -21,6 +21,7 @@ client APIs, and neither are ours.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.acks import AckTable
@@ -52,7 +53,29 @@ class Stabilizer:
         endpoint: Optional[TransportEndpoint] = None,
         fs=None,
         tracer: Optional[Tracer] = None,
+        **tunables,
     ):
+        if tunables:
+            # Every tunable lives on StabilizerConfig — the constructor
+            # accepts them for one release, loudly.
+            deployment = {"node_names", "groups", "local", "predicates"}
+            allowed = set(config.to_dict()) - deployment
+            unknown = sorted(set(tunables) - allowed)
+            if unknown:
+                raise TypeError(
+                    "Stabilizer() got unexpected keyword argument(s): "
+                    + ", ".join(unknown)
+                )
+            fields = ", ".join(
+                f"StabilizerConfig.{name}" for name in sorted(tunables)
+            )
+            warnings.warn(
+                f"passing tunables to Stabilizer() is deprecated; "
+                f"set {fields} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config.replace(**tunables)
         self.net = net
         self.sim = net.sim
         self.config = config
@@ -79,6 +102,10 @@ class Stabilizer:
             origin: AckTable(config.node_count(), type_count)
             for origin in config.node_names
         }
+        # Global-delivery watermark: the highest sequence of our own
+        # stream that every node (us included) has acknowledged as
+        # ``received``.  Send-buffer reclamation follows it — nothing else.
+        self._delivery_watermark = 0
         self.engine = FrontierEngine(config.dsl_context(), config.node_names)
         self.engine.bind_obs(self.tracer, self.name)
         self.engine.on_advance = self._on_frontier_advance
@@ -288,6 +315,42 @@ class Stabilizer:
         """Subscribe to remote messages: ``fn(origin, seq, payload, meta)``."""
         self._delivery_handlers.append(fn)
 
+    # ------------------------------------------------------------------ backpressure
+    def on_backpressure(self, fn: Callable[[bool, int], None]) -> None:
+        """Register ``fn(engaged, buffered_bytes)``: called with ``True``
+        when the retained send buffer crosses its high watermark (the WAN
+        is not draining) and with ``False`` once global-delivery
+        reclamation brings it back under the low one."""
+        self.dataplane.on_backpressure(fn)
+
+    @property
+    def backpressure_engaged(self) -> bool:
+        """True while the bounded send buffer is above its high watermark."""
+        return self.dataplane.backpressure_engaged
+
+    def delivery_watermark(self) -> int:
+        """Highest own-stream sequence acknowledged ``received`` by every
+        node — the reclamation frontier of the send buffer."""
+        return self._delivery_watermark
+
+    def waitfor_capacity(self) -> Event:
+        """An event that succeeds once backpressure is released (or at
+        once, if it is not engaged) — how a ``"block"``-policy producer
+        pauses itself instead of overrunning the buffer."""
+        event = self.sim.event()
+        if not self.dataplane.backpressure_engaged:
+            event.succeed(self.dataplane.buffer.buffered_bytes())
+            return event
+
+        def release(engaged: bool, buffered: int) -> None:
+            if not engaged:
+                self.dataplane.remove_backpressure(release)
+                if not event.triggered:
+                    event.succeed(buffered)
+
+        self.dataplane.on_backpressure(release)
+        return event
+
     # ------------------------------------------------------------------ membership
     def suspected_nodes(self):
         return self.detector.suspected()
@@ -428,13 +491,21 @@ class Stabilizer:
                 c.suspensions for c in self.endpoint.channels().values()
             ),
             "trace_events": self.tracer.emitted,
+            "dataplane.frames_sent": self.dataplane.frames_sent,
+            "dataplane.frames_received": self.dataplane.frames_received,
+            "dataplane.frame_messages": self.dataplane.frame_messages,
+            "dataplane.frame_payload_bytes": self.dataplane.frame_payload_bytes,
+            "dataplane.max_frame_messages": self.dataplane.max_frame_messages,
+            "dataplane.delivery_watermark": self._delivery_watermark,
+            "window.stalls": self.dataplane.window_stalls,
+            "window.opens": self.dataplane.window_opens,
+            "backpressure.events": self.dataplane.backpressure_events,
         })
         if self.durability is not None:
+            # Only the durability.-prefixed names: the unprefixed wal_*
+            # aliases were removed after their one deprecation release.
             for key, value in self.durability.stats().items():
                 stats[f"durability.{key}"] = value
-                # Deprecated: the unprefixed wal_* names collide with the
-                # shared namespace; kept as aliases for one release.
-                stats[key] = value
 
     # ------------------------------------------------------------------ internals
     def _on_sent(self, seq: int, payload: Payload) -> None:
@@ -489,16 +560,26 @@ class Stabilizer:
             origin, self.tables[origin], updated_node=node, updated_cells=cells
         )
         if origin == self.name:
-            self._maybe_reclaim()
+            self._advance_delivery_watermark(cells)
 
-    def _maybe_reclaim(self) -> None:
-        """Reclaim send-buffer space once messages are received everywhere."""
-        table = self.tables[self.name]
+    def _advance_delivery_watermark(self, cells=None) -> None:
+        """Reclaim send-buffer space once messages are received everywhere.
+
+        Driven directly by the ACK table — the MIN over every node's
+        ``received`` cell for our own stream — independent of whatever
+        predicate the frontier engine is evaluating.  ``cells`` (the
+        updated ``(type_id, seq)`` pairs, when known) lets updates that
+        cannot move the received floor skip the scan entirely.
+        """
         received = self._type_ids["received"]
+        if cells is not None and all(t != received for t, _ in cells):
+            return
+        table = self.tables[self.name]
         floor = min(
             table.get(node, received) for node in range(self.config.node_count())
         )
-        if floor > 0:
+        if floor > self._delivery_watermark:
+            self._delivery_watermark = floor
             self.dataplane.reclaim_up_to(floor)
 
     # ------------------------------------------------------------------ teardown
@@ -506,10 +587,12 @@ class Stabilizer:
         """Graceful shutdown: the WAL gets a final group commit (whose
         ``persisted`` reports still flow while the control plane lives),
         then timers stop."""
+        self.dataplane.flush()  # ship any partial frames before the end
         if self.durability is not None:
             self.durability.close(sync=True)
         self.detector.stop()
         self.controlplane.close()
+        self.dataplane.close()
         self.endpoint.close()
 
     def crash(self) -> None:
@@ -520,4 +603,5 @@ class Stabilizer:
             self.durability.crash()
         self.detector.stop()
         self.controlplane.close()
+        self.dataplane.close()  # partial frames die with the node
         self.endpoint.close()

@@ -74,6 +74,20 @@ class NotPrimaryError(StabilizerError):
     """A write was attempted at a node that does not own the data item."""
 
 
+class BackpressureError(StabilizerError):
+    """Admitting a message would overflow the bounded send buffer.
+
+    Raised by ``Stabilizer.send`` under the ``"except"`` send policy when
+    the WAN cannot drain fast enough for reclamation to keep up; carries
+    how full the buffer is so callers can log or shed load sensibly.
+    """
+
+    def __init__(self, message: str, buffered_bytes: int = 0, max_bytes: int = 0):
+        super().__init__(message)
+        self.buffered_bytes = buffered_bytes
+        self.max_bytes = max_bytes
+
+
 class NodeFailedError(ReproError):
     """An operation was routed to a node that has crashed."""
 

@@ -15,11 +15,18 @@ The paper assumes a "lossless FIFO data transport" per ordered peer pair
   channels over one network port.
 """
 
-from repro.transport.chunker import CHUNK_BYTES, Chunker, Reassembler
+from repro.transport.chunker import (
+    CHUNK_BYTES,
+    Chunker,
+    FrameBuilder,
+    Reassembler,
+    split_frame_payload,
+)
 from repro.transport.endpoint import TransportEndpoint
 from repro.transport.fifo import FifoChannel
 from repro.transport.messages import (
     AckFrame,
+    BatchFrame,
     ControlFrame,
     DataFrame,
     SyntheticPayload,
@@ -28,13 +35,16 @@ from repro.transport.messages import (
 
 __all__ = [
     "AckFrame",
+    "BatchFrame",
     "CHUNK_BYTES",
     "Chunker",
     "ControlFrame",
     "DataFrame",
     "FifoChannel",
+    "FrameBuilder",
     "Reassembler",
     "SyntheticPayload",
     "TransportEndpoint",
     "payload_length",
+    "split_frame_payload",
 ]

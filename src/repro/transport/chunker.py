@@ -6,11 +6,18 @@ chunker performs that split; the reassembler rebuilds application objects
 on the receiving side and reports, per object, the sequence number of its
 *last* chunk — which is what stability predicates are evaluated against
 (an object is stable when its final chunk is).
+
+This module also holds the WAN-frame coalescing primitives the pipelined
+data plane is built on: :class:`FrameBuilder` accumulates sequenced
+messages into one frame payload without per-message copies (real byte
+payloads are held as ``memoryview`` parts and joined once, at the frame
+boundary), and :func:`split_frame_payload` is its receive-side inverse
+(zero-copy ``memoryview`` slices into the arrived frame).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import TransportError
 from repro.transport.messages import Payload, SyntheticPayload, payload_length
@@ -81,6 +88,99 @@ class Chunker:
             for index in range(count):
                 start = index * self.chunk_bytes
                 yield Chunk(object_id, index, count, data[start : start + self.chunk_bytes])
+
+
+class FrameBuilder:
+    """Accumulates sequenced messages into one coalesced WAN frame.
+
+    ``add`` never copies: real payloads are kept as ``memoryview`` parts
+    and joined exactly once when :meth:`build` cuts the frame.  A frame
+    mixing real and synthetic payloads degrades to one
+    :class:`SyntheticPayload` of the total length (experiments at that
+    scale never inspect bytes).
+    """
+
+    __slots__ = ("_parts", "_metas", "_lengths", "_bytes", "_synthetic")
+
+    def __init__(self) -> None:
+        self._parts: List[object] = []
+        self._metas: List[object] = []
+        self._lengths: List[int] = []
+        self._bytes = 0
+        self._synthetic = False
+
+    def add(self, payload: Payload, meta=None) -> None:
+        length = payload_length(payload)
+        if isinstance(payload, SyntheticPayload):
+            self._synthetic = True
+            self._parts.append(payload)
+        elif isinstance(payload, memoryview):
+            self._parts.append(payload)
+        else:
+            self._parts.append(memoryview(payload))
+        self._metas.append(meta)
+        self._lengths.append(length)
+        self._bytes += length
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def message_count(self) -> int:
+        return len(self._parts)
+
+    def build(self) -> Tuple[Payload, Tuple[object, ...], Tuple[int, ...]]:
+        """Cut the frame: ``(payload, metas, lengths)``; resets the builder."""
+        if not self._parts:
+            raise TransportError("cannot build an empty frame")
+        if self._synthetic:
+            payload: Payload = SyntheticPayload(self._bytes)
+        elif len(self._parts) == 1:
+            part = self._parts[0]
+            # A whole-buffer view hands back the original object; a slice
+            # (or non-bytes buffer) costs the one frame-boundary copy.
+            if isinstance(part.obj, bytes) and len(part) == len(part.obj):
+                payload = part.obj
+            else:
+                payload = bytes(part)
+        else:
+            payload = b"".join(self._parts)  # the frame's one copy
+        out = (payload, tuple(self._metas), tuple(self._lengths))
+        self._parts, self._metas, self._lengths = [], [], []
+        self._bytes = 0
+        self._synthetic = False
+        return out
+
+
+def split_frame_payload(
+    payload: Payload, lengths: Sequence[int]
+) -> List[Payload]:
+    """Split a coalesced frame back into its messages, zero-copy.
+
+    Real frames yield ``memoryview`` slices into the arrived buffer;
+    synthetic frames yield :class:`SyntheticPayload` parts of the recorded
+    lengths.  The receive-side inverse of :class:`FrameBuilder`.
+    """
+    if isinstance(payload, SyntheticPayload):
+        if sum(lengths) != payload.length:
+            raise TransportError(
+                f"frame length {payload.length} does not cover its "
+                f"{len(lengths)} messages ({sum(lengths)}B)"
+            )
+        return [SyntheticPayload(n) for n in lengths]
+    view = memoryview(payload)
+    if sum(lengths) != len(view):
+        raise TransportError(
+            f"frame length {len(view)} does not cover its "
+            f"{len(lengths)} messages ({sum(lengths)}B)"
+        )
+    parts: List[Payload] = []
+    offset = 0
+    for length in lengths:
+        parts.append(view[offset : offset + length])
+        offset += length
+    return parts
 
 
 class Reassembler:

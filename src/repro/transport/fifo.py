@@ -11,6 +11,14 @@ possibly-lossy link model:
 - a go-back-N retransmit fires when no progress happens within the
   retransmission timeout.
 
+With ``max_inflight_bytes`` set the channel is *credit-windowed*: at most
+that many bytes may be unacknowledged toward the peer, frames beyond the
+window wait in a backlog, and every cumulative ACK returns credits that
+relaunch backlogged frames.  ``on_window_open`` fires whenever credits
+come back with the backlog fully drained — the data plane uses it to cut
+fresh frames the moment a slow peer catches up, so a stalled stream
+backpressures only itself.
+
 The retransmission timeout is *adaptive* (Jacobson/Karn): ACKed frames
 that were never retransmitted contribute RTT samples to an EWMA estimator
 (``srtt``/``rttvar``), and the base timeout is ``srtt + 4·rttvar`` clamped
@@ -108,6 +116,9 @@ class FifoChannel:
         self.max_retransmit_attempts = max_retransmit_attempts
 
         self.on_deliver: Optional[DeliverFn] = None
+        # Fired (no arguments) when returning credits reopen the window
+        # with nothing left in the backlog; see module docstring.
+        self.on_window_open: Optional[Callable[[], None]] = None
         self.closed = False
         # Suspended: the retry loop concluded the peer is dead (see module
         # docstring).  Frames are retained and sends still transmit — they
@@ -154,15 +165,22 @@ class FifoChannel:
         self.revivals = 0
         self.rtt_samples = 0
         self.stream_resets = 0
+        self.window_stalls = 0
+        self.window_opens = 0
 
     # -- sending ------------------------------------------------------------
-    def send(self, payload: Payload, meta=None) -> int:
-        """Queue one frame; returns its transport sequence number."""
+    def send(self, payload: Payload, meta=None, wire_overhead: int = 0) -> int:
+        """Queue one frame; returns its transport sequence number.
+
+        ``wire_overhead`` adds encoding bytes beyond the payload itself
+        (e.g. the per-message entry records of a coalesced batch frame)
+        so the link is charged honest bandwidth.
+        """
         if self.closed:
             raise TransportError(f"channel {self.name!r} is closed")
         seq = self._next_send_seq
         self._next_send_seq += 1
-        size = payload_length(payload) + TRANSPORT_HEADER_BYTES
+        size = payload_length(payload) + TRANSPORT_HEADER_BYTES + wire_overhead
         frame = _OutFrame(seq, payload, size, meta)
         if (
             self.max_inflight_bytes is not None
@@ -170,6 +188,16 @@ class FifoChannel:
             and self._unacked  # always let at least one frame fly
         ):
             self._backlog.append(frame)
+            self.window_stalls += 1
+            if self.endpoint.tracer.enabled:
+                self.endpoint.tracer.emit(
+                    self.local,
+                    "window.stall",
+                    peer=self.peer,
+                    channel=self.name,
+                    inflight=self._unacked_bytes,
+                    backlog=len(self._backlog),
+                )
         else:
             self._launch(frame)
         return seq
@@ -191,6 +219,24 @@ class FifoChannel:
 
     def backlog_count(self) -> int:
         return len(self._backlog)
+
+    def window_available(self) -> Optional[int]:
+        """Credits left before the window closes (``None`` = no window).
+
+        An idle channel always reports at least one byte available — the
+        window never blocks the first frame, however large (mirroring the
+        "always let at least one frame fly" send rule)."""
+        if self.max_inflight_bytes is None:
+            return None
+        if self._backlog:
+            return 0  # frames already waiting: the window is spoken for
+        if not self._unacked:
+            return max(1, self.max_inflight_bytes)
+        return max(0, self.max_inflight_bytes - self._unacked_bytes)
+
+    def window_stalled(self) -> bool:
+        """True when frames are waiting on credits (backlogged)."""
+        return bool(self._backlog)
 
     def _transmit(self, frame: _OutFrame) -> None:
         self.endpoint._send_raw(
@@ -362,6 +408,19 @@ class FifoChannel:
         if not self._unacked and self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
             self._retransmit_timer = None
+        if (
+            progressed
+            and not self._backlog
+            and self.on_window_open is not None
+            and (
+                self.max_inflight_bytes is None
+                or self._unacked_bytes < self.max_inflight_bytes
+            )
+        ):
+            # Credits came back and nothing transport-level is waiting:
+            # let the layer above cut fresh frames into the open window.
+            self.window_opens += 1
+            self.on_window_open()
 
     def _drain_backlog(self) -> None:
         while self._backlog and (

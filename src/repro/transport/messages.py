@@ -20,11 +20,15 @@ CONTROL_HEADER = struct.Struct("!BHH")  # kind, node-index, entry count
 CONTROL_ENTRY = struct.Struct("!HQ")  # type-id, seq
 RESUME_HEADER = struct.Struct("!BHH")  # kind, node-index, entry count
 RESUME_ENTRY = struct.Struct("!HQ")  # origin-index, highest received seq
+BATCH_HEADER = struct.Struct("!BHH")  # kind, origin-index, message count
+BATCH_ENTRY = struct.Struct("!QI")  # seq, payload-len
 
 KIND_DATA = 1
 KIND_ACK = 2
 KIND_CONTROL = 3
 KIND_RESUME = 4
+KIND_BATCH = 5
+KIND_CONTROL_BATCH = 6
 
 
 class SyntheticPayload:
@@ -115,6 +119,78 @@ class DataFrame:
         return f"<DataFrame origin={self.origin_index} seq={self.seq}>"
 
 
+class BatchFrame:
+    """A coalesced WAN frame: several sequenced messages, one frame.
+
+    The pipelined data plane accumulates messages up to its frame budget
+    and ships them under a single transport header; each message costs
+    only a ``BATCH_ENTRY`` (seq, length) record instead of a whole frame.
+    ``messages`` is a list of ``(seq, payload)`` pairs in sequence order.
+    """
+
+    __slots__ = ("origin_index", "messages")
+
+    def __init__(self, origin_index: int, messages):
+        self.origin_index = origin_index
+        self.messages = list(messages)
+        for seq, _payload in self.messages:
+            if seq < 0:
+                raise TransportError(f"negative sequence number: {seq}")
+
+    def wire_size(self) -> int:
+        return BATCH_HEADER.size + sum(
+            BATCH_ENTRY.size + payload_length(p) for _, p in self.messages
+        )
+
+    def encode(self) -> bytes:
+        parts = [
+            BATCH_HEADER.pack(KIND_BATCH, self.origin_index, len(self.messages))
+        ]
+        views = []
+        for seq, payload in self.messages:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise TransportError("only real byte payloads can be encoded")
+            parts.append(BATCH_ENTRY.pack(seq, payload_length(payload)))
+            views.append(
+                payload if isinstance(payload, memoryview) else memoryview(payload)
+            )
+        # Entry headers first, payload bytes after: both sides join once.
+        return b"".join(parts) + b"".join(views)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BatchFrame":
+        try:
+            kind, origin, count = BATCH_HEADER.unpack_from(data)
+        except struct.error as exc:
+            raise TransportError(f"malformed batch frame: {exc}") from exc
+        if kind != KIND_BATCH:
+            raise TransportError(f"not a batch frame (kind={kind})")
+        offset = BATCH_HEADER.size
+        entries = []
+        for _ in range(count):
+            try:
+                seq, length = BATCH_ENTRY.unpack_from(data, offset)
+            except struct.error as exc:
+                raise TransportError(f"truncated batch frame: {exc}") from exc
+            offset += BATCH_ENTRY.size
+            entries.append((seq, length))
+        view = memoryview(data)
+        messages = []
+        for seq, length in entries:
+            payload = view[offset : offset + length]
+            if len(payload) != length:
+                raise TransportError("truncated batch frame")
+            messages.append((seq, payload))
+            offset += length
+        return cls(origin, messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BatchFrame origin={self.origin_index} "
+            f"messages={len(self.messages)}>"
+        )
+
+
 class AckFrame:
     """Transport-level cumulative acknowledgment: "I have all ≤ seq"."""
 
@@ -187,6 +263,64 @@ class ControlFrame:
             f"<ControlFrame from={self.node_index} origin={self.origin_index} "
             f"{self.entries}>"
         )
+
+
+class ControlBatch:
+    """Several control reports coalesced into one transport frame.
+
+    A flush covering multiple origin streams toward the same peer pays
+    one transport header instead of one per report; the sub-reports keep
+    their own encodings (length-prefixed) inside the batch.
+    """
+
+    __slots__ = ("node_index", "frames")
+
+    def __init__(self, node_index: int, frames):
+        self.frames = list(frames)
+        if not self.frames:
+            raise TransportError("empty control batch")
+        self.node_index = node_index
+
+    def wire_size(self) -> int:
+        return BATCH_HEADER.size + sum(
+            2 + frame.wire_size() for frame in self.frames
+        )
+
+    def encode(self) -> bytes:
+        parts = [
+            BATCH_HEADER.pack(KIND_CONTROL_BATCH, self.node_index, len(self.frames))
+        ]
+        for frame in self.frames:
+            encoded = frame.encode()
+            parts.append(struct.pack("!H", len(encoded)))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ControlBatch":
+        try:
+            kind, node, count = BATCH_HEADER.unpack_from(data)
+        except struct.error as exc:
+            raise TransportError(f"malformed control batch: {exc}") from exc
+        if kind != KIND_CONTROL_BATCH:
+            raise TransportError(f"not a control batch (kind={kind})")
+        offset = BATCH_HEADER.size
+        frames = []
+        for _ in range(count):
+            try:
+                (length,) = struct.unpack_from("!H", data, offset)
+            except struct.error as exc:
+                raise TransportError(f"truncated control batch: {exc}") from exc
+            offset += 2
+            chunk = data[offset : offset + length]
+            if len(chunk) != length:
+                raise TransportError("truncated control batch")
+            frames.append(ControlFrame.decode(chunk))
+            offset += length
+        return cls(node, frames)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ControlBatch from={self.node_index} reports={len(self.frames)}>"
 
 
 class ResumeFrame:

@@ -116,3 +116,141 @@ def test_clean_run_counts_checks_without_violations():
     assert checker.monitor_events == 2
     assert checker.checks > 0
     assert checker.violations == []
+
+
+# ---------------------------------------------------------------------------
+# Invariant 8: no reclaim before global delivery.
+# ---------------------------------------------------------------------------
+
+
+class FakeFrame:
+    def __init__(self, size):
+        self.size = size
+
+
+class FakeBuffer:
+    def __init__(self, reclaimed_up_to):
+        self.reclaimed_up_to = reclaimed_up_to
+
+
+class FakeStream:
+    def __init__(self, peer, sizes, pending_bytes=None):
+        self.peer = peer
+        self.pending = [FakeFrame(s) for s in sizes]
+        self.pending_bytes = (
+            sum(sizes) if pending_bytes is None else pending_bytes
+        )
+
+
+class FakePipelineDataPlane:
+    def __init__(self, reclaimed_up_to=0, received=None, streams=()):
+        self.buffer = FakeBuffer(reclaimed_up_to)
+        self._received = received or {}
+        self._streams = {s.peer: s for s in streams}
+
+    def highest_received(self, origin):
+        return self._received.get(origin, 0)
+
+
+def test_premature_reclaim_detected():
+    checker = InvariantChecker()
+    a = FakeNode("a")
+    a.dataplane = FakePipelineDataPlane(reclaimed_up_to=10)
+    b = FakeNode("b")
+    b.dataplane = FakePipelineDataPlane(received={"a": 5})
+    with pytest.raises(InvariantViolation, match="premature reclaim"):
+        checker.check_reclaim([a, b])
+
+
+def test_reclaim_at_global_delivery_passes():
+    checker = InvariantChecker()
+    a = FakeNode("a")
+    a.dataplane = FakePipelineDataPlane(reclaimed_up_to=5)
+    b = FakeNode("b")
+    b.dataplane = FakePipelineDataPlane(received={"a": 5})
+    checker.check_reclaim([a, b])
+    assert checker.violations == []
+
+
+# ---------------------------------------------------------------------------
+# Invariant 9: window accounting never leaks credits.
+# ---------------------------------------------------------------------------
+
+
+class FakeChannel:
+    def __init__(
+        self,
+        frame_sizes=(),
+        unacked_bytes=None,
+        max_inflight_bytes=None,
+        backlog=(),
+    ):
+        self.name = "stab.data"
+        self.peer = "b"
+        self._unacked = {
+            i: FakeFrame(size) for i, size in enumerate(frame_sizes)
+        }
+        self._unacked_bytes = (
+            sum(frame_sizes) if unacked_bytes is None else unacked_bytes
+        )
+        self.max_inflight_bytes = max_inflight_bytes
+        self._backlog = [FakeFrame(s) for s in backlog]
+
+
+class FakeEndpoint:
+    def __init__(self, *channels):
+        self._channels = {i: c for i, c in enumerate(channels)}
+
+    def channels(self):
+        return self._channels
+
+
+def test_credit_leak_detected():
+    checker = InvariantChecker()
+    node = FakeNode("a")
+    node.endpoint = FakeEndpoint(
+        FakeChannel(frame_sizes=(100, 200), unacked_bytes=250)
+    )
+    with pytest.raises(InvariantViolation, match="credit leak"):
+        checker.check_windows([node])
+
+
+def test_window_overrun_detected():
+    checker = InvariantChecker()
+    node = FakeNode("a")
+    node.endpoint = FakeEndpoint(
+        FakeChannel(frame_sizes=(600, 600), max_inflight_bytes=1000)
+    )
+    with pytest.raises(InvariantViolation, match="window overrun"):
+        checker.check_windows([node])
+
+
+def test_one_oversized_frame_is_allowed():
+    checker = InvariantChecker()
+    node = FakeNode("a")
+    node.endpoint = FakeEndpoint(
+        FakeChannel(frame_sizes=(5000,), max_inflight_bytes=1000)
+    )
+    checker.check_windows([node])
+    assert checker.violations == []
+
+
+def test_stuck_backlog_detected():
+    checker = InvariantChecker()
+    node = FakeNode("a")
+    node.endpoint = FakeEndpoint(
+        FakeChannel(max_inflight_bytes=1000, backlog=(100,))
+    )
+    with pytest.raises(InvariantViolation, match="stuck backlog"):
+        checker.check_windows([node])
+
+
+def test_pending_tail_leak_detected():
+    checker = InvariantChecker()
+    node = FakeNode("a")
+    node.endpoint = FakeEndpoint()
+    node.dataplane = FakePipelineDataPlane(
+        streams=(FakeStream("b", (100, 100), pending_bytes=150),)
+    )
+    with pytest.raises(InvariantViolation, match="pending-tail leak"):
+        checker.check_windows([node])

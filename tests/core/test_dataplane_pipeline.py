@@ -1,0 +1,214 @@
+"""The pipelined data plane: frame coalescing, the frame clock, window
+stalls, backpressure policies, and replay interaction with pending tails."""
+
+import pytest
+
+from repro.core.config import StabilizerConfig
+from repro.core.dataplane import DataPlane
+from repro.errors import BackpressureError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+from repro.transport import TransportEndpoint
+from repro.transport.messages import SyntheticPayload
+
+NODES = ["x", "y"]
+
+
+def build_net(latency_ms=5, rate_mbit=100):
+    topo = Topology()
+    for name in NODES:
+        topo.add_node(name, group=name)
+    topo.set_default(NetemSpec(latency_ms=latency_ms, rate_mbit=rate_mbit))
+    sim = Simulator()
+    return sim, topo.build(sim)
+
+
+def config(local="x", **kwargs):
+    return StabilizerConfig(NODES, {n: [n] for n in NODES}, local, **kwargs)
+
+
+def wire(sim, net, **kwargs):
+    """A sending plane at x and a receiving plane at y."""
+    delivered = []
+    received = []
+    dp_x = DataPlane(TransportEndpoint(net, "x"), config("x", **kwargs))
+    dp_y = DataPlane(
+        TransportEndpoint(net, "y"),
+        config("y", **kwargs),
+        on_deliver=lambda o, s, p, m: delivered.append((o, s, p, m)),
+        on_received=lambda o, s, p: received.append(s),
+    )
+    return dp_x, dp_y, delivered, received
+
+
+def test_chunks_coalesce_into_frames():
+    sim, net = build_net()
+    dp_x, dp_y, delivered, received = wire(
+        sim, net, chunk_bytes=1000, frame_bytes=8000
+    )
+    first, last = dp_x.send(SyntheticPayload(50_000))
+    assert (first, last) == (1, 50)
+    sim.run(until=5.0)
+    # 50 sequenced messages crossed in ~7 coalesced frames, not 50.
+    assert dp_y.messages_received == 50
+    assert dp_x.frames_sent < 10
+    assert dp_x.frame_messages == 50
+    assert dp_y.frames_received == dp_x.frames_sent
+    assert dp_x.max_frame_messages == 8
+    assert dp_y.highest_received("x") == 50
+    # The object reassembled exactly once, at full length.
+    assert len(delivered) == 1
+    assert len(delivered[0][2]) == 50_000
+    assert received == list(range(1, 51))
+
+
+def test_real_bytes_survive_framing_intact():
+    sim, net = build_net()
+    dp_x, dp_y, delivered, _ = wire(sim, net, chunk_bytes=100, frame_bytes=350)
+    blob = bytes(range(256)) * 4  # 1024 B -> 11 chunks across several frames
+    dp_x.send(blob)
+    dp_x.send(b"short")
+    sim.run(until=5.0)
+    assert [bytes(p) for (_, _, p, _) in delivered] == [blob, b"short"]
+
+
+def test_lone_message_needs_no_batch_frame():
+    sim, net = build_net()
+    dp_x, dp_y, delivered, _ = wire(sim, net, frame_bytes=32 * 1024)
+    dp_x.send(b"hello")
+    sim.run(until=5.0)
+    assert dp_x.frames_sent == 1
+    assert dp_x.frame_messages == 1
+    # A single-message frame rides a plain chunk meta — the receive path
+    # never saw a batch.
+    assert dp_y.frames_received == 0
+    assert delivered[0][2] == b"hello"
+
+
+def test_frame_clock_holds_partial_frames():
+    sim, net = build_net()
+    dp_x, dp_y, _, received = wire(
+        sim, net, frame_bytes=8000, frame_delay_ms=5.0
+    )
+    dp_x.send(SyntheticPayload(500))
+    dp_x.send(SyntheticPayload(500))
+    # Partial frame: below frame_bytes, the clock has not ticked.
+    assert dp_x.frames_sent == 0
+    assert dp_x.pending_frame_bytes("y") == 1000
+    sim.run(until=1.0)
+    # The timer cut one coalesced two-message frame.
+    assert dp_x.frames_sent == 1
+    assert dp_x.frame_messages == 2
+    assert dp_x.flush_causes["timer"] == 1
+    assert dp_x.pending_frame_bytes("y") == 0
+    assert received == [1, 2]
+
+
+def test_full_frames_cut_inline_under_frame_clock():
+    sim, net = build_net()
+    dp_x, _, _, received = wire(
+        sim, net, chunk_bytes=1000, frame_bytes=4000, frame_delay_ms=50.0
+    )
+    dp_x.send(SyntheticPayload(9000))  # 9 chunks: 2 full frames + 1 pending
+    assert dp_x.frames_sent == 2
+    assert dp_x.flush_causes["size"] == 2
+    assert dp_x.pending_frame_bytes("y") == 1000
+    sim.run(until=1.0)
+    assert dp_x.frames_sent == 3
+    assert len(received) == 9
+
+
+def test_window_stall_defers_and_window_open_resumes():
+    sim, net = build_net(latency_ms=20)
+    dp_x, dp_y, _, received = wire(
+        sim,
+        net,
+        chunk_bytes=1000,
+        frame_bytes=2000,
+        window_bytes=4000,
+    )
+    dp_x.send(SyntheticPayload(40_000))
+    # The window closed long before 40 KB could be cut into frames.
+    assert dp_x.window_stalls >= 1
+    assert dp_x.pending_frame_bytes("y") > 0
+    sim.run(until=10.0)
+    # Credits came back, stalled pending flushed, everything arrived.
+    assert dp_x.window_opens >= 1
+    assert dp_x.flush_causes["window"] >= 1
+    assert len(received) == 40
+    assert dp_x.pending_frame_bytes("y") == 0
+
+
+def test_send_policy_except_raises_before_sequencing():
+    sim, net = build_net()
+    dp_x, _, _, _ = wire(
+        sim, net, max_buffer_bytes=10_000, send_policy="except"
+    )
+    dp_x.send(SyntheticPayload(9_000))
+    with pytest.raises(BackpressureError) as exc_info:
+        dp_x.send(SyntheticPayload(5_000))
+    assert exc_info.value.buffered_bytes == 9_000
+    assert exc_info.value.max_bytes == 10_000
+    # The refused message consumed no sequence numbers.
+    assert dp_x.last_sent_seq() == dp_x.send(SyntheticPayload(100)) [1] - 1
+
+
+def test_send_policy_block_admits_and_signals():
+    sim, net = build_net()
+    dp_x, _, _, _ = wire(
+        sim, net, max_buffer_bytes=10_000, send_policy="block"
+    )
+    events = []
+    dp_x.on_backpressure(lambda engaged, buffered: events.append((engaged, buffered)))
+    dp_x.send(SyntheticPayload(9_000))
+    assert dp_x.backpressure_engaged
+    assert events == [(True, 9_000)]
+    # The soft bound admits an overflowing message rather than raising.
+    dp_x.send(SyntheticPayload(5_000))
+    assert dp_x.buffer.buffered_bytes() == 14_000
+    # Reclamation drains below the low watermark and releases.
+    dp_x.reclaim_up_to(dp_x.last_sent_seq())
+    assert not dp_x.backpressure_engaged
+    assert events[-1][0] is False
+    assert dp_x.backpressure_events == 2
+
+
+def test_replay_clears_pending_tail_no_duplicates():
+    sim, net = build_net(latency_ms=20)
+    dp_x, dp_y, _, received = wire(
+        sim,
+        net,
+        chunk_bytes=1000,
+        frame_bytes=2000,
+        window_bytes=3000,
+    )
+    dp_x.send(SyntheticPayload(20_000))
+    assert dp_x.pending_frame_bytes("y") > 0  # stalled tail exists
+    # Catch-up replay must not double-send the stalled tail.
+    dp_x.replay_to("y", 0)
+    assert dp_x.pending_frame_bytes("y") == 0
+    sim.run(until=10.0)
+    assert dp_y.highest_received("x") == 20
+    assert received.count(5) == 1
+    assert sorted(set(received)) == list(range(1, 21))
+
+
+def test_close_cancels_frame_timers():
+    sim, net = build_net()
+    dp_x, _, _, _ = wire(sim, net, frame_bytes=8000, frame_delay_ms=5.0)
+    dp_x.send(SyntheticPayload(100))
+    dp_x.close()
+    assert dp_x.pending_frame_bytes("y") == 0
+    sim.run(until=1.0)  # the cancelled timer must not fire into a dead plane
+
+
+def test_coalescing_disabled_sends_per_message():
+    sim, net = build_net()
+    dp_x, dp_y, _, received = wire(
+        sim, net, chunk_bytes=1000, frame_bytes=None
+    )
+    dp_x.send(SyntheticPayload(5000))
+    sim.run(until=5.0)
+    assert dp_x.frames_sent == 0  # the coalescing path never engaged
+    assert dp_y.messages_received == 5
+    assert received == [1, 2, 3, 4, 5]
