@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
-        durability-smoke obs-smoke api-check verify report clean
+        durability-smoke obs-smoke shard-smoke api-check verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,11 @@ durability-smoke:
 obs-smoke:
 	pytest -m obs_smoke
 
+# Partial-replication invariant runs plus the shard-scaling bench
+# harness at tiny scale (see docs/sharding.md).
+shard-smoke:
+	pytest -m shard_smoke
+
 # Public-API gate: the __all__ snapshot test plus a warning-free import
 # (`import repro` must never trip a DeprecationWarning).
 api-check:
@@ -42,7 +47,8 @@ api-check:
 	python -W error::DeprecationWarning -c "import repro"
 
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
-verify: test bench-smoke chaos-smoke durability-smoke obs-smoke api-check
+verify: test bench-smoke chaos-smoke durability-smoke obs-smoke \
+        shard-smoke api-check
 
 report:
 	python -m repro report

@@ -8,7 +8,13 @@ The public API mirrors the paper's library surface:
   :class:`StabilizerCluster` for deployment.
 - The stability-frontier DSL — ``register_predicate`` /
   ``change_predicate`` take predicate source strings;
-  :func:`standard_predicates` generates the paper's Table III set.
+  :func:`standard_predicates` generates the paper's Table III set and
+  :func:`shard_standard_predicates` its shard-scoped variant.
+- Partial replication — :class:`ShardMap` assigns keys to shards and
+  shards to owner sets; :class:`ShardedStabilizer` /
+  :class:`ShardedCluster` run one Stabilizer stack per *owned* shard so
+  control-plane fan-out and ACK-table memory scale with the owner set,
+  not the cluster (see ``docs/sharding.md``).
 - Applications — :class:`WanKVStore`, :class:`FileBackupService`,
   :class:`QuorumKV`, :class:`StabilizerBroker` (+ :class:`PulsarCluster`
   as the comparison baseline and :class:`PaxosCluster` for Fig. 6).
@@ -39,13 +45,22 @@ Quick start::
 from repro import testing
 from repro.apps import FileBackupService, QuorumKV, WanKVStore
 from repro.core import (
+    ShardedCluster,
+    ShardedStabilizer,
+    ShardMap,
     Stabilizer,
     StabilizerCluster,
     StabilizerConfig,
     build_cluster,
+    build_sharded_cluster,
 )
 from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
-from repro.dsl import CompiledPredicate, PredicateCompiler, standard_predicates
+from repro.dsl import (
+    CompiledPredicate,
+    PredicateCompiler,
+    shard_standard_predicates,
+    standard_predicates,
+)
 from repro.errors import BackpressureError, ReproError
 from repro.net import NetemSpec, Network, Topology
 from repro.obs import MetricsRegistry
@@ -79,6 +94,9 @@ __all__ = [
     "RealtimeScheduler",
     "ReliableBroadcast",
     "ReproError",
+    "ShardMap",
+    "ShardedCluster",
+    "ShardedStabilizer",
     "Simulator",
     "Stabilizer",
     "StabilizerBroker",
@@ -88,6 +106,8 @@ __all__ = [
     "Tracer",
     "WanKVStore",
     "build_cluster",
+    "build_sharded_cluster",
+    "shard_standard_predicates",
     "standard_predicates",
     "testing",
 ]

@@ -995,3 +995,190 @@ def run_hotpath_frontier(
                 }
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Shard scaling: partial replication vs the unsharded control plane.
+# ---------------------------------------------------------------------------
+
+
+def _shard_topology(nodes: int, azs: int = 4) -> Topology:
+    topo = Topology()
+    for i in range(nodes):
+        topo.add_node(f"n{i}", group=f"az{i % azs}")
+    topo.set_default(NetemSpec(latency_ms=10, rate_mbit=100))
+    return topo
+
+
+def _shard_workload(shard_map, keys: int, messages: int, seed: int):
+    """(sender, key) per message: writes route to the key's primary
+    owner, so the sharded and unsharded runs use identical senders."""
+    rng = RngRegistry(seed).stream("shard-scaling")
+    workload = []
+    for _ in range(messages):
+        key = rng.randrange(keys)
+        workload.append((shard_map.primary(shard_map.shard_of(key)), key))
+    return workload
+
+
+def _drain(sim, converged, end_s: float, slice_s: float = 1.0, max_slices: int = 30):
+    sim.run(until=end_s)
+    slices = 0
+    while not converged() and slices < max_slices:
+        slices += 1
+        sim.run(until=sim.now + slice_s)
+    return converged()
+
+
+def run_shard_scaling(
+    nodes: int = 8,
+    shard_count: int = 64,
+    replication: int = 2,
+    keys_grid: Sequence[int] = (10_000, 1_000_000),
+    messages: int = 240,
+    payload_bytes: int = 512,
+    send_interval_s: float = 0.002,
+    control_interval_s: float = 0.02,
+    seed: int = 0,
+) -> dict:
+    """The sharded-ACK-table experiment: the same keyed write workload
+    through a partially replicated cluster and through the classic
+    full-fan-out cluster, at growing key-space sizes.
+
+    What the rows show:
+
+    - ``control_reduction`` / ``payload_reduction`` — cluster-wide
+      control-plane and data-plane bytes, unsharded over sharded.  With
+      ``nodes`` peers and owner sets of ``replication``, every message
+      fans out to ``replication - 1`` receivers instead of ``nodes - 1``
+      and every ACK report reaches only co-owners, so the reduction
+      grows with the cluster, not the workload.
+    - ``sharded_max_cells`` vs ``keys`` — per-node ACK-table cells are a
+      function of *owned shards*, not of the key space: the column stays
+      flat from thousands to millions of keys.
+    - ``frontier_lag`` gauges stay per shard
+      (``frontier_lag.s<shard>.*``); the row carries the gauge count and
+      the worst residual lag at convergence.
+    """
+    from repro.core.membership import ShardMap
+    from repro.core.sharding import build_sharded_cluster
+
+    node_names = [f"n{i}" for i in range(nodes)]
+    shard_map = ShardMap(node_names, shard_count, replication)
+    rows = []
+    for keys in keys_grid:
+        workload = _shard_workload(shard_map, keys, messages, seed)
+        end_s = send_interval_s * messages + 2.0
+        row = {"keys": keys, "messages": messages}
+
+        # -- sharded run ---------------------------------------------------
+        sim, net = build_network(_shard_topology(nodes), seed)
+        cluster = build_sharded_cluster(
+            net,
+            {"all": "MIN($SHARDWNODES - $MYWNODE)"},
+            shard_count=shard_count,
+            shard_replication=replication,
+            control_interval_s=control_interval_s,
+        )
+        counts: Dict[Tuple[str, int], int] = {}
+        for i, (sender, key) in enumerate(workload):
+            shard = shard_map.shard_of(key)
+            counts[(sender, shard)] = counts.get((sender, shard), 0) + 1
+            sim.call_at(
+                send_interval_s * (i + 1),
+                lambda s=sender, k=key: cluster[s].send(
+                    SyntheticPayload(payload_bytes), key=k
+                ),
+            )
+
+        def sharded_converged():
+            return all(
+                cluster[owner].get_stability_frontier("all", origin, shard=shard)
+                >= count
+                for (origin, shard), count in counts.items()
+                for owner in shard_map.owners(shard)
+            )
+
+        started = time.perf_counter()
+        converged = _drain(sim, sharded_converged, end_s)
+        row["sharded_elapsed_s"] = time.perf_counter() - started
+        row["sharded_converged"] = converged
+        stats = [node.stats() for node in cluster]
+        cells = [node.ack_table_cells() for node in cluster]
+        row["sharded_control_bytes"] = sum(s["control_bytes_sent"] for s in stats)
+        row["sharded_payload_bytes"] = sum(
+            s["dataplane.payload_bytes_sent"] for s in stats
+        )
+        row["sharded_max_cells"] = max(cells)
+        row["sharded_total_cells"] = sum(cells)
+        lag_values = [
+            value
+            for s in stats
+            for key, value in s.items()
+            if key.startswith("frontier_lag.s")
+        ]
+        row["frontier_lag_gauges"] = len(lag_values)
+        row["frontier_lag_max"] = max(lag_values) if lag_values else 0
+        cluster.close()
+
+        # -- unsharded baseline --------------------------------------------
+        sim, net = build_network(_shard_topology(nodes), seed)
+        baseline = _cluster(
+            net,
+            node_names[0],
+            predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+            control_interval_s=control_interval_s,
+        )
+        totals: Dict[str, int] = {}
+        for i, (sender, _key) in enumerate(workload):
+            totals[sender] = totals.get(sender, 0) + 1
+            sim.call_at(
+                send_interval_s * (i + 1),
+                lambda s=sender: baseline[s].send(SyntheticPayload(payload_bytes)),
+            )
+
+        def baseline_converged():
+            return all(
+                node.get_stability_frontier("all", origin) >= count
+                for origin, count in totals.items()
+                for node in baseline
+            )
+
+        started = time.perf_counter()
+        converged = _drain(sim, baseline_converged, end_s)
+        row["unsharded_elapsed_s"] = time.perf_counter() - started
+        row["unsharded_converged"] = converged
+        stats = [node.stats() for node in baseline]
+        row["unsharded_control_bytes"] = sum(
+            s["control_bytes_sent"] for s in stats
+        )
+        row["unsharded_payload_bytes"] = sum(
+            s["dataplane.payload_bytes_sent"] for s in stats
+        )
+        row["unsharded_max_cells"] = max(
+            len(node.tables)
+            * node.config.node_count()
+            * len(node.config.type_names())
+            for node in baseline
+        )
+        baseline.close()
+
+        row["control_reduction"] = row["unsharded_control_bytes"] / max(
+            row["sharded_control_bytes"], 1
+        )
+        row["payload_reduction"] = row["unsharded_payload_bytes"] / max(
+            row["sharded_payload_bytes"], 1
+        )
+        rows.append(row)
+    return {
+        "config": {
+            "nodes": nodes,
+            "shard_count": shard_count,
+            "replication": replication,
+            "owners_per_shard": shard_map.owners_per_shard(),
+            "messages": messages,
+            "payload_bytes": payload_bytes,
+            "seed": seed,
+        },
+        "rows": rows,
+    }

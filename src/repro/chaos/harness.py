@@ -363,6 +363,16 @@ class ChaosHarness:
         elapsed = time.perf_counter() - started
         return self.report(elapsed, settle_slices)
 
+    def _messages_sent(self) -> Dict[str, int]:
+        """Per-origin high sequence numbers.  The checker keys its sent
+        record by ``(origin, shard)``; unsharded nodes put everything in
+        shard 0, so taking the max across shards reproduces the old
+        per-origin view exactly."""
+        sent: Dict[str, int] = {}
+        for (origin, _shard), seq in self.checker._sent.items():
+            sent[origin] = max(sent.get(origin, 0), seq)
+        return dict(sorted(sent.items()))
+
     def report(self, elapsed_s: float, settle_slices: int) -> dict:
         totals: Dict[str, float] = {}
         for node in self.cluster:
@@ -376,7 +386,7 @@ class ChaosHarness:
             "fired": [[t, kind, list(target)] for t, kind, target in self.fired],
             "virtual_end_s": self.sim.now,
             "settle_slices": settle_slices,
-            "messages_sent": {o: s for o, s in sorted(self.checker._sent.items())},
+            "messages_sent": self._messages_sent(),
             "final_frontiers": {
                 node.name: {
                     origin: node.get_stability_frontier(STRICT_KEY, origin)

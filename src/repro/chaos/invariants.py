@@ -42,13 +42,22 @@ monitor / waiter / stats surfaces an application uses — and raises
 
 Every individual comparison counts toward ``checks``; the bench harness
 divides by wall-clock time for the invariant-check throughput trajectory.
+
+**Shard scoping.**  Under partial replication
+(:class:`~repro.core.sharding.ShardedStabilizer`) a node legitimately
+never sees the ACK cells, streams, or buffers of shards it does not own
+— those are *out of scope*, not violations.  The checker therefore
+decomposes every node into ``(shard, stack)`` units and runs each
+invariant within a shard's owner set only: delivery of shard *s* is
+checked at *s*'s owners, reclaim at *A* is compared against peers that
+own the same shard, and monitor/table history is keyed per shard.  A
+plain unsharded Stabilizer is simply the single unit ``(0, node)``, so
+the pre-sharding behaviour (and API) is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-from repro.core.stabilizer import Stabilizer
+from typing import Dict, List, Optional, Tuple
 
 
 class InvariantViolation(AssertionError):
@@ -59,14 +68,14 @@ class InvariantChecker:
     """See module docstring.  One checker observes one cluster."""
 
     def __init__(self):
-        # (node, origin, key) -> highest frontier a monitor reported.
-        self._monitor_high: Dict[Tuple[str, str, str], int] = {}
-        # origin -> highest sequence number it ever sent (fed by harness).
-        self._sent: Dict[str, int] = {}
-        # (node, origin) -> last sampled ACK-table rows.
-        self._rows: Dict[Tuple[str, str], List[List[int]]] = {}
-        # (claimant, origin) -> highest persisted claim a *peer* holds.
-        self._observed_persisted: Dict[Tuple[str, str], int] = {}
+        # (node, shard, origin, key) -> highest frontier a monitor reported.
+        self._monitor_high: Dict[Tuple[str, int, str, str], int] = {}
+        # (origin, shard) -> highest sequence it ever sent (fed by harness).
+        self._sent: Dict[Tuple[str, int], int] = {}
+        # (node, shard, origin) -> last sampled ACK-table rows.
+        self._rows: Dict[Tuple[str, int, str], List[List[int]]] = {}
+        # (claimant, shard, origin) -> highest persisted claim a *peer* holds.
+        self._observed_persisted: Dict[Tuple[str, int, str], int] = {}
         self.checks = 0
         self.monitor_events = 0
         self.releases_checked = 0
@@ -82,38 +91,70 @@ class InvariantChecker:
         self.dumped_to = None
 
     # -- wiring ----------------------------------------------------------------
-    def note_sent(self, origin: str, seq: int) -> None:
-        self._sent[origin] = max(self._sent.get(origin, 0), seq)
+    @staticmethod
+    def _units(node) -> List[Tuple[int, object]]:
+        """Decompose ``node`` into its per-shard stacks.
 
-    def attach(self, node: Stabilizer) -> None:
-        """Register monitors on every predicate of ``node``.
+        A :class:`~repro.core.sharding.ShardedStabilizer` yields one
+        ``(shard, inner stabilizer)`` per *owned* shard — unowned shards
+        do not appear, so nothing downstream ever treats their absent
+        cells as evidence.  A plain Stabilizer (or an inner shard view
+        passed directly) is its own single unit.
+        """
+        shards = getattr(node, "shards", None)
+        if shards is not None and isinstance(shards, dict):
+            return list(shards.items())
+        shard = getattr(getattr(node, "config", None), "shard_id", None)
+        return [(0 if shard is None else shard, node)]
+
+    def note_sent(self, origin: str, seq: int, shard: int = 0) -> None:
+        slot = (origin, shard)
+        self._sent[slot] = max(self._sent.get(slot, 0), seq)
+
+    def attach(self, node) -> None:
+        """Register monitors on every predicate of ``node`` (each owned
+        shard of a sharded node).
 
         Call again for the new instance after a restart — the recorded
-        history is keyed by node name and survives the old incarnation.
+        history is keyed by node name (and shard) and survives the old
+        incarnation.
         """
-        for key in node.engine.predicate_keys():
-            node.monitor_stability_frontier(
-                key, self._make_monitor(node.name, key)
-            )
+        for shard, unit in self._units(node):
+            for key in unit.engine.predicate_keys():
+                unit.monitor_stability_frontier(
+                    key, self._make_monitor(node.name, shard, key)
+                )
 
-    def _make_monitor(self, node_name: str, key: str):
+    def _make_monitor(self, node_name: str, shard: int, key: str):
         def observe(origin: str, frontier: int, old: int) -> None:
             self.monitor_events += 1
-            self._check_monitor(node_name, origin, key, frontier)
+            self._check_monitor(node_name, shard, origin, key, frontier)
 
         return observe
 
     def guarded_waitfor(
-        self, node: Stabilizer, seq: int, key: str, timeout_s: float
+        self,
+        node,
+        seq: int,
+        key: str,
+        timeout_s: float,
+        shard: Optional[int] = None,
     ):
-        """A ``waitfor`` whose release is verified against the table."""
-        event = node.waitfor(seq, key, timeout_s=timeout_s)
+        """A ``waitfor`` whose release is verified against the table.
+
+        For a sharded node, ``shard`` selects the stream (default: its
+        lowest owned shard, matching ``ShardedStabilizer.send``)."""
+        units = dict(self._units(node))
+        if shard is None:
+            shard = min(units)
+        unit = units[shard]
+        event = unit.waitfor(seq, key, timeout_s=timeout_s)
 
         def verify(ev) -> None:
             if not ev.ok:
                 return  # timeout: a liveness matter, not a safety one
             self.releases_checked += 1
-            self._check_release(node, seq, key)
+            self._check_release(unit, seq, key)
 
         event.add_callback(verify)
         return event
@@ -151,26 +192,28 @@ class InvariantChecker:
         return "\n".join(lines)
 
     def _check_monitor(
-        self, node_name: str, origin: str, key: str, frontier: int
+        self, node_name: str, shard: int, origin: str, key: str, frontier: int
     ) -> None:
-        slot = (node_name, origin, key)
+        slot = (node_name, shard, origin, key)
         high = self._monitor_high.get(slot, 0)
         self.checks += 1
         if frontier < high:
             self._fail(
                 f"monitor regression at {node_name}: {key!r} frontier for "
-                f"origin {origin!r} reported {frontier} after {high}"
+                f"origin {origin!r} (shard {shard}) reported {frontier} "
+                f"after {high}"
             )
         self._monitor_high[slot] = frontier
         self.checks += 1
-        sent = self._sent.get(origin)
+        sent = self._sent.get((origin, shard))
         if sent is not None and frontier > sent:
             self._fail(
                 f"phantom stability at {node_name}: {key!r} frontier "
-                f"{frontier} for origin {origin!r} exceeds last sent {sent}"
+                f"{frontier} for origin {origin!r} (shard {shard}) exceeds "
+                f"last sent {sent}"
             )
 
-    def _check_release(self, node: Stabilizer, seq: int, key: str) -> None:
+    def _check_release(self, node, seq: int, key: str) -> None:
         predicate = node.engine.predicate(key)
         value = predicate.evaluate(node.tables[node.name].table)
         self.checks += 1
@@ -182,51 +225,75 @@ class InvariantChecker:
 
     def check_tables(self, nodes) -> None:
         """Assert no sampled ACK cell regressed since the last sample;
-        sample durability honesty and peer-observed persisted claims."""
+        sample durability honesty and peer-observed persisted claims.
+        Each node contributes only the shards it owns — absent cells of
+        unowned shards are out of scope, never violations."""
         for node in nodes:
-            for origin, table in node.tables.items():
-                current = table.snapshot()
-                slot = (node.name, origin)
-                previous = self._rows.get(slot)
-                if previous is not None:
-                    for row_i, row in enumerate(previous):
-                        for col_i, old_value in enumerate(row):
-                            self.checks += 1
-                            if current[row_i][col_i] < old_value:
-                                self._fail(
-                                    f"ACK regression at {node.name}: origin "
-                                    f"{origin!r} cell ({row_i},{col_i}) went "
-                                    f"{old_value} -> {current[row_i][col_i]}"
-                                )
-                self._rows[slot] = current
-                self._observe_persisted(node, origin, current)
-            self._check_durability_honesty(node)
+            for shard, unit in self._units(node):
+                for origin, table in unit.tables.items():
+                    current = table.snapshot()
+                    slot = (node.name, shard, origin)
+                    previous = self._rows.get(slot)
+                    if previous is not None:
+                        for row_i, row in enumerate(previous):
+                            for col_i, old_value in enumerate(row):
+                                self.checks += 1
+                                if current[row_i][col_i] < old_value:
+                                    self._fail(
+                                        f"ACK regression at {node.name}: "
+                                        f"origin {origin!r} (shard {shard}) "
+                                        f"cell ({row_i},{col_i}) went "
+                                        f"{old_value} -> "
+                                        f"{current[row_i][col_i]}"
+                                    )
+                    self._rows[slot] = current
+                    self._observe_persisted(unit, shard, origin, current)
+                self._check_durability_honesty(unit, shard, node.name)
         self.check_reclaim(nodes)
         self.check_windows(nodes)
 
+    @classmethod
+    def _shard_units(cls, nodes) -> Dict[int, List[Tuple[str, object]]]:
+        """Group every node's per-shard stacks by shard: only co-owners
+        of a shard are comparable to each other."""
+        by_shard: Dict[int, List[Tuple[str, object]]] = {}
+        for node in nodes:
+            for shard, unit in cls._units(node):
+                by_shard.setdefault(shard, []).append((node.name, unit))
+        return by_shard
+
     def check_reclaim(self, nodes) -> None:
         """Invariant 8: no live node has reclaimed send-buffer space for a
-        sequence some other live node has not received."""
-        live = [n for n in nodes if hasattr(n, "dataplane")]
-        for node in live:
-            reclaimed = node.dataplane.buffer.reclaimed_up_to
-            if reclaimed == 0:
-                continue
-            for peer in live:
-                if peer is node:
+        sequence some other live *co-owner of the same shard* has not
+        received.  Non-owners never receive the stream and are out of
+        scope."""
+        for shard, members in self._shard_units(nodes).items():
+            live = [
+                (name, unit)
+                for name, unit in members
+                if hasattr(unit, "dataplane")
+            ]
+            for name, unit in live:
+                reclaimed = unit.dataplane.buffer.reclaimed_up_to
+                if reclaimed == 0:
                     continue
-                self.checks += 1
-                got = peer.dataplane.highest_received(node.name)
-                if reclaimed > got:
-                    self._fail(
-                        f"premature reclaim at {node.name}: buffer reclaimed "
-                        f"up to {reclaimed} but {peer.name} has received only "
-                        f"{got} of {node.name}'s stream"
-                    )
+                for peer_name, peer in live:
+                    if peer is unit:
+                        continue
+                    self.checks += 1
+                    got = peer.dataplane.highest_received(name)
+                    if reclaimed > got:
+                        self._fail(
+                            f"premature reclaim at {name}: shard {shard} "
+                            f"buffer reclaimed up to {reclaimed} but "
+                            f"{peer_name} has received only {got} of "
+                            f"{name}'s stream"
+                        )
 
     def check_windows(self, nodes) -> None:
         """Invariant 9: window credit accounting never leaks."""
-        for node in nodes:
+        units = [unit for node in nodes for _shard, unit in self._units(node)]
+        for node in units:
             if not hasattr(node, "endpoint"):
                 continue
             for channel in node.endpoint.channels().values():
@@ -272,7 +339,7 @@ class InvariantChecker:
                             f"but holds {tail}B"
                         )
 
-    def _observe_persisted(self, node, origin: str, rows) -> None:
+    def _observe_persisted(self, node, shard: int, origin: str, rows) -> None:
         """Record every *other* node's persisted claim as held at
         ``node`` — once a claim reaches a peer it can never be unsaid,
         and :meth:`check_restart` holds the claimant's recovered WAL to
@@ -284,15 +351,18 @@ class InvariantChecker:
             claimant = node.config.node_names[row_i]
             if claimant == node.name:
                 continue  # own column: locally derived, not an observation
-            slot = (claimant, origin)
+            slot = (claimant, shard, origin)
             if row[persisted] > self._observed_persisted.get(slot, 0):
                 self._observed_persisted[slot] = row[persisted]
 
-    def _check_durability_honesty(self, node) -> None:
+    def _check_durability_honesty(
+        self, node, shard: int = 0, node_name: Optional[str] = None
+    ) -> None:
         """Invariant 6: a node's own persisted cell never exceeds what
         its WAL has actually fsynced."""
         if getattr(node, "durability", None) is None:
             return
+        node_name = node_name or node.name
         persisted = node.type_id("persisted")
         for origin, table in node.tables.items():
             self.checks += 1
@@ -300,29 +370,33 @@ class InvariantChecker:
             fsynced = node.durability.watermark(origin)
             if claimed > fsynced:
                 self._fail(
-                    f"durability lie at {node.name}: persisted cell for "
-                    f"origin {origin!r} claims {claimed} but the WAL has "
-                    f"fsynced only {fsynced}"
+                    f"durability lie at {node_name}: persisted cell for "
+                    f"origin {origin!r} (shard {shard}) claims {claimed} "
+                    f"but the WAL has fsynced only {fsynced}"
                 )
 
     def check_restart(self, node) -> None:
         """Invariants 6 + 7 across a crash-restart: the recovered WAL
         backs the node's restored claims *and* every claim a peer ever
-        observed from its previous incarnations."""
+        observed from its previous incarnations — per owned shard."""
         self.restarts_checked += 1
-        self._check_durability_honesty(node)
-        if getattr(node, "durability", None) is None:
-            return
-        for origin in node.config.node_names:
-            self.checks += 1
-            observed = self._observed_persisted.get((node.name, origin), 0)
-            recovered = node.durability.watermark(origin)
-            if recovered < observed:
-                self._fail(
-                    f"acked-persisted loss at {node.name}: a peer observed "
-                    f"persisted={observed} for origin {origin!r} but the "
-                    f"recovered WAL proves only {recovered}"
+        for shard, unit in self._units(node):
+            self._check_durability_honesty(unit, shard, node.name)
+            if getattr(unit, "durability", None) is None:
+                continue
+            for origin in unit.config.node_names:
+                self.checks += 1
+                observed = self._observed_persisted.get(
+                    (node.name, shard, origin), 0
                 )
+                recovered = unit.durability.watermark(origin)
+                if recovered < observed:
+                    self._fail(
+                        f"acked-persisted loss at {node.name}: a peer "
+                        f"observed persisted={observed} for origin "
+                        f"{origin!r} (shard {shard}) but the recovered WAL "
+                        f"proves only {recovered}"
+                    )
 
     def forget_node(self, name: str) -> None:
         """Drop table samples for a crashing node.
@@ -337,25 +411,30 @@ class InvariantChecker:
             del self._rows[slot]
 
     def check_delivery(self, nodes) -> None:
-        """At quiescence: everything ever sent is received everywhere."""
-        for node in nodes:
-            for origin, sent in self._sent.items():
-                if origin == node.name:
+        """At quiescence: everything ever sent reached every *owner of
+        that shard*.  Non-owners never replicate the stream; expecting
+        delivery there would be a false positive under partial
+        replication."""
+        by_shard = self._shard_units(nodes)
+        for (origin, shard), sent in self._sent.items():
+            for name, unit in by_shard.get(shard, ()):
+                if origin == name:
                     continue
                 self.checks += 1
-                got = node.dataplane.highest_received(origin)
+                got = unit.dataplane.highest_received(origin)
                 if got < sent:
                     self._fail(
-                        f"lost messages: {node.name} has {got} of origin "
-                        f"{origin!r}'s stream, {sent} were sent"
+                        f"lost messages: {name} has {got} of origin "
+                        f"{origin!r}'s shard-{shard} stream, {sent} were sent"
                     )
 
     def all_delivered(self, nodes) -> bool:
         """Non-asserting convergence probe used by the settle loop."""
-        for node in nodes:
-            for origin, sent in self._sent.items():
-                if origin != node.name and (
-                    node.dataplane.highest_received(origin) < sent
+        by_shard = self._shard_units(nodes)
+        for (origin, shard), sent in self._sent.items():
+            for name, unit in by_shard.get(shard, ()):
+                if origin != name and (
+                    unit.dataplane.highest_received(origin) < sent
                 ):
                     return False
         return True

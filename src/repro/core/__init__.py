@@ -13,12 +13,17 @@ from repro.core.dataplane import DataPlane, SendBuffer
 from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
 from repro.core.durability import DurabilityManager
 from repro.core.frontier import FrontierEngine
-from repro.core.membership import FailureDetector
+from repro.core.membership import FailureDetector, ShardMap
 from repro.core.recovery import (
     load_snapshot,
     restore_state,
     save_snapshot,
     snapshot_state,
+)
+from repro.core.sharding import (
+    ShardedCluster,
+    ShardedStabilizer,
+    build_sharded_cluster,
 )
 from repro.core.stabilizer import Stabilizer
 
@@ -32,10 +37,14 @@ __all__ = [
     "MaskSuspectedPolicy",
     "FrontierEngine",
     "SendBuffer",
+    "ShardMap",
+    "ShardedCluster",
+    "ShardedStabilizer",
     "Stabilizer",
     "StabilizerCluster",
     "StabilizerConfig",
     "build_cluster",
+    "build_sharded_cluster",
     "load_snapshot",
     "restore_state",
     "save_snapshot",

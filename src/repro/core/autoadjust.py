@@ -53,13 +53,22 @@ class PredicateAutoAdjuster:
         """Exclude ``peer`` from every unprotected dependent predicate.
 
         Public so degradation policies (``repro.core.degradation``) can
-        drive the rewrite without attaching detector callbacks."""
+        drive the rewrite without attaching detector callbacks.  A peer
+        outside this stabilizer's node list is out of scope — under
+        partial replication a shard view only contains the shard's owner
+        set, and suspicion of a non-owner is not evidence about this
+        shard — so the call is a no-op rather than a config error."""
+        if peer not in self.stabilizer.config.node_names:
+            return
         self._masked.add(peer)
         self._rewrite_all()
 
     def unmask_node(self, peer: str) -> None:
         """Re-include ``peer``; restores pristine predicate definitions
-        once no node remains masked."""
+        once no node remains masked.  Out-of-scope peers are a no-op,
+        mirroring :meth:`mask_node`."""
+        if peer not in self.stabilizer.config.node_names:
+            return
         self._masked.discard(peer)
         self._rewrite_all()
 
@@ -132,6 +141,8 @@ class PredicateAutoAdjuster:
         subtraction = "".join(f" - $WNODE_{name}" for name in names)
         out = out.replace("$ALLWNODES", f"($ALLWNODES{subtraction})")
         out = out.replace("$MYAZWNODES", f"($MYAZWNODES{subtraction})")
+        out = out.replace("$SHARDWNODES", f"($SHARDWNODES{subtraction})")
+        out = out.replace("$SHARDNODES", f"($SHARDNODES{subtraction})")
         return out
 
     # ------------------------------------------------------------------ inspection

@@ -95,6 +95,21 @@ class StabilizerConfig:
     durability_dir:
         Directory (inside the node's filesystem namespace) holding the
         WAL segments and manifest.
+    shard_count / shard_replication / shard_owners:
+        Key-space partitioning (ROADMAP item 1).  Keys hash into
+        ``shard_count`` shards; each shard is owned by
+        ``shard_replication`` rendezvous-chosen nodes (``None`` = every
+        node owns every shard), or by the explicit ``shard_owners``
+        mapping (``{shard_id: [names]}``).  A node allocates ACK tables,
+        frontier engines, and predicate registries only for the shards it
+        owns — see :class:`~repro.core.sharding.ShardedStabilizer`.  The
+        default (1 shard, full replication) is the classic unsharded
+        deployment.
+    shard_id:
+        Set only on *shard-view* configs produced by :meth:`shard_view`:
+        marks this config as the single-shard slice a per-shard inner
+        stabilizer runs on.  Shard views get their own transport port
+        (:meth:`transport_port`) and a shard-scoped DSL context.
     """
 
     def __init__(
@@ -122,6 +137,10 @@ class StabilizerConfig:
         durability_group_commit_batch: int = 32,
         durability_segment_bytes: int = 64 * 1024,
         durability_dir: str = "wal",
+        shard_count: int = 1,
+        shard_replication: Optional[int] = None,
+        shard_owners: Optional[Dict] = None,
+        shard_id: Optional[int] = None,
     ):
         if local not in node_names:
             raise ConfigError(f"local node {local!r} not in node list")
@@ -160,6 +179,16 @@ class StabilizerConfig:
                 raise ConfigError(f"ack type {name!r} is built in")
         if len(set(ack_types)) != len(ack_types):
             raise ConfigError("duplicate ack types")
+        if shard_count <= 0:
+            raise ConfigError("shard_count must be positive")
+        if shard_replication is not None and not 1 <= shard_replication <= len(
+            node_names
+        ):
+            raise ConfigError(
+                f"shard_replication {shard_replication} outside 1..{len(node_names)}"
+            )
+        if shard_id is not None and shard_id < 0:
+            raise ConfigError("shard_id must be non-negative")
 
         self.node_names = list(node_names)
         self.groups = {g: list(m) for g, m in groups.items()}
@@ -184,6 +213,17 @@ class StabilizerConfig:
         self.durability_group_commit_batch = durability_group_commit_batch
         self.durability_segment_bytes = durability_segment_bytes
         self.durability_dir = durability_dir
+        self.shard_count = shard_count
+        self.shard_replication = shard_replication
+        self.shard_owners = (
+            {int(k): list(v) for k, v in shard_owners.items()}
+            if shard_owners is not None
+            else None
+        )
+        self.shard_id = shard_id
+        self._shard_map = None
+        if self.shard_owners is not None:
+            self.shard_map()  # validate the explicit assignment eagerly
 
     # -- derived views ----------------------------------------------------------
     @property
@@ -210,10 +250,83 @@ class StabilizerConfig:
         return {name: i for i, name in enumerate(self.type_names())}
 
     def dsl_context(self) -> DslContext:
-        """The context predicates are expanded against at this node."""
+        """The context predicates are expanded against at this node.
+
+        Shard scope: on a shard view (``shard_id`` set) — or in the
+        degenerate single-shard deployment — every node in the config
+        *is* a shard owner, so ``$SHARDNODES``/``$SHARDWNODES`` resolve
+        to all of them.  On a multi-shard global config there is no
+        single shard to scope to, and the macros are rejected at compile
+        time instead of silently meaning "all nodes".
+        """
+        if self.shard_id is not None or self.shard_count == 1:
+            shard_nodes = tuple(range(len(self.node_names)))
+        else:
+            shard_nodes = None
         return DslContext(
-            self.node_names, self.groups, self.local, types=self.type_ids()
+            self.node_names,
+            self.groups,
+            self.local,
+            types=self.type_ids(),
+            shard_nodes=shard_nodes,
         )
+
+    # -- sharding ---------------------------------------------------------------
+    def shard_map(self):
+        """The deployment's :class:`~repro.core.membership.ShardMap`
+        (cached; rebuilt only via :meth:`replace`)."""
+        if self._shard_map is None:
+            from repro.core.membership import ShardMap
+
+            self._shard_map = ShardMap(
+                self.node_names,
+                shard_count=self.shard_count,
+                replication=self.shard_replication,
+                owners=self.shard_owners,
+            )
+        return self._shard_map
+
+    def shard_view(self, shard: int) -> "StabilizerConfig":
+        """The single-shard config slice an inner per-shard stabilizer
+        runs on: ``node_names`` shrinks to the shard's owner set (in
+        deployment order, so ACK-table rows stay aligned across owners),
+        groups are restricted to owners, and the view gets its own
+        transport port and durability directory.  The local node must
+        own the shard.
+        """
+        owners = self.shard_map().owners(shard)
+        if self.local not in owners:
+            raise ConfigError(
+                f"node {self.local!r} does not own shard {shard} "
+                f"(owners: {', '.join(owners)})"
+            )
+        groups = {}
+        for group, members in self.groups.items():
+            kept = [m for m in members if m in owners]
+            if kept:
+                groups[group] = kept
+        return StabilizerConfig(
+            **{
+                **self.to_dict(),
+                "node_names": list(owners),
+                "groups": groups,
+                "shard_count": 1,
+                "shard_replication": None,
+                "shard_owners": None,
+                "shard_id": shard,
+                "durability_dir": f"{self.durability_dir}/s{shard}",
+            }
+        )
+
+    def transport_port(self) -> str:
+        """The network port this node's endpoint binds: the classic
+        ``"transport"`` port, or a per-shard port on shard views so the
+        per-shard stacks coexist on one host."""
+        from repro.transport.endpoint import TRANSPORT_PORT
+
+        if self.shard_id is None:
+            return TRANSPORT_PORT
+        return f"{TRANSPORT_PORT}.s{self.shard_id}"
 
     def for_node(self, local: str) -> "StabilizerConfig":
         """The same deployment config, viewed from another node."""
@@ -241,6 +354,10 @@ class StabilizerConfig:
             durability_group_commit_batch=self.durability_group_commit_batch,
             durability_segment_bytes=self.durability_segment_bytes,
             durability_dir=self.durability_dir,
+            shard_count=self.shard_count,
+            shard_replication=self.shard_replication,
+            shard_owners=self.shard_owners,
+            shard_id=self.shard_id,
         )
 
     def replace(self, **changes) -> "StabilizerConfig":
@@ -321,6 +438,14 @@ class StabilizerConfig:
             "durability_group_commit_batch": self.durability_group_commit_batch,
             "durability_segment_bytes": self.durability_segment_bytes,
             "durability_dir": self.durability_dir,
+            "shard_count": self.shard_count,
+            "shard_replication": self.shard_replication,
+            "shard_owners": (
+                {str(k): list(v) for k, v in self.shard_owners.items()}
+                if self.shard_owners is not None
+                else None
+            ),
+            "shard_id": self.shard_id,
         }
 
     @classmethod

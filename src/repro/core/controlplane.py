@@ -76,6 +76,9 @@ class ControlPlane:
         self.frames_received = 0
         self.reports_sent = 0
         self.reports_coalesced = 0
+        # Total control-frame wire bytes offered to the transport — the
+        # fan-out cost a shard's owner-set routing is meant to cut.
+        self.bytes_sent = 0
         # Liveness heartbeats: an otherwise-idle node must still prove it
         # is alive, or the failure detector would suspect every quiet peer.
         self._heartbeat_interval = config.failure_timeout_s / 3.0
@@ -152,10 +155,12 @@ class ControlPlane:
             else:
                 outgoing = ControlBatch(self.local_index, frames)
                 self.reports_coalesced += len(frames)
+            wire_size = outgoing.wire_size()
             self._out_channels[peer].send(
-                SyntheticPayload(outgoing.wire_size()), meta=outgoing
+                SyntheticPayload(wire_size), meta=outgoing
             )
             self.frames_sent += 1
+            self.bytes_sent += wire_size
             self.reports_sent += len(frames)
             self._last_sent_to_any = self.sim.now
             if tracing:
@@ -191,6 +196,7 @@ class ControlPlane:
             for channel in self._out_channels.values():
                 channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
                 self.frames_sent += 1
+                self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
         self._heartbeat_timer = self.sim.call_later(
             self._heartbeat_interval, self._heartbeat_tick
@@ -214,6 +220,7 @@ class ControlPlane:
         for channel in self._out_channels.values():
             channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
             self.frames_sent += 1
+            self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
 
     def resync_to(self, peer: str) -> None:
@@ -240,6 +247,7 @@ class ControlPlane:
             )
             channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
             self.frames_sent += 1
+            self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
 
     # -- incoming reports --------------------------------------------------------------

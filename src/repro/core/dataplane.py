@@ -212,6 +212,10 @@ class DataPlane:
         self.messages_received = 0
         self.duplicates_dropped = 0
         self.replayed_chunks = 0
+        # Payload bytes offered to the transport, counted once per remote
+        # peer a chunk is streamed to — the replication-fan-out cost that
+        # shrinks with owner-set routing under partial replication.
+        self.payload_bytes_sent = 0
         # Pipelining counters (per-frame view of the same traffic).
         self.frames_sent = 0
         self.frame_messages = 0
@@ -293,6 +297,7 @@ class DataPlane:
                 for channel in self._out_channels.values():
                     channel.send(chunk.payload, meta=chunk_meta)
             self.messages_sent += 1
+            self.payload_bytes_sent += size * len(self._out_channels)
             if self.on_sent is not None:
                 self.on_sent(seq, chunk.payload)
         if coalescing:
@@ -507,6 +512,7 @@ class DataPlane:
         for entry in self.buffer.entries_above(from_seq):
             channel.send(entry.payload, meta=entry.chunk_meta)
             count += 1
+            self.payload_bytes_sent += entry.size
         self.replayed_chunks += count
         if self.tracer.enabled:
             self.tracer.emit(

@@ -1,4 +1,17 @@
-"""Failure detection for Section III-E.
+"""Membership: shard ownership and failure detection.
+
+Two concerns live here, both answering "which nodes are responsible for
+what":
+
+- :class:`ShardMap` — the consistent key→shard→owner-set assignment that
+  partial replication (ROADMAP item 1, after Xiang & Vaidya's *Global
+  Stabilization for Causally Consistent Partial Replication*) is built
+  on.  Keys hash to shards; each shard is owned by a rendezvous-chosen
+  subset of the WAN nodes; a node replicates and stabilizes only the
+  shards it owns.
+- :class:`FailureDetector` — Section III-E's peer liveness tracking.
+
+Failure detection for Section III-E.
 
 "The crashed secondary node can be observed by a predicate update timer or
 the data transmission failure information.  The primary can adjust the
@@ -15,12 +28,173 @@ usually much faster than waiting out the heartbeat silence.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import StabilizerConfig
+from repro.errors import ConfigError
 from repro.sim.kernel import Simulator
 
 SuspectFn = Callable[[str], None]
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent hash (``hash()`` is salted per interpreter).
+
+    CRC32 is plenty: shard routing needs stability and spread, not
+    cryptographic strength."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class ShardMap:
+    """Consistent key→shard assignment with per-shard owner sets.
+
+    - ``shard_of(key)`` depends only on ``shard_count`` — re-deploying
+      with different membership never re-routes a key to another shard.
+    - Owner sets come from rendezvous (highest-random-weight) hashing:
+      for shard *s* every node is scored by a stable hash of ``(s,
+      node)`` and the top ``replication`` nodes own the shard.  Removing
+      a node therefore only re-assigns the shards it owned; every other
+      owner set is untouched (the key-routing-stability property the
+      tests pin down).
+    - ``owners(shard)`` is returned in *deployment order* (the order of
+      ``node_names``), which fixes per-shard ACK-table row indices.
+    - ``primary(shard)`` is the top-scored owner — the routing target
+      for writes originating at non-owners.
+
+    ``replication=None`` (the default) means every node owns every shard
+    — full replication, the degenerate configuration that must behave
+    exactly like the unsharded engine.  An explicit ``owners`` mapping
+    (``{shard_id: [names]}``) overrides rendezvous assignment entirely.
+    """
+
+    def __init__(
+        self,
+        node_names: Sequence[str],
+        shard_count: int = 1,
+        replication: Optional[int] = None,
+        owners: Optional[Dict[int, Sequence[str]]] = None,
+    ):
+        if not node_names:
+            raise ConfigError("ShardMap needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ConfigError("duplicate node names")
+        if shard_count <= 0:
+            raise ConfigError("shard_count must be positive")
+        if replication is not None and not 1 <= replication <= len(node_names):
+            raise ConfigError(
+                f"shard replication {replication} outside 1..{len(node_names)}"
+            )
+        self.node_names = list(node_names)
+        self.shard_count = shard_count
+        self.replication = replication
+        self._order = {name: i for i, name in enumerate(self.node_names)}
+        self._owners: Dict[int, Tuple[str, ...]] = {}
+        self._primaries: Dict[int, str] = {}
+        if owners is not None:
+            self._load_explicit(owners)
+        else:
+            for shard in range(shard_count):
+                ranked = self._ranked(shard)
+                chosen = ranked if replication is None else ranked[:replication]
+                self._primaries[shard] = chosen[0]
+                self._owners[shard] = tuple(
+                    sorted(chosen, key=self._order.__getitem__)
+                )
+
+    def _ranked(self, shard: int) -> List[str]:
+        """Nodes by descending rendezvous score for ``shard`` (ties break
+        on deployment order, so the ranking is total and deterministic)."""
+        return sorted(
+            self.node_names,
+            key=lambda name: (-_stable_hash(f"shard:{shard}/{name}"),
+                              self._order[name]),
+        )
+
+    def _load_explicit(self, owners: Dict[int, Sequence[str]]) -> None:
+        for shard in range(self.shard_count):
+            members = owners.get(shard, owners.get(str(shard)))
+            if not members:
+                raise ConfigError(f"shard {shard} has no owners")
+            for name in members:
+                if name not in self._order:
+                    raise ConfigError(
+                        f"shard {shard} owner {name!r} is not a node"
+                    )
+            if len(set(members)) != len(members):
+                raise ConfigError(f"shard {shard} lists duplicate owners")
+            self._primaries[shard] = list(members)[0]
+            self._owners[shard] = tuple(
+                sorted(members, key=self._order.__getitem__)
+            )
+
+    # -- key routing -------------------------------------------------------------
+    def shard_of(self, key) -> int:
+        """The shard ``key`` lives on.  Stable across membership changes
+        (it reads nothing but ``shard_count``)."""
+        return _stable_hash(str(key)) % self.shard_count
+
+    def owner_for_key(self, key) -> str:
+        """The primary owner to route a write on ``key`` to."""
+        return self._primaries[self.shard_of(key)]
+
+    # -- ownership ---------------------------------------------------------------
+    def owners(self, shard: int) -> Tuple[str, ...]:
+        self._check(shard)
+        return self._owners[shard]
+
+    def primary(self, shard: int) -> str:
+        self._check(shard)
+        return self._primaries[shard]
+
+    def is_owner(self, name: str, shard: int) -> bool:
+        return name in self.owners(shard)
+
+    def owned_shards(self, name: str) -> Tuple[int, ...]:
+        """Every shard ``name`` owns, ascending."""
+        if name not in self._order:
+            raise ConfigError(f"unknown node {name!r}")
+        return tuple(
+            shard
+            for shard in range(self.shard_count)
+            if name in self._owners[shard]
+        )
+
+    def owners_per_shard(self) -> int:
+        """The (maximum) owner-set size — run metadata for benchmarks."""
+        return max(len(members) for members in self._owners.values())
+
+    def _check(self, shard: int) -> None:
+        if not 0 <= shard < self.shard_count:
+            raise ConfigError(
+                f"shard {shard} out of range 0..{self.shard_count - 1}"
+            )
+
+    # -- (de)serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "node_names": list(self.node_names),
+            "shard_count": self.shard_count,
+            "replication": self.replication,
+            "owners": {
+                str(shard): list(members)
+                for shard, members in self._owners.items()
+            },
+        }
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and other.node_names == self.node_names
+            and other.shard_count == self.shard_count
+            and other._owners == self._owners
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardMap {self.shard_count} shards x "
+            f"{len(self.node_names)} nodes, replication={self.replication}>"
+        )
 
 
 class FailureDetector:

@@ -14,6 +14,11 @@ Version 2 added the send buffer and receive watermarks; version 3 added
 the durability section (the WAL watermarks the snapshot was compacted
 against) and made :func:`save_snapshot` crash-atomic.  Older snapshots
 still restore (version 1 without buffer replay of the node's own stream).
+Version 4 is the sharded envelope: a
+:class:`~repro.core.sharding.ShardedStabilizer` snapshots as one inner
+version-3 snapshot per owned shard (each carrying that shard's
+watermarks, tables, and buffer tail) plus the shard layout, and refuses
+to restore into a node whose owned-shard set differs.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.storage.faultio import OS_FS
 from repro.transport.messages import SyntheticPayload
 
 SNAPSHOT_VERSION = 3
+SHARDED_SNAPSHOT_VERSION = 4
 _SUPPORTED_VERSIONS = (1, 2, 3)
 
 
@@ -47,8 +53,25 @@ def _decode_payload(data):
     return bytes.fromhex(data["hex"])
 
 
-def snapshot_state(stabilizer: Stabilizer) -> dict:
-    """Capture everything a restarted node needs to resume its role."""
+def snapshot_state(stabilizer) -> dict:
+    """Capture everything a restarted node needs to resume its role.
+
+    Accepts a plain :class:`Stabilizer` (version-3 snapshot) or a
+    :class:`~repro.core.sharding.ShardedStabilizer` (version-4 envelope:
+    one inner snapshot per owned shard plus the shard layout).
+    """
+    from repro.core.sharding import ShardedStabilizer
+
+    if isinstance(stabilizer, ShardedStabilizer):
+        return {
+            "version": SHARDED_SNAPSHOT_VERSION,
+            "config": stabilizer.config.to_dict(),
+            "shard_map": stabilizer.shard_map.to_dict(),
+            "shards": {
+                str(shard): snapshot_state(inner)
+                for shard, inner in stabilizer.shards.items()
+            },
+        }
     buffer = stabilizer.dataplane.buffer
     return {
         "version": SNAPSHOT_VERSION,
@@ -86,8 +109,13 @@ def snapshot_state(stabilizer: Stabilizer) -> dict:
     }
 
 
-def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
+def restore_state(stabilizer, snapshot: dict) -> None:
     """Load ``snapshot`` into a freshly constructed node.
+
+    A version-4 (sharded) snapshot restores into a
+    :class:`~repro.core.sharding.ShardedStabilizer` with the same owned
+    shards: each per-shard inner snapshot restores into the matching
+    shard stack.
 
     The node must have been built with the same deployment config (node
     list and groups); its sequence counter resumes after the last persisted
@@ -98,6 +126,9 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
     send buffer's undelivered tail, ready for
     :meth:`~repro.core.stabilizer.Stabilizer.request_catchup` replay.
     """
+    if snapshot.get("version") == SHARDED_SNAPSHOT_VERSION:
+        _restore_sharded(stabilizer, snapshot)
+        return
     if snapshot.get("version") not in _SUPPORTED_VERSIONS:
         raise StabilizerError(
             f"unsupported snapshot version {snapshot.get('version')!r}"
@@ -163,6 +194,38 @@ def restore_state(stabilizer: Stabilizer, snapshot: dict) -> None:
                 payload=_decode_payload(entry["payload"]),
                 chunk_meta=chunk_meta,
             )
+
+
+def _restore_sharded(stabilizer, snapshot: dict) -> None:
+    from repro.core.sharding import ShardedStabilizer
+
+    if not isinstance(stabilizer, ShardedStabilizer):
+        raise StabilizerError(
+            "version-4 snapshots are sharded; restore into a "
+            "ShardedStabilizer built from the same deployment config"
+        )
+    config = snapshot["config"]
+    if config["node_names"] != stabilizer.config.node_names:
+        raise StabilizerError("snapshot is for a different deployment")
+    if config["local"] != stabilizer.config.local:
+        raise StabilizerError(
+            f"snapshot belongs to node {config['local']!r}, "
+            f"not {stabilizer.config.local!r}"
+        )
+    if snapshot["shard_map"] != stabilizer.shard_map.to_dict():
+        raise StabilizerError(
+            "snapshot's shard layout differs from this deployment's — "
+            "per-shard watermarks cannot be mapped across layouts"
+        )
+    snapshotted = {int(shard) for shard in snapshot["shards"]}
+    owned = set(stabilizer.shards)
+    if snapshotted != owned:
+        raise StabilizerError(
+            f"snapshot covers shards {sorted(snapshotted)} but node "
+            f"{stabilizer.name!r} owns {sorted(owned)}"
+        )
+    for shard, inner_snapshot in snapshot["shards"].items():
+        restore_state(stabilizer.shards[int(shard)], inner_snapshot)
 
 
 def save_snapshot(

@@ -1,0 +1,402 @@
+"""Partial replication: one Stabilizer stack per owned shard.
+
+ROADMAP item 1, after Xiang & Vaidya's *Global Stabilization for Causally
+Consistent Partial Replication*: the key space hashes into shards, each
+shard is owned by a subset of the WAN nodes, and a node allocates ACK
+tables, frontier engines, predicate registries, and send buffers only for
+the shards it owns.  Both planes route to the shard's owner set instead
+of every node, cutting control fan-out from ``O(nodes)`` to
+``O(owners)`` and per-node memory from ``O(total keys)`` to ``O(owned
+shards)``.
+
+The composition is deliberate: a :class:`ShardedStabilizer` runs one full
+:class:`~repro.core.stabilizer.Stabilizer` per *owned* shard, built from
+the shard-view config (:meth:`~repro.core.config.StabilizerConfig.shard_view`)
+whose node list *is* the shard's owner set, on a per-shard transport
+port.  Owner-set routing, per-shard sequence spaces, per-shard ACK
+tables, and per-shard predicate scopes all fall out structurally — and
+the degenerate configuration (every node owns every shard) is
+*identical* to the unsharded engine, which the equivalence tests pin
+down seed-for-seed.
+
+Predicates registered on a sharded node compile against each shard
+view's context, where ``$ALLWNODES`` and ``$SHARDWNODES`` both mean the
+owner set.  Use the ``$SHARDWNODES`` spelling
+(:func:`repro.dsl.stdlib.shard_standard_predicates`) to make the scoping
+explicit; ``$WNODE_<name>`` references to non-owners fail at compile
+time rather than waiting forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import StabilizerConfig
+from repro.core.stabilizer import Stabilizer
+from repro.errors import StabilizerError
+from repro.net.topology import Network
+from repro.sim.events import Event
+from repro.transport.messages import Payload
+
+# fn(origin, seq, payload, meta, shard)
+ShardDeliveryFn = Callable[[str, int, Payload, object, int], None]
+
+
+class ShardedStabilizer:
+    """One node of a partially replicated deployment; see module docstring.
+
+    ``config`` is the *global* deployment config carrying ``shard_count``
+    and ``shard_replication`` (or an explicit ``shard_owners`` mapping).
+    Every key-taking call (``send``, ``waitfor``, ...) resolves its shard
+    through the deployment's :class:`~repro.core.membership.ShardMap`;
+    operations on shards this node does not own raise
+    :class:`~repro.errors.StabilizerError` naming the owners to route to.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        config: StabilizerConfig,
+        fs=None,
+        tracer=None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.config = config
+        self.name = config.local
+        self.tracer = tracer
+        self.shard_map = config.shard_map()
+        self.owned_shards: Tuple[int, ...] = self.shard_map.owned_shards(
+            config.local
+        )
+        self.shards: Dict[int, Stabilizer] = {}
+        self._delivery_handlers: List[ShardDeliveryFn] = []
+        shared_fs = fs
+        for shard in self.owned_shards:
+            inner = Stabilizer(
+                net, config.shard_view(shard), fs=shared_fs, tracer=tracer
+            )
+            if shared_fs is None:
+                # The first inner stack may have created the host's
+                # default filesystem; every later shard (and restarts)
+                # must share it — WAL directories are per-shard already.
+                shared_fs = inner.fs
+            inner.on_delivery(self._make_delivery_relay(shard))
+            self.shards[shard] = inner
+        self.fs = shared_fs
+
+    # ------------------------------------------------------------------ routing
+    def shard_of(self, key) -> int:
+        """The shard ``key`` lives on (stable across membership change)."""
+        return self.shard_map.shard_of(key)
+
+    def owner_for_key(self, key) -> str:
+        """The primary owner to route a write on ``key`` to."""
+        return self.shard_map.owner_for_key(key)
+
+    def owns(self, shard: int) -> bool:
+        return shard in self.shards
+
+    def _resolve(self, key, shard: Optional[int]) -> int:
+        if shard is None:
+            if key is None:
+                if not self.owned_shards:
+                    raise StabilizerError(
+                        f"node {self.name!r} owns no shards; route writes "
+                        "to a shard owner (see ShardMap.owner_for_key)"
+                    )
+                return self.owned_shards[0]
+            shard = self.shard_map.shard_of(key)
+        return shard
+
+    def _owned(self, shard: int) -> Stabilizer:
+        inner = self.shards.get(shard)
+        if inner is None:
+            owners = self.shard_map.owners(shard)
+            raise StabilizerError(
+                f"node {self.name!r} does not own shard {shard}; "
+                f"route to an owner ({', '.join(owners)}; primary "
+                f"{self.shard_map.primary(shard)!r})"
+            )
+        return inner
+
+    # ------------------------------------------------------------------ sending
+    def send(
+        self, payload: Payload, meta=None, *, key=None, shard: Optional[int] = None
+    ) -> int:
+        """Originate one message on the resolved shard's stream.
+
+        The shard comes from ``shard`` if given, else from hashing
+        ``key``, else the lowest owned shard.  Returns the sequence
+        number within that shard's stream (sequence spaces are
+        per-shard; pair it with the shard for global identity).
+        """
+        target = self._resolve(key, shard)
+        return self._owned(target).send(payload, meta)
+
+    def last_sent_seq(self, shard: Optional[int] = None) -> int:
+        return self._owned(self._resolve(None, shard)).last_sent_seq()
+
+    # ------------------------------------------------------------------ stability API
+    def waitfor(
+        self,
+        seq: int,
+        predicate_key: Optional[str] = None,
+        origin: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        *,
+        key=None,
+        shard: Optional[int] = None,
+    ) -> Event:
+        """An event that succeeds once ``seq`` of the resolved shard's
+        ``origin`` stream satisfies the predicate."""
+        target = self._resolve(key, shard)
+        return self._owned(target).waitfor(
+            seq, predicate_key, origin=origin, timeout_s=timeout_s
+        )
+
+    def get_stability_frontier(
+        self,
+        predicate_key: Optional[str] = None,
+        origin: Optional[str] = None,
+        *,
+        key=None,
+        shard: Optional[int] = None,
+    ) -> int:
+        target = self._resolve(key, shard)
+        return self._owned(target).get_stability_frontier(predicate_key, origin)
+
+    def register_predicate(self, key: str, source: str) -> None:
+        """Register ``source`` under ``key`` on every owned shard (each
+        compiles it against its own owner-set context)."""
+        for inner in self.shards.values():
+            inner.register_predicate(key, source)
+
+    def change_predicate(self, key: str, source: Optional[str] = None) -> None:
+        for inner in self.shards.values():
+            inner.change_predicate(key, source)
+
+    def monitor_stability_frontier(self, predicate_key: str, fn) -> None:
+        """Register ``fn(origin, frontier, old_frontier, shard)`` on
+        frontier advances of ``predicate_key`` on any owned shard."""
+        for shard, inner in self.shards.items():
+            inner.monitor_stability_frontier(
+                predicate_key,
+                lambda origin, frontier, old, shard=shard: fn(
+                    origin, frontier, old, shard
+                ),
+            )
+
+    def register_stability_type(self, type_name: str) -> int:
+        """Add an application-defined stability level on every owned
+        shard; the column index is identical across shards."""
+        type_ids = {
+            inner.register_stability_type(type_name)
+            for inner in self.shards.values()
+        }
+        if len(type_ids) > 1:  # pragma: no cover - defensive
+            raise StabilizerError(
+                f"stability type {type_name!r} landed on different columns "
+                f"across shards: {sorted(type_ids)}"
+            )
+        return type_ids.pop() if type_ids else -1
+
+    def report_stability(
+        self,
+        type_name: str,
+        seq: int,
+        origin: Optional[str] = None,
+        *,
+        key=None,
+        shard: Optional[int] = None,
+    ) -> None:
+        target = self._resolve(key, shard)
+        self._owned(target).report_stability(type_name, seq, origin)
+
+    # ------------------------------------------------------------------ delivery
+    def on_delivery(self, fn: ShardDeliveryFn) -> None:
+        """Subscribe to remote messages on every owned shard:
+        ``fn(origin, seq, payload, meta, shard)``."""
+        self._delivery_handlers.append(fn)
+
+    def _make_delivery_relay(self, shard: int):
+        def relay(origin, seq, payload, meta):
+            for handler in self._delivery_handlers:
+                handler(origin, seq, payload, meta, shard)
+
+        return relay
+
+    # ------------------------------------------------------------------ membership
+    def suspected_nodes(self):
+        """Union of every shard detector's suspicions."""
+        suspected = set()
+        for inner in self.shards.values():
+            suspected |= inner.suspected_nodes()
+        return suspected
+
+    def set_degradation_policy(self, policy_factory=None, protect=frozenset()):
+        """Install a degradation policy on every owned shard.
+
+        Policies bind to one Stabilizer, so each shard gets its own
+        instance: the stock
+        :class:`~repro.core.degradation.MaskSuspectedPolicy` by default,
+        or one per call to ``policy_factory()``.  Suspicion of a node
+        outside a shard's owner set is out of scope there and adjusts
+        nothing (see ``PredicateAutoAdjuster.mask_node``).  Returns the
+        installed policies keyed by shard.
+        """
+        policies = {}
+        for shard, inner in self.shards.items():
+            policy = policy_factory() if policy_factory is not None else None
+            policies[shard] = inner.set_degradation_policy(
+                policy, protect=protect
+            )
+        return policies
+
+    def degradation_log(self) -> List[Tuple[float, str, str, int]]:
+        """Every (virtual time, transition, peer, shard) event across the
+        owned shards, oldest first."""
+        merged = [
+            (ts, transition, peer, shard)
+            for shard, inner in self.shards.items()
+            for ts, transition, peer in inner.degradation_log()
+        ]
+        merged.sort(key=lambda entry: entry[0])
+        return merged
+
+    # ------------------------------------------------------------------ recovery
+    def request_catchup(self) -> None:
+        """Ask each owned shard's peers to replay what this node missed."""
+        for inner in self.shards.values():
+            inner.request_catchup()
+
+    # ------------------------------------------------------------------ introspection
+    def shard_stats(self, shard: int) -> Dict[str, float]:
+        return self._owned(shard).stats()
+
+    def ack_table_cells(self) -> int:
+        """Total ACK-table cells allocated at this node — the per-node
+        control-state footprint partial replication bounds by owned
+        shards, not by the key space or the full node count."""
+        return sum(
+            len(inner.tables) * inner.config.node_count() * len(inner.config.type_names())
+            for inner in self.shards.values()
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Counters aggregated across owned shards.
+
+        Sums every numeric counter, except: ``frontier_lag.*`` gauges are
+        kept per shard (``frontier_lag.s<shard>.<origin>.<type>``), and
+        ``trace_events`` takes the max — the shards share one tracer, so
+        each already reports the node-wide total.  Adds
+        ``shards_owned`` / ``shard_count`` / ``ack_table_cells``.
+        """
+        totals: Dict[str, float] = {}
+        for shard, inner in self.shards.items():
+            for stat_key, value in inner.stats().items():
+                if stat_key.startswith("frontier_lag."):
+                    totals[f"frontier_lag.s{shard}.{stat_key[len('frontier_lag.'):]}"] = value
+                elif stat_key == "trace_events":
+                    totals[stat_key] = max(totals.get(stat_key, 0), value)
+                else:
+                    totals[stat_key] = totals.get(stat_key, 0) + value
+        totals["shards_owned"] = len(self.shards)
+        totals["shard_count"] = self.shard_map.shard_count
+        totals["ack_table_cells"] = self.ack_table_cells()
+        return totals
+
+    # ------------------------------------------------------------------ teardown
+    def close(self) -> None:
+        for inner in self.shards.values():
+            inner.close()
+
+    def crash(self) -> None:
+        for inner in self.shards.values():
+            inner.crash()
+
+
+class ShardedCluster:
+    """All :class:`ShardedStabilizer` instances of one deployment.
+
+    The sharded sibling of
+    :class:`~repro.core.cluster.StabilizerCluster`: one per-host
+    filesystem shared by that host's shard stacks (WAL directories are
+    per-shard inside it), one shared tracer across nodes and restarts.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        base_config: StabilizerConfig,
+        fs_factory: Optional[Callable[[str], object]] = None,
+        tracer=None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.base_config = base_config
+        self.shard_map = base_config.shard_map()
+        self.tracer = tracer
+        self.filesystems: Dict[str, object] = {}
+        self.nodes: Dict[str, ShardedStabilizer] = {}
+        for name in base_config.node_names:
+            fs = fs_factory(name) if fs_factory is not None else None
+            node = ShardedStabilizer(
+                net, base_config.for_node(name), fs=fs, tracer=tracer
+            )
+            self.nodes[name] = node
+            self.filesystems[name] = node.fs if fs is None else fs
+
+    def restart_node(
+        self, name: str, snapshot: Optional[dict] = None
+    ) -> ShardedStabilizer:
+        """Crash-restart ``name``: rebuild its shard stacks on the host's
+        surviving filesystem, restore the (version-4) snapshot, and ask
+        each shard's peers to replay what was missed."""
+        from repro.core.recovery import restore_state
+
+        old = self.nodes.get(name)
+        if old is not None:
+            old.close()
+        node = ShardedStabilizer(
+            self.net,
+            self.base_config.for_node(name),
+            fs=self.filesystems.get(name),
+            tracer=self.tracer,
+        )
+        self.nodes[name] = node
+        self.filesystems[name] = node.fs
+        if snapshot is not None:
+            restore_state(node, snapshot)
+        node.request_catchup()
+        return node
+
+    def __getitem__(self, name: str) -> ShardedStabilizer:
+        return self.nodes[name]
+
+    def __iter__(self) -> Iterator[ShardedStabilizer]:
+        return iter(self.nodes.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()
+
+
+def build_sharded_cluster(
+    net: Network,
+    local_predicates: Optional[Dict[str, str]] = None,
+    **config_kwargs,
+) -> ShardedCluster:
+    """Build a sharded cluster over ``net`` with one shared deployment
+    config; pass ``shard_count`` / ``shard_replication`` (or
+    ``shard_owners``) through ``config_kwargs``."""
+    config = StabilizerConfig.from_topology(
+        net.topology,
+        local=net.topology.node_names()[0],
+        predicates=local_predicates,
+        **config_kwargs,
+    )
+    return ShardedCluster(net, config)

@@ -58,7 +58,10 @@ class Stabilizer:
         if tunables:
             # Every tunable lives on StabilizerConfig — the constructor
             # accepts them for one release, loudly.
-            deployment = {"node_names", "groups", "local", "predicates"}
+            deployment = {
+                "node_names", "groups", "local", "predicates",
+                "shard_count", "shard_replication", "shard_owners", "shard_id",
+            }
             allowed = set(config.to_dict()) - deployment
             unknown = sorted(set(tunables) - allowed)
             if unknown:
@@ -81,7 +84,11 @@ class Stabilizer:
         self.config = config
         self.name = config.local
         self.local_index = config.local_index
-        self.endpoint = endpoint or TransportEndpoint(net, config.local)
+        # Shard views bind a per-shard transport port so the per-shard
+        # stacks of a ShardedStabilizer coexist on one host.
+        self.endpoint = endpoint or TransportEndpoint(
+            net, config.local, port=config.transport_port()
+        )
 
         # Observability.  The registry is always on (plain counters and
         # callables); the tracer defaults to the shared disabled singleton
@@ -89,6 +96,9 @@ class Stabilizer:
         # land on the endpoint *before* the planes are built — they cache
         # it from there.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if config.shard_id is not None and self.tracer is not NULL_TRACER:
+            # Shard-tag every event this stack emits.
+            self.tracer = self.tracer.scoped(shard=config.shard_id)
         self.endpoint.tracer = self.tracer
         self.registry = MetricsRegistry()
         self.registry.add_collector(self._collect_stats)
@@ -468,6 +478,8 @@ class Stabilizer:
             "buffer_reclaimed": self.dataplane.buffer.total_reclaimed,
             "control_frames_sent": self.controlplane.frames_sent,
             "control_frames_received": self.controlplane.frames_received,
+            "control_bytes_sent": self.controlplane.bytes_sent,
+            "dataplane.payload_bytes_sent": self.dataplane.payload_bytes_sent,
             "predicate_evaluations": self.engine.evaluations,
             "evaluations_skipped_by_index": self.engine.skipped_by_index,
             "evaluations_skipped_by_shortcircuit": (

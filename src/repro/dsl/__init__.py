@@ -45,7 +45,7 @@ from repro.dsl.interpreter import evaluate_ir
 from repro.dsl.lexer import Token, tokenize
 from repro.dsl.parser import parse
 from repro.dsl.semantics import DslContext, expand
-from repro.dsl.stdlib import standard_predicates
+from repro.dsl.stdlib import shard_standard_predicates, standard_predicates
 
 __all__ = [
     "Arith",
@@ -67,6 +67,7 @@ __all__ = [
     "format_ir",
     "parse",
     "predicates_equivalent",
+    "shard_standard_predicates",
     "standard_predicates",
     "tokenize",
 ]

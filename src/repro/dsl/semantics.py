@@ -38,6 +38,7 @@ DEFAULT_TYPE = "received"
 MACRO_ALL = "ALLWNODES"
 MACRO_MY_AZ = "MYAZWNODES"
 MACRO_MY = ("MYWNODE", "MYWNODES")  # the paper uses both spellings
+MACRO_SHARD = ("SHARDNODES", "SHARDWNODES")  # both spellings, like $MYWNODE(S)
 VAR_WNODE = "WNODE_"
 VAR_AZ = "AZ_"
 
@@ -55,6 +56,10 @@ class DslContext:
     ``local`` is the node evaluating the predicate (for ``$MY...`` macros).
     ``types`` maps ACK type names to their column in the table;
     ``received`` and ``persisted`` are always present.
+    ``shard_nodes`` is the shard scope ``$SHARDWNODES`` resolves to — the
+    owner set of the shard the predicate is evaluated on, as node
+    indices.  ``None`` means the context has no shard scope (a
+    multi-shard global config) and the macro is a compile-time error.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class DslContext:
         groups: Dict[str, Sequence[str]],
         local: str,
         types: Optional[Dict[str, int]] = None,
+        shard_nodes: Optional[Sequence[int]] = None,
     ):
         if local not in node_names:
             raise DslSemanticError(f"local node {local!r} not in node list")
@@ -89,10 +95,29 @@ class DslContext:
         if types:
             for name, type_id in types.items():
                 self.types[name] = type_id
+        if shard_nodes is not None:
+            for index in shard_nodes:
+                if not 0 <= index < len(self.node_names):
+                    raise DslSemanticError(
+                        f"shard scope index {index} out of range "
+                        f"0..{len(self.node_names) - 1}"
+                    )
+            self.shard_nodes: Optional[Tuple[int, ...]] = tuple(shard_nodes)
+        else:
+            self.shard_nodes = None
 
     # -- lookups ------------------------------------------------------------
     def all_nodes(self) -> Tuple[int, ...]:
         return tuple(range(len(self.node_names)))
+
+    def shard_scope(self) -> Tuple[int, ...]:
+        if self.shard_nodes is None:
+            raise DslSemanticError(
+                "$SHARDWNODES needs a shard scope: compile the predicate "
+                "against a shard-view config (or a single-shard deployment), "
+                "not a multi-shard global one"
+            )
+        return self.shard_nodes
 
     def my_az_nodes(self) -> Tuple[int, ...]:
         my_group = self._group_of(self.local_index)
@@ -298,13 +323,15 @@ def _resolve_dollar(ref: DollarRef, ctx: DslContext) -> Tuple[int, ...]:
         return ctx.my_az_nodes()
     if upper in MACRO_MY:
         return (ctx.local_index,)
+    if upper in MACRO_SHARD:
+        return ctx.shard_scope()
     if upper.startswith(VAR_WNODE):
         return (ctx.node_by_name(text[len(VAR_WNODE):]),)
     if upper.startswith(VAR_AZ):
         return ctx.group_by_name(text[len(VAR_AZ):])
     raise DslSemanticError(
         f"unknown $-reference ${text}; expected a node index, $ALLWNODES, "
-        "$MYAZWNODES, $MYWNODE, $WNODE_<name> or $AZ_<name>"
+        "$MYAZWNODES, $MYWNODE, $SHARDWNODES, $WNODE_<name> or $AZ_<name>"
     )
 
 

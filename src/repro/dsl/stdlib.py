@@ -105,3 +105,47 @@ def standard_predicates(
         "MajorityWNodes": majority_wnodes(),
         "AllWNodes": all_wnodes(),
     }
+
+
+# -- shard-scoped variants ---------------------------------------------------
+#
+# Under partial replication (ROADMAP item 1) only a shard's owner set ever
+# acknowledges its keys, so node-granularity predicates must count over
+# $SHARDWNODES, not $ALLWNODES — an AllWNodes predicate would wait forever
+# on nodes that never replicate the shard.  These expand identically to
+# their global cousins in the degenerate all-owners configuration, where
+# $SHARDWNODES == $ALLWNODES.
+
+
+def shard_remote_wnodes_set(exclude: Sequence[str] = ()) -> str:
+    """The set expression for "every remote shard owner", minus ``exclude``."""
+    parts = ["$SHARDWNODES - $MYWNODE"]
+    parts.extend(f"$WNODE_{_normalize(name)}" for name in exclude)
+    return " - ".join(parts)
+
+
+def shard_one_wnode(exclude: Sequence[str] = ()) -> str:
+    """Stable once any remote shard owner acknowledged."""
+    return f"MAX({shard_remote_wnodes_set(exclude)})"
+
+
+def shard_majority_wnodes() -> str:
+    """Stable once a majority (counted over the owner set) of the remote
+    shard owners acknowledged."""
+    return "KTH_MAX(SIZEOF($SHARDWNODES)/2 + 1, ($SHARDWNODES - $MYWNODE))"
+
+
+def shard_all_wnodes(exclude: Sequence[str] = ()) -> str:
+    """Stable once every remote shard owner (minus ``exclude``) acknowledged."""
+    return f"MIN({shard_remote_wnodes_set(exclude)})"
+
+
+def shard_standard_predicates() -> Dict[str, str]:
+    """The node-granularity Table III predicates, scoped to a shard's
+    owner set.  Region-granularity variants are omitted: a shard's owner
+    set may not touch every region, so their meaning is per-deployment."""
+    return {
+        "OneWNode": shard_one_wnode(),
+        "MajorityWNodes": shard_majority_wnodes(),
+        "AllWNodes": shard_all_wnodes(),
+    }

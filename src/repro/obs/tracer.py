@@ -202,6 +202,50 @@ class Tracer:
             lines.append(f"  [{ev.ts:12.6f}] {ev.node:>10s} {ev.etype:<20s} {fields}")
         return "\n".join(lines)
 
+    def scoped(self, **scope: object) -> "Tracer":
+        """A view of this tracer that stamps ``scope`` fields onto every
+        event (e.g. ``tracer.scoped(shard=3)`` for per-shard stacks).
+        Events still land in this ring; the view shares its lifecycle.
+        """
+        return _ScopedTracer(self, scope)
+
+
+class _ScopedTracer:
+    """Write-through tracer view that injects fixed fields on emit.
+
+    Duck-types as :class:`Tracer` at instrumented call sites: ``enabled``
+    and ``emitted`` delegate to the base tracer (so flag-guarded sites and
+    stats keep working), ``emit`` adds the scope fields, and everything
+    else (export, tail formatting, ``len()``) falls through to the base.
+    Scope fields lose to explicit per-event fields on collision.
+    """
+
+    __slots__ = ("_base", "_scope")
+
+    def __init__(self, base: Tracer, scope: Dict[str, object]):
+        self._base = base
+        self._scope = dict(scope)
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    @property
+    def emitted(self) -> int:
+        return self._base.emitted
+
+    def emit(self, node: str, etype: str, **fields: object) -> None:
+        self._base.emit(node, etype, **{**self._scope, **fields})
+
+    def scoped(self, **scope: object) -> "Tracer":
+        return _ScopedTracer(self._base, {**self._scope, **scope})
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
 
 #: Shared disabled singleton: every instrumented component defaults to
 #: this, so the uninstrumented path is one flag check.

@@ -1,0 +1,36 @@
+"""Tiny-configuration smoke of the shard-scaling bench harness.
+
+Lives under ``tests/`` so tier-1 exercises ``run_shard_scaling`` on
+every PR; ``make bench-smoke`` and ``make shard-smoke`` select it via
+the markers.
+"""
+
+import pytest
+
+from repro.bench.runners import run_shard_scaling
+
+pytestmark = [pytest.mark.bench_smoke, pytest.mark.shard_smoke]
+
+
+def test_shard_scaling_smoke():
+    result = run_shard_scaling(
+        nodes=4,
+        shard_count=8,
+        replication=2,
+        keys_grid=(500, 5000),
+        messages=60,
+    )
+    assert result["config"]["shard_count"] == 8
+    assert result["config"]["owners_per_shard"] == 2
+    rows = result["rows"]
+    assert len(rows) == 2
+    for row in rows:
+        assert row["sharded_converged"] and row["unsharded_converged"]
+        # 4 nodes / 2 owners: fan-out drops 3x; batching effects keep the
+        # exact ratio workload-dependent, so the smoke only pins > 1.5x.
+        assert row["control_reduction"] > 1.5
+        assert row["payload_reduction"] > 1.5
+        assert row["frontier_lag_gauges"] > 0
+        assert row["sharded_max_cells"] <= row["unsharded_max_cells"]
+    # Per-node cells are a function of owned shards, not of the key space.
+    assert rows[0]["sharded_max_cells"] == rows[1]["sharded_max_cells"]

@@ -1,0 +1,155 @@
+"""The invariant checker over a partially replicated cluster.
+
+The point being pinned: under partial replication a node legitimately
+holds *nothing* for shards it does not own, and the checker treats those
+absent cells, streams, and buffers as out of scope — delivery is owed to
+a shard's owner set, reclaim is compared against co-owners, monitor and
+table history is keyed per shard.  A full run with real partial traffic
+(and a crash-restart) must come out violation-free.
+
+``make shard-smoke`` selects these via the ``shard_smoke`` marker.
+"""
+
+import pytest
+
+from repro.chaos.invariants import InvariantChecker
+from repro.core import build_sharded_cluster, snapshot_state
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+from repro.testing import SyntheticPayload
+
+pytestmark = pytest.mark.shard_smoke
+
+PREDICATES = {
+    "all": "MIN($SHARDWNODES - $MYWNODE)",
+    "one": "MAX($SHARDWNODES - $MYWNODE)",
+}
+
+
+def build(nodes=4, shard_count=8, replication=2):
+    topo = Topology()
+    for i in range(nodes):
+        topo.add_node(f"n{i}", f"az{i % 2}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    cluster = build_sharded_cluster(
+        net,
+        dict(PREDICATES),
+        shard_count=shard_count,
+        shard_replication=replication,
+        control_interval_s=0.002,
+    )
+    return sim, net, cluster
+
+
+def start_traffic(sim, cluster, checker, per_shard=5, waiter_seq=3):
+    for i, (name, node) in enumerate(cluster.nodes.items()):
+        for shard in node.owned_shards:
+            for j in range(per_shard):
+
+                def do_send(node=node, name=name, shard=shard):
+                    seq = node.send(SyntheticPayload(200), shard=shard)
+                    checker.note_sent(name, seq, shard=shard)
+                    if seq == waiter_seq:
+                        checker.guarded_waitfor(
+                            node, seq, "all", timeout_s=30.0, shard=shard
+                        )
+
+                sim.call_later(0.05 + 0.11 * j + 0.013 * i, do_send)
+
+
+def settle(sim, cluster, checker, max_slices=30):
+    slices = 0
+    while not checker.all_delivered(list(cluster)):
+        if slices >= max_slices:
+            break
+        slices += 1
+        sim.run(until=sim.now + 1.0)
+    return slices
+
+
+def test_invariants_hold_under_partial_replication_traffic():
+    sim, _net, cluster = build()
+    checker = InvariantChecker()
+    for node in cluster:
+        checker.attach(node)
+    start_traffic(sim, cluster, checker)
+    live = lambda: list(cluster)  # noqa: E731
+    for t in (0.3, 0.7, 1.2):
+        sim.call_at(t, lambda: checker.check_tables(live()))
+    sim.run(until=2.0)
+    settle(sim, cluster, checker)
+    checker.check_tables(live())
+    checker.check_delivery(live())
+    assert not checker.violations
+    assert checker.monitor_events > 0
+    assert checker.releases_checked > 0
+    # Partial replication was genuinely exercised: some sent stream has
+    # a live node that never replicates it, and the delivery invariant
+    # held that node to nothing.
+    assert any(
+        not cluster[name].owns(shard)
+        for (_origin, shard) in checker._sent
+        for name in cluster.nodes
+    )
+    cluster.close()
+
+
+def test_invariants_hold_across_a_sharded_crash_restart():
+    sim, net, cluster = build()
+    checker = InvariantChecker()
+    for node in cluster:
+        checker.attach(node)
+    start_traffic(sim, cluster, checker)
+
+    victim = "n1"
+    held = {}
+
+    def crash():
+        held["snapshot"] = snapshot_state(cluster[victim])
+        cluster[victim].crash()
+        net.crash_node(victim)
+        checker.forget_node(victim)
+
+    def restart():
+        net.recover_node(victim)
+        node = cluster.restart_node(victim, held.pop("snapshot"))
+        checker.attach(node)
+        checker.check_restart(node)
+
+    sim.call_at(0.6, crash)
+    sim.call_at(1.4, restart)
+    sim.call_at(
+        1.0,
+        lambda: checker.check_tables(
+            [node for node in cluster if node.name != victim]
+        ),
+    )
+    sim.run(until=2.5)
+    settle(sim, cluster, checker)
+    checker.check_tables(list(cluster))
+    checker.check_delivery(list(cluster))
+    assert not checker.violations
+    assert checker.restarts_checked == 1
+    cluster.close()
+
+
+def test_delivery_is_owed_to_owners_only():
+    """A co-owner that missed nothing passes; a non-owner that received
+    nothing is simply not consulted."""
+    sim, _net, cluster = build()
+    checker = InvariantChecker()
+    sender = cluster["n0"]
+    shard = sender.owned_shards[0]
+    owners = set(cluster.shard_map.owners(shard))
+    seq = sender.send(SyntheticPayload(128), shard=shard)
+    checker.note_sent("n0", seq, shard=shard)
+    sim.run(until=2.0)
+    settle(sim, cluster, checker)
+    checker.check_delivery(list(cluster))  # must not raise
+    non_owners = set(cluster.nodes) - owners
+    assert non_owners  # replication < nodes, so somebody is out of scope
+    for name in non_owners:
+        assert not cluster[name].owns(shard)
+    cluster.close()

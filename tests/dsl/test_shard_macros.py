@@ -1,0 +1,96 @@
+"""$SHARDNODES / $SHARDWNODES: the shard-scoped macro pair.
+
+Inside a shard view the macros expand to the owner set's indices; in a
+multi-shard *global* context they are a compile-time error — a predicate
+over "the shard's owners" is meaningless before a shard is picked, and
+failing fast beats waiting forever on nodes that never replicate the
+stream.
+"""
+
+import pytest
+
+from repro.core import StabilizerConfig
+from repro.dsl.compiler import PredicateCompiler
+from repro.dsl.parser import parse
+from repro.dsl.semantics import DslContext, expand, ir_leaves
+from repro.dsl.stdlib import shard_standard_predicates
+from repro.errors import DslSemanticError
+
+NODES = ["a", "b", "c", "d"]
+GROUPS = {"east": ["a", "b"], "west": ["c", "d"]}
+
+
+def leaves_of(source, **ctx_kwargs):
+    ir = expand(parse(source), DslContext(NODES, GROUPS, "a", **ctx_kwargs))
+    return sorted((leaf.node, leaf.type_id) for leaf in ir_leaves(ir))
+
+
+def test_shard_macros_expand_to_the_owner_set():
+    assert leaves_of("MAX($SHARDWNODES)", shard_nodes=(0, 2)) == [
+        (0, 0),
+        (2, 0),
+    ]
+    assert leaves_of("MAX($SHARDNODES)", shard_nodes=(1, 3)) == [
+        (1, 0),
+        (3, 0),
+    ]
+
+
+def test_shard_macros_equal_allwnodes_when_every_node_owns():
+    everyone = tuple(range(len(NODES)))
+    assert leaves_of(
+        "MIN($SHARDWNODES - $MYWNODE)", shard_nodes=everyone
+    ) == leaves_of("MIN($ALLWNODES - $MYWNODE)")
+
+
+def test_shard_macros_need_a_shard_scope():
+    with pytest.raises(DslSemanticError, match="shard scope"):
+        leaves_of("MAX($SHARDWNODES)")
+    with pytest.raises(DslSemanticError, match="shard scope"):
+        leaves_of("MAX($SHARDNODES)", shard_nodes=None)
+
+
+def test_multi_shard_global_config_rejects_shard_predicates():
+    config = StabilizerConfig(
+        NODES, GROUPS, "a", shard_count=8, shard_replication=2
+    )
+    compiler = PredicateCompiler(config.dsl_context())
+    with pytest.raises(DslSemanticError, match="shard scope"):
+        compiler.compile("MIN($SHARDWNODES - $MYWNODE)")
+
+
+def test_shard_view_config_compiles_shard_predicates():
+    config = StabilizerConfig(
+        NODES, GROUPS, "a", shard_count=8, shard_replication=3
+    )
+    shard = config.shard_map().owned_shards("a")[0]
+    view = config.shard_view(shard)
+    compiler = PredicateCompiler(view.dsl_context())
+    for key, source in shard_standard_predicates().items():
+        predicate = compiler.compile(source)
+        assert predicate is not None, key
+
+
+def test_single_shard_deployment_is_shard_scoped_by_default():
+    # shard_count == 1: the deployment *is* one shard; the macros work
+    # on the plain config without a view.
+    config = StabilizerConfig(NODES, GROUPS, "a")
+    compiler = PredicateCompiler(config.dsl_context())
+    compiler.compile("MIN($SHARDWNODES - $MYWNODE)")
+
+
+def test_shard_majority_needs_three_owners():
+    # Documented constraint (docs/sharding.md): Table III's majority
+    # form needs owner sets of >= 3, exactly as the global form needs a
+    # 3-node cluster — with 2 owners K exceeds the single remote.
+    majority = shard_standard_predicates()["MajorityWNodes"]
+    three = DslContext(NODES[:3], {"az": NODES[:3]}, "a", shard_nodes=(0, 1, 2))
+    PredicateCompiler(three).compile(majority)
+    two = DslContext(NODES[:2], {"az": NODES[:2]}, "a", shard_nodes=(0, 1))
+    with pytest.raises(DslSemanticError):
+        PredicateCompiler(two).compile(majority)
+
+
+def test_unknown_dollar_error_mentions_the_shard_macro():
+    with pytest.raises(DslSemanticError, match="SHARDWNODES"):
+        leaves_of("MAX($NOSUCH)", shard_nodes=(0, 1))
