@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
-        durability-smoke obs-smoke shard-smoke api-check verify report clean
+        durability-smoke obs-smoke rebalance-smoke shard-smoke api-check \
+        verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +36,12 @@ durability-smoke:
 obs-smoke:
 	pytest -m obs_smoke
 
+# Membership chaos: seeded join/leave/failover sweeps plus handcrafted
+# crash-mid-handoff schedules over the rebalance invariants
+# (see docs/sharding.md, "Rebalancing & failover").
+rebalance-smoke:
+	pytest -m rebalance_smoke
+
 # Partial-replication invariant runs plus the shard-scaling bench
 # harness at tiny scale (see docs/sharding.md).
 shard-smoke:
@@ -48,7 +55,7 @@ api-check:
 
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
 verify: test bench-smoke chaos-smoke durability-smoke obs-smoke \
-        shard-smoke api-check
+        rebalance-smoke shard-smoke api-check
 
 report:
 	python -m repro report

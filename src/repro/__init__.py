@@ -15,6 +15,12 @@ The public API mirrors the paper's library surface:
   :class:`ShardedCluster` run one Stabilizer stack per *owned* shard so
   control-plane fan-out and ACK-table memory scale with the owner set,
   not the cluster (see ``docs/sharding.md``).
+- Live rebalancing — :class:`RebalancePlanner` computes minimal
+  epoch-bumped ownership changes (joins, leaves, failovers) and
+  :class:`RebalanceCoordinator` executes them against a running
+  :class:`ShardedCluster`: freeze, drain, state handoff, single-instant
+  cutover with epoch fencing, targeted re-replication (see
+  ``docs/sharding.md``, "Rebalancing & failover").
 - Applications — :class:`WanKVStore`, :class:`FileBackupService`,
   :class:`QuorumKV`, :class:`StabilizerBroker` (+ :class:`PulsarCluster`
   as the comparison baseline and :class:`PaxosCluster` for Fig. 6).
@@ -45,6 +51,9 @@ Quick start::
 from repro import testing
 from repro.apps import FileBackupService, QuorumKV, WanKVStore
 from repro.core import (
+    RebalanceCoordinator,
+    RebalancePlan,
+    RebalancePlanner,
     ShardedCluster,
     ShardedStabilizer,
     ShardMap,
@@ -92,6 +101,9 @@ __all__ = [
     "PulsarCluster",
     "QuorumKV",
     "RealtimeScheduler",
+    "RebalanceCoordinator",
+    "RebalancePlan",
+    "RebalancePlanner",
     "ReliableBroadcast",
     "ReproError",
     "ShardMap",

@@ -1182,3 +1182,208 @@ def run_shard_scaling(
         },
         "rows": rows,
     }
+
+
+def run_rebalance_bench(
+    nodes: int = 8,
+    joins: Sequence[str] = ("j0", "j1"),
+    leaves: Sequence[str] = ("n1", "n3", "j0"),
+    shard_count: int = 64,
+    replication: int = 2,
+    payload_bytes: int = 256,
+    pump_shards: int = 2,
+    slice_s: float = 0.05,
+    control_interval_s: float = 0.02,
+    settle_slices: int = 1200,
+) -> dict:
+    """Live rebalancing under load: scale out, then scale in.
+
+    An ``nodes``-member cluster (2 AZs) carries continuous traffic while
+    the membership walks ``nodes -> nodes + len(joins) -> final`` via a
+    :class:`~repro.core.rebalance.RebalanceCoordinator`.  Each phase
+    records:
+
+    - per-cutover latency (freeze-to-cutover, from the coordinator's
+      history) and the number of shards that moved — minimality is the
+      headline: only the shards the joiner wins / the leaver owned;
+    - handoff bytes and transfer retries (coordinator metric deltas);
+    - frontier disturbance — a strict (every-owner) ``waitfor`` probe on
+      an *unmoved* shard issued while handoffs are in flight, against
+      the same probe at steady state: collateral stall on shards the
+      plan never touched;
+    - a replication audit after every cutover: each shard must have
+      exactly ``replication`` live owners with built stacks.
+    """
+    from repro.core.rebalance import RebalanceCoordinator
+    from repro.core.sharding import ShardedCluster
+
+    members = [f"n{i}" for i in range(nodes)]
+    topo = Topology()
+    for i, name in enumerate(members):
+        topo.add_node(name, group=f"az{i % 2}")
+    for i, name in enumerate(joins):
+        topo.add_node(name, group=f"az{i % 2}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=200))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        node_names=members,
+        groups={
+            az: [n for i, n in enumerate(members) if i % 2 == int(az[2:])]
+            for az in ("az0", "az1")
+        },
+        local=members[0],
+        predicates={
+            "all": "MIN($SHARDWNODES - $MYWNODE)",
+            "any": "MAX($SHARDWNODES - $MYWNODE)",
+        },
+        shard_count=shard_count,
+        shard_replication=replication,
+        control_interval_s=control_interval_s,
+        failure_timeout_s=2.0,
+        durability=False,
+    )
+    cluster = ShardedCluster(net, config)
+    coordinator = RebalanceCoordinator(
+        cluster, drain_timeout_s=2.0, transfer_timeout_s=4.0
+    )
+    sent = 0
+
+    def pump() -> None:
+        nonlocal sent
+        for node in cluster:
+            shards = [
+                s for s in node.shards if s not in node.frozen_shards()
+            ]
+            for shard in shards[:pump_shards]:
+                node.send(SyntheticPayload(payload_bytes), shard=shard)
+                sent += 1
+
+    def probe(shard: str = None) -> float:
+        """Strict-stability latency of one message on ``shard`` (or the
+        lowest live shard): send, waitfor every owner, measure."""
+        if shard is None:
+            shard = min(
+                s
+                for s in range(shard_count)
+                if cluster.shard_map.primary(s) in cluster.nodes
+                and s in cluster.nodes[cluster.shard_map.primary(s)].shards
+            )
+        owner = cluster.shard_map.primary(shard)
+        node = cluster.nodes[owner]
+        if shard not in node.shards or shard in node.frozen_shards():
+            return float("nan")
+        started = sim.now
+        seq = node.send(SyntheticPayload(payload_bytes), shard=shard)
+        event = node.waitfor(seq, "all", shard=shard, timeout_s=60.0)
+        sim.run_until_triggered(event)
+        if not event.ok:
+            return float("inf")
+        return sim.now - started
+
+    def settle() -> None:
+        for _ in range(settle_slices):
+            if coordinator.idle:
+                return
+            pump()
+            sim.run(until=sim.now + slice_s)
+        raise RuntimeError(f"rebalance stuck in phase {coordinator.phase!r}")
+
+    def audit_replication() -> bool:
+        shard_map = cluster.shard_map
+        for shard in range(shard_count):
+            owners = set(shard_map.owners(shard))
+            if len(owners) != replication:
+                return False
+            for owner in owners:
+                if shard not in cluster.nodes[owner].shards:
+                    return False
+        return True
+
+    def run_phase(name: str, ops: Sequence[Tuple[str, str]]) -> dict:
+        nonlocal sent
+        before = coordinator.stats()
+        history_mark = len(coordinator.history)
+        sent_mark = sent
+        started = sim.now
+        wall = time.perf_counter()
+        moved: set = set()
+        for kind, subject in ops:
+            if kind == "join":
+                coordinator.node_join(subject)
+            else:
+                coordinator.node_leave(subject)
+        plan = coordinator.active_plan
+        if plan is not None:
+            moved = set(plan.moved_shards())
+        # Collateral disturbance: strict stability on a shard the plan
+        # does not touch, measured while handoffs are in flight.
+        unmoved = next(
+            (
+                s
+                for s in range(shard_count)
+                if s not in moved
+                and cluster.shard_map.primary(s) in cluster.nodes
+                and s
+                in cluster.nodes[cluster.shard_map.primary(s)].shards
+            ),
+            None,
+        )
+        disturbance = probe(unmoved) if ops and unmoved is not None else None
+        settle()
+        after = coordinator.stats()
+        cutovers = [
+            {
+                "kind": h["kind"],
+                "subject": h["subject"],
+                "shards_moved": h["shards_moved"],
+                "latency_s": h["latency_s"],
+                "unsourced": h["unsourced"],
+            }
+            for h in coordinator.history[history_mark:]
+        ]
+        return {
+            "phase": name,
+            "ops": [f"{kind}:{subject}" for kind, subject in ops],
+            "members": len(cluster.nodes),
+            "sim_duration_s": sim.now - started,
+            "elapsed_s": time.perf_counter() - wall,
+            "messages_sent": sent - sent_mark,
+            "cutovers": cutovers,
+            "handoff_bytes": after.get("rebalance.handoff_bytes", 0)
+            - before.get("rebalance.handoff_bytes", 0),
+            "transfer_retries": after.get("rebalance.transfer_retries", 0)
+            - before.get("rebalance.transfer_retries", 0),
+            "drain_timeouts": after.get("rebalance.drain_timeouts", 0)
+            - before.get("rebalance.drain_timeouts", 0),
+            "probe_disturbance_s": disturbance,
+            "probe_after_s": probe(),
+            "replication_restored": audit_replication(),
+            "epoch": cluster.shard_map.epoch,
+        }
+
+    phases = []
+    # Warm-up: traffic only, baseline probe.
+    for _ in range(20):
+        pump()
+        sim.run(until=sim.now + slice_s)
+    phases.append(run_phase("steady", []))
+    phases.append(run_phase("scale-out", [("join", j) for j in joins]))
+    phases.append(run_phase("scale-in", [("leave", l) for l in leaves]))
+    result = {
+        "config": {
+            "nodes": nodes,
+            "joins": list(joins),
+            "leaves": list(leaves),
+            "shard_count": shard_count,
+            "replication": replication,
+            "payload_bytes": payload_bytes,
+        },
+        "phases": phases,
+        "final_members": sorted(cluster.nodes),
+        "final_epoch": cluster.shard_map.epoch,
+        "messages_sent": sent,
+    }
+    coordinator.close()
+    cluster.close()
+    return result

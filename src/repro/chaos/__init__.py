@@ -17,7 +17,13 @@ of safety invariants is asserted after every event and at quiescence:
 - with durability on (the default), no node's ``persisted`` claim ever
   exceeds its WAL's fsync watermark, and any persisted claim a peer
   observed survives the claimant's crash-restart — checked under
-  injected disk faults (failed fsyncs, torn writes, ENOSPC, EIO).
+  injected disk faults (failed fsyncs, torn writes, ENOSPC, EIO);
+- under live rebalancing (:mod:`repro.chaos.rebalance`: ``node_join`` /
+  ``node_leave`` schedule events against a sharded cluster with a
+  :class:`~repro.core.rebalance.RebalanceCoordinator`), no delivery is
+  lost across a cutover, every shard's replication factor is restored
+  at quiescence, and each (shard, epoch) pair ever has exactly one
+  owner set — including crashes landing mid-handoff.
 
 Everything is deterministic per seed: the same seed reproduces the same
 schedule, the same event interleaving, and the same final frontiers.
@@ -30,6 +36,11 @@ from repro.chaos.harness import (
     run_chaos,
 )
 from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.rebalance import (
+    RebalanceChaosConfig,
+    RebalanceChaosHarness,
+    run_rebalance_chaos,
+)
 from repro.chaos.schedule import ChaosEvent, generate_schedule
 
 __all__ = [
@@ -39,6 +50,9 @@ __all__ = [
     "ChaosHarness",
     "InvariantChecker",
     "InvariantViolation",
+    "RebalanceChaosConfig",
+    "RebalanceChaosHarness",
     "generate_schedule",
     "run_chaos",
+    "run_rebalance_chaos",
 ]

@@ -39,6 +39,22 @@ monitor / waiter / stats surfaces an application uses — and raises
    one-frame-always-flies allowance, and transport backlog only exists
    while something is genuinely in flight.  The data plane's per-peer
    pending tail is held to the same sum rule.
+10. **No delivery lost across a cutover.**  At every rebalance cutover
+    the coordinator reports, per (moved shard, surviving origin), the
+    highest receive watermark any live pre-cutover owner held
+    (:meth:`note_cutover`).  At quiescence every *current* owner of the
+    shard must sit at or above that baseline — state handoff plus the
+    dual-delivery catch-up window may never lose a message that some
+    old owner had already delivered.
+11. **Replication factor restored.**  At quiescence every shard's owner
+    set is back to full strength — ``min(replication, len(nodes))``
+    distinct owners, each with a live (built, non-pending) shard stack
+    — including after node_leave decommissions and failover
+    re-replication away from declared-dead owners.
+12. **Exactly one owner set per (shard, epoch).**  Every shard map the
+    cluster ever adopts assigns each shard exactly one owner set at
+    each membership epoch; two cutovers may never disagree about who
+    owned a shard at a given epoch (:meth:`note_owner_map`).
 
 Every individual comparison counts toward ``checks``; the bench harness
 divides by wall-clock time for the invariant-check throughput trajectory.
@@ -53,6 +69,16 @@ checked at *s*'s owners, reclaim at *A* is compared against peers that
 own the same shard, and monitor/table history is keyed per shard.  A
 plain unsharded Stabilizer is simply the single unit ``(0, node)``, so
 the pre-sharding behaviour (and API) is unchanged.
+
+**Rebalance scoping.**  Live membership changes move shards between
+owner sets.  A stream's scope follows the owner set: when an origin
+releases a shard its stream there is dropped everywhere (delivery of it
+is owed to nobody from then on), and when a node gains a shard its own
+stream on that shard restarts at sequence 1.  The checker learns of
+each cutover via :meth:`note_cutover`, which resets the sent record,
+cutover baselines, and monitor history of every such restarted
+``(shard, origin)`` stream; delivery checks skip origins outside a
+shard view's membership.
 """
 
 from __future__ import annotations
@@ -76,10 +102,16 @@ class InvariantChecker:
         self._rows: Dict[Tuple[str, int, str], List[List[int]]] = {}
         # (claimant, shard, origin) -> highest persisted claim a *peer* holds.
         self._observed_persisted: Dict[Tuple[str, int, str], int] = {}
+        # (shard, origin) -> receive watermark some pre-cutover owner held
+        # at the last cutover that moved the shard (invariant 10).
+        self._cutover_baselines: Dict[Tuple[int, str], int] = {}
+        # (shard, epoch) -> the one owner set adopted there (invariant 12).
+        self._owner_sets: Dict[Tuple[int, int], Tuple[str, ...]] = {}
         self.checks = 0
         self.monitor_events = 0
         self.releases_checked = 0
         self.restarts_checked = 0
+        self.cutovers_checked = 0
         self.violations: List[str] = []
         # Flight recorder (optional): a shared Tracer the harness wires
         # in.  On any violation its ring is dumped to ``dump_path`` as a
@@ -111,15 +143,20 @@ class InvariantChecker:
         slot = (origin, shard)
         self._sent[slot] = max(self._sent.get(slot, 0), seq)
 
-    def attach(self, node) -> None:
+    def attach(self, node, shards=None) -> None:
         """Register monitors on every predicate of ``node`` (each owned
         shard of a sharded node).
 
         Call again for the new instance after a restart — the recorded
         history is keyed by node name (and shard) and survives the old
-        incarnation.
+        incarnation.  ``shards`` restricts registration to those shard
+        stacks: a rebalance cutover rebuilds only the *moved* shards'
+        stacks, and re-attaching an untouched stack would double its
+        monitors.
         """
         for shard, unit in self._units(node):
+            if shards is not None and shard not in shards:
+                continue
             for key in unit.engine.predicate_keys():
                 unit.monitor_stability_frontier(
                     key, self._make_monitor(node.name, shard, key)
@@ -398,6 +435,120 @@ class InvariantChecker:
                         f"proves only {recovered}"
                     )
 
+    def note_owner_map(self, shard_map) -> None:
+        """Invariant 12: record (and cross-check) the owner set the
+        cluster adopted for every shard at ``shard_map``'s epoch.  Call
+        once for the initial map and once per cutover — two maps at the
+        same epoch must agree shard by shard."""
+        epoch = shard_map.epoch
+        for shard in range(shard_map.shard_count):
+            owners = tuple(shard_map.owners(shard))
+            slot = (shard, epoch)
+            recorded = self._owner_sets.get(slot)
+            self.checks += 1
+            if recorded is not None and recorded != owners:
+                self._fail(
+                    f"divergent ownership: shard {shard} at epoch {epoch} "
+                    f"maps to {owners} after being recorded as {recorded}"
+                )
+            self._owner_sets[slot] = owners
+
+    def note_cutover(self, plan, watermarks: Dict[Tuple[int, str], int]) -> None:
+        """Bookkeeping at a rebalance cutover instant (invariants 10+12).
+
+        ``plan`` is the adopted
+        :class:`~repro.core.membership.RebalancePlan`; ``watermarks``
+        maps ``(shard, origin)`` to the highest receive watermark any
+        live pre-cutover owner held, as captured by the coordinator.
+
+        A joiner's stream on its new shard restarts at sequence 1 (any
+        earlier tenure's stream was dropped when it released the shard),
+        so the joiner's sent record, cutover baseline, and monitor
+        history for that ``(shard, origin)`` are reset before the new
+        baselines land.
+        """
+        self.note_owner_map(plan.new_map)
+        self.cutovers_checked += 1
+        for move in plan.moves:
+            for joiner in set(move.new) - set(move.old):
+                self._sent.pop((joiner, move.shard_id), None)
+                self._cutover_baselines.pop((move.shard_id, joiner), None)
+                for slot in [
+                    s
+                    for s in self._monitor_high
+                    if s[1] == move.shard_id and s[2] == joiner
+                ]:
+                    del self._monitor_high[slot]
+        for slot, watermark in watermarks.items():
+            self._cutover_baselines[slot] = max(
+                self._cutover_baselines.get(slot, 0), watermark
+            )
+
+    @staticmethod
+    def _in_stream_scope(origin: str, name: str, unit) -> bool:
+        """Whether ``unit`` (owned by ``name``) owes delivery of
+        ``origin``'s stream: not its own stream, and ``origin`` is in the
+        unit's owner-set view (units without a config — bare stacks in
+        unit tests — have no membership to scope by)."""
+        if origin == name:
+            return False
+        members = getattr(getattr(unit, "config", None), "node_names", None)
+        return members is None or origin in members
+
+    def check_cutover_preservation(self, nodes) -> None:
+        """Invariant 10: at quiescence, every current owner of a moved
+        shard holds at least what some pre-cutover owner had already
+        delivered.  Origins no longer in the shard's membership are out
+        of scope (their streams left with them)."""
+        by_shard = self._shard_units(nodes)
+        for (shard, origin), base in self._cutover_baselines.items():
+            for name, unit in by_shard.get(shard, ()):
+                if not self._in_stream_scope(origin, name, unit):
+                    continue
+                self.checks += 1
+                got = unit.dataplane.highest_received(origin)
+                if got < base:
+                    self._fail(
+                        f"delivery lost across cutover: {name} has {got} of "
+                        f"origin {origin!r}'s shard-{shard} stream but the "
+                        f"pre-cutover owners had delivered {base}"
+                    )
+
+    def check_replication(self, cluster) -> None:
+        """Invariant 11: every shard's owner set is back to full
+        replication strength, each owner running a live (built,
+        non-pending, unfrozen) stack for it — after planned leaves and
+        failover re-replication alike."""
+        shard_map = cluster.shard_map
+        node_names = shard_map.node_names
+        replication = shard_map.replication
+        expected = (
+            len(node_names)
+            if replication is None
+            else min(replication, len(node_names))
+        )
+        for shard in range(shard_map.shard_count):
+            owners = shard_map.owners(shard)
+            self.checks += 1
+            if len(set(owners)) != expected:
+                self._fail(
+                    f"replication not restored: shard {shard} has owner set "
+                    f"{list(owners)}, expected {expected} distinct owners"
+                )
+            for owner in owners:
+                node = cluster.nodes.get(owner)
+                self.checks += 1
+                if node is None or shard not in getattr(node, "shards", {}):
+                    self._fail(
+                        f"replication not restored: shard {shard} owner "
+                        f"{owner!r} has no live stack for it"
+                    )
+                elif shard in node.frozen_shards():
+                    self._fail(
+                        f"replication not restored: shard {shard} is still "
+                        f"frozen at owner {owner!r}"
+                    )
+
     def forget_node(self, name: str) -> None:
         """Drop table samples for a crashing node.
 
@@ -414,11 +565,13 @@ class InvariantChecker:
         """At quiescence: everything ever sent reached every *owner of
         that shard*.  Non-owners never replicate the stream; expecting
         delivery there would be a false positive under partial
-        replication."""
+        replication.  An origin outside a shard view's membership (it
+        released the shard, or left the deployment, at a cutover) is
+        likewise out of scope — its stream was dropped with it."""
         by_shard = self._shard_units(nodes)
         for (origin, shard), sent in self._sent.items():
             for name, unit in by_shard.get(shard, ()):
-                if origin == name:
+                if not self._in_stream_scope(origin, name, unit):
                     continue
                 self.checks += 1
                 got = unit.dataplane.highest_received(origin)
@@ -427,14 +580,15 @@ class InvariantChecker:
                         f"lost messages: {name} has {got} of origin "
                         f"{origin!r}'s shard-{shard} stream, {sent} were sent"
                     )
+        self.check_cutover_preservation(nodes)
 
     def all_delivered(self, nodes) -> bool:
         """Non-asserting convergence probe used by the settle loop."""
         by_shard = self._shard_units(nodes)
         for (origin, shard), sent in self._sent.items():
             for name, unit in by_shard.get(shard, ()):
-                if origin != name and (
-                    unit.dataplane.highest_received(origin) < sent
-                ):
+                if not self._in_stream_scope(origin, name, unit):
+                    continue
+                if unit.dataplane.highest_received(origin) < sent:
                     return False
         return True

@@ -17,7 +17,15 @@ can actually execute against a cluster:
   fault (from that list) on one node's filesystem and ``disk_heal``
   events clear it — at most one armed fault per node at a time, every
   fault healed by the end.  The default (no disk faults) leaves
-  historical seeds byte-identical.
+  historical seeds byte-identical;
+- with ``spare_nodes`` given, ``node_join`` events bring provisioned
+  spare hosts into the deployment (each joins at most once, and a
+  joined spare becomes a crash candidate); with ``max_leaves > 0``,
+  ``node_leave`` events decommission live members — never a currently
+  crashed node, never below ``min_members`` survivors, and a departed
+  member is never crashed, restarted, or picked again.  Membership
+  events open no fault, so they need no closing event.  The defaults
+  (no membership changes) leave historical seeds byte-identical.
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ class ChaosEvent(NamedTuple):
     """One scheduled fault transition."""
 
     at: float  # virtual seconds
-    kind: str  # "crash" | "restart" | "partition" | "heal" | "disk_fault" | "disk_heal"
+    # "crash" | "restart" | "partition" | "heal" | "disk_fault" |
+    # "disk_heal" | "node_join" | "node_leave"
+    kind: str
     # node name; the two partitioned AZ names; or (node, fault_kind).
     target: Tuple[str, ...]
 
@@ -44,13 +54,20 @@ def generate_schedule(
     max_gap: float = 2.0,
     max_crashed: Optional[int] = None,
     disk_fault_kinds: Sequence[str] = (),
+    spare_nodes: Sequence[str] = (),
+    max_leaves: int = 0,
+    min_members: Optional[int] = None,
 ) -> List[ChaosEvent]:
     """Generate a valid schedule of at least ``events`` fault events.
 
     ``groups`` maps AZ name -> member node names (the cluster topology).
     The count includes the closing heal/restart events; the generator
     keeps injecting random faults until the budget is spent, then closes
-    every open fault.
+    every open fault.  ``spare_nodes`` names provisioned non-member
+    hosts eligible for ``node_join``; ``max_leaves`` budgets
+    ``node_leave`` events, which never shrink the membership below
+    ``min_members`` (default: the initial membership minus the leave
+    budget, floored at 2).
     """
     if events < 2:
         raise ValueError("need at least 2 events for a fault and its repair")
@@ -59,12 +76,16 @@ def generate_schedule(
     nodes = [n for members in groups.values() for n in members]
     if max_crashed is None:
         max_crashed = max(1, (len(nodes) - 1) // 2)
+    if min_members is None:
+        min_members = max(2, len(nodes) - max_leaves)
     rng = random.Random(seed)
     az_names = sorted(groups)
 
     schedule: List[ChaosEvent] = []
     crashed: List[str] = []
     disk_faulted: List[str] = []
+    spares_left = list(spare_nodes)
+    leaves_left = max_leaves
     partitioned = False
     t = start
 
@@ -86,6 +107,12 @@ def generate_schedule(
                 choices.append("partition")
             if disk_fault_kinds and len(disk_faulted) < len(nodes):
                 choices.append("disk_fault")
+            if spares_left:
+                choices.append("node_join")
+            if leaves_left > 0 and len(nodes) > min_members and (
+                len(nodes) > len(crashed)
+            ):
+                choices.append("node_leave")
         if crashed:
             choices.append("restart")
         if partitioned:
@@ -112,6 +139,15 @@ def generate_schedule(
         elif kind == "disk_heal":
             victim = disk_faulted.pop(rng.randrange(len(disk_faulted)))
             emit("disk_heal", (victim,))
+        elif kind == "node_join":
+            victim = spares_left.pop(rng.randrange(len(spares_left)))
+            nodes.append(victim)  # a member now: crashable, leavable
+            emit("node_join", (victim,))
+        elif kind == "node_leave":
+            victim = rng.choice(sorted(set(nodes) - set(crashed)))
+            nodes.remove(victim)  # gone for good: never crashed again
+            leaves_left -= 1
+            emit("node_leave", (victim,))
         else:
             partitioned = False
             emit("heal", ())

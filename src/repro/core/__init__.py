@@ -13,7 +13,18 @@ from repro.core.dataplane import DataPlane, SendBuffer
 from repro.core.degradation import DegradationPolicy, MaskSuspectedPolicy
 from repro.core.durability import DurabilityManager
 from repro.core.frontier import FrontierEngine
-from repro.core.membership import FailureDetector, ShardMap
+from repro.core.membership import (
+    FailureDetector,
+    RebalancePlan,
+    RebalancePlanner,
+    ShardMap,
+    ShardMove,
+)
+from repro.core.rebalance import (
+    HandoffManager,
+    RebalanceCoordinator,
+    remap_inner_snapshot,
+)
 from repro.core.recovery import (
     load_snapshot,
     restore_state,
@@ -36,8 +47,13 @@ __all__ = [
     "FailureDetector",
     "MaskSuspectedPolicy",
     "FrontierEngine",
+    "HandoffManager",
+    "RebalanceCoordinator",
+    "RebalancePlan",
+    "RebalancePlanner",
     "SendBuffer",
     "ShardMap",
+    "ShardMove",
     "ShardedCluster",
     "ShardedStabilizer",
     "Stabilizer",
@@ -46,6 +62,7 @@ __all__ = [
     "build_cluster",
     "build_sharded_cluster",
     "load_snapshot",
+    "remap_inner_snapshot",
     "restore_state",
     "save_snapshot",
     "snapshot_state",

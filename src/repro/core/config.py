@@ -110,6 +110,14 @@ class StabilizerConfig:
         marks this config as the single-shard slice a per-shard inner
         stabilizer runs on.  Shard views get their own transport port
         (:meth:`transport_port`) and a shard-scoped DSL context.
+    shard_epoch:
+        The membership epoch this config's shard layout belongs to
+        (``ShardMap`` epoch).  Every data/control frame a shard stack
+        sends is stamped with the epoch of the map the stack was built
+        from; receivers drop mismatched frames (*epoch fencing*) so a
+        node still running a superseded layout cannot corrupt ACK rows.
+        The initial deployment is epoch 0; each rebalance cutover bumps
+        it (see :mod:`repro.core.rebalance`).
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class StabilizerConfig:
         shard_replication: Optional[int] = None,
         shard_owners: Optional[Dict] = None,
         shard_id: Optional[int] = None,
+        shard_epoch: int = 0,
     ):
         if local not in node_names:
             raise ConfigError(f"local node {local!r} not in node list")
@@ -189,6 +198,8 @@ class StabilizerConfig:
             )
         if shard_id is not None and shard_id < 0:
             raise ConfigError("shard_id must be non-negative")
+        if shard_epoch < 0:
+            raise ConfigError("shard_epoch must be non-negative")
 
         self.node_names = list(node_names)
         self.groups = {g: list(m) for g, m in groups.items()}
@@ -221,6 +232,7 @@ class StabilizerConfig:
             else None
         )
         self.shard_id = shard_id
+        self.shard_epoch = int(shard_epoch)
         self._shard_map = None
         if self.shard_owners is not None:
             self.shard_map()  # validate the explicit assignment eagerly
@@ -283,6 +295,7 @@ class StabilizerConfig:
                 shard_count=self.shard_count,
                 replication=self.shard_replication,
                 owners=self.shard_owners,
+                epoch=self.shard_epoch,
             )
         return self._shard_map
 
@@ -358,6 +371,7 @@ class StabilizerConfig:
             shard_replication=self.shard_replication,
             shard_owners=self.shard_owners,
             shard_id=self.shard_id,
+            shard_epoch=self.shard_epoch,
         )
 
     def replace(self, **changes) -> "StabilizerConfig":
@@ -446,6 +460,7 @@ class StabilizerConfig:
                 else None
             ),
             "shard_id": self.shard_id,
+            "shard_epoch": self.shard_epoch,
         }
 
     @classmethod

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
+from repro.core.dataplane import EPOCH_TAG
 from repro.errors import StabilizerError, TransportError
 from repro.transport.endpoint import TransportEndpoint
 from repro.transport.messages import (
@@ -56,6 +57,11 @@ class ControlPlane:
         self.on_heard = on_heard
         self.on_resume = on_resume
         self.local_index = config.local_index
+        # Epoch fencing (see dataplane.EPOCH_TAG): control reports carry
+        # table row indices, which only mean anything within one epoch's
+        # owner set — a stale report must be fenced, not applied.
+        self.epoch = config.shard_epoch
+        self.stale_epoch_frames = 0
         channel_kwargs = config.channel_kwargs()
         self._out_channels = {}
         for peer in config.remote_names():
@@ -157,7 +163,8 @@ class ControlPlane:
                 self.reports_coalesced += len(frames)
             wire_size = outgoing.wire_size()
             self._out_channels[peer].send(
-                SyntheticPayload(wire_size), meta=outgoing
+                SyntheticPayload(wire_size),
+                meta=(EPOCH_TAG, self.epoch, outgoing),
             )
             self.frames_sent += 1
             self.bytes_sent += wire_size
@@ -194,7 +201,10 @@ class ControlPlane:
                 entries={},
             )
             for channel in self._out_channels.values():
-                channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+                channel.send(
+                    SyntheticPayload(frame.wire_size()),
+                    meta=(EPOCH_TAG, self.epoch, frame),
+                )
                 self.frames_sent += 1
                 self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
@@ -218,7 +228,10 @@ class ControlPlane:
         sequence I hold per origin — replay what I am missing"."""
         frame = ResumeFrame(node_index=self.local_index, have=have)
         for channel in self._out_channels.values():
-            channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+            channel.send(
+                SyntheticPayload(frame.wire_size()),
+                meta=(EPOCH_TAG, self.epoch, frame),
+            )
             self.frames_sent += 1
             self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
@@ -245,7 +258,10 @@ class ControlPlane:
                 origin_index=self.config.node_index(origin),
                 entries=entries,
             )
-            channel.send(SyntheticPayload(frame.wire_size()), meta=frame)
+            channel.send(
+                SyntheticPayload(frame.wire_size()),
+                meta=(EPOCH_TAG, self.epoch, frame),
+            )
             self.frames_sent += 1
             self.bytes_sent += frame.wire_size()
             self._last_sent_to_any = self.sim.now
@@ -254,6 +270,21 @@ class ControlPlane:
     def _on_control(self, payload, frame) -> None:
         if self._closed:
             return
+        if isinstance(frame, tuple) and frame and frame[0] == EPOCH_TAG:
+            _tag, frame_epoch, frame = frame
+            if frame_epoch != self.epoch:
+                # Epoch fence: row indices in this report belong to a
+                # different owner set — applying them would corrupt the
+                # ACK tables.  Count and drop.
+                self.stale_epoch_frames += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self._trace_node,
+                        "control.epoch_fenced",
+                        frame_epoch=frame_epoch,
+                        local_epoch=self.epoch,
+                    )
+                return
         self.frames_received += 1
         reporter = frame.node_index
         if self.on_heard is not None:

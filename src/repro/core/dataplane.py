@@ -46,6 +46,15 @@ DATA_CHANNEL = "stab.data"
 #: first element is an integer sequence number).
 FRAME_TAG = "frame"
 
+#: Tag wrapping every plane frame's meta with the membership epoch of the
+#: shard map the sending stack was built from: ``(EPOCH_TAG, epoch, meta)``.
+#: Receivers unwrap and *fence*: a frame stamped with a different epoch
+#: comes from a stack running a superseded (or not-yet-adopted) shard
+#: layout, and delivering it would corrupt ACK rows whose indices belong
+#: to a different owner set.  Fenced frames are counted and dropped.
+#: Untagged metas are legacy epoch-0 traffic.
+EPOCH_TAG = "epoch"
+
 # (seq, object_id, chunk_index, chunk_count, user_meta)
 ChunkMeta = Tuple[int, int, int, int, object]
 
@@ -181,6 +190,10 @@ class DataPlane:
         # and queued for transmission — the durability layer's ingest
         # point for the node's own stream.
         self.on_sent = on_sent
+        # Epoch fencing: stamp every outgoing frame with the shard-map
+        # epoch this stack was built from; drop mismatched arrivals.
+        self.epoch = config.shard_epoch
+        self.stale_epoch_frames = 0
         self.chunker = Chunker(config.chunk_bytes)
         # Admission policy runs before sequencing (see send()); the buffer
         # itself is non-strict so a "block"-policy overflow stays soft.
@@ -295,7 +308,9 @@ class DataPlane:
             else:
                 # Pre-pipelining path: one transport frame per message.
                 for channel in self._out_channels.values():
-                    channel.send(chunk.payload, meta=chunk_meta)
+                    channel.send(
+                        chunk.payload, meta=(EPOCH_TAG, self.epoch, chunk_meta)
+                    )
             self.messages_sent += 1
             self.payload_bytes_sent += size * len(self._out_channels)
             if self.on_sent is not None:
@@ -385,11 +400,11 @@ class DataPlane:
         payload, metas, lengths = builder.build()
         if len(metas) == 1:
             # A lone message needs no batch framing.
-            stream.channel.send(payload, meta=metas[0])
+            stream.channel.send(payload, meta=(EPOCH_TAG, self.epoch, metas[0]))
         else:
             stream.channel.send(
                 payload,
-                meta=(FRAME_TAG, metas, lengths),
+                meta=(EPOCH_TAG, self.epoch, (FRAME_TAG, metas, lengths)),
                 wire_overhead=BATCH_ENTRY.size * len(metas),
             )
         self.frames_sent += 1
@@ -510,7 +525,9 @@ class DataPlane:
         channel.reset_stream()
         count = 0
         for entry in self.buffer.entries_above(from_seq):
-            channel.send(entry.payload, meta=entry.chunk_meta)
+            channel.send(
+                entry.payload, meta=(EPOCH_TAG, self.epoch, entry.chunk_meta)
+            )
             count += 1
             self.payload_bytes_sent += entry.size
         self.replayed_chunks += count
@@ -539,6 +556,24 @@ class DataPlane:
 
     def _make_receiver(self, origin: str):
         def receive(payload: Payload, meta) -> None:
+            if isinstance(meta, tuple) and meta and meta[0] == EPOCH_TAG:
+                _tag, frame_epoch, meta = meta
+                if frame_epoch != self.epoch:
+                    # Epoch fence: the sender is running a different shard
+                    # layout.  Its row indices and owner sets do not match
+                    # ours — routing the frame into our tables would
+                    # corrupt them.  Drop it; the sender learns the new
+                    # layout from the rebalance coordinator, not from us.
+                    self.stale_epoch_frames += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            self._trace_node,
+                            "data.epoch_fenced",
+                            origin=origin,
+                            frame_epoch=frame_epoch,
+                            local_epoch=self.epoch,
+                        )
+                    return
             if isinstance(meta, tuple) and meta and meta[0] == FRAME_TAG:
                 _tag, metas, lengths = meta
                 self.frames_received += 1

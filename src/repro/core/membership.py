@@ -8,7 +8,15 @@ what":
   Stabilization for Causally Consistent Partial Replication*) is built
   on.  Keys hash to shards; each shard is owned by a rendezvous-chosen
   subset of the WAN nodes; a node replicates and stabilizes only the
-  shards it owns.
+  shards it owns.  Maps are *epoch-numbered*: every membership change
+  produces a successor map (:meth:`ShardMap.with_nodes`) with the epoch
+  bumped, and every data/control frame of a shard stack is fenced on
+  the epoch of the map it was built from.
+- :class:`RebalancePlanner` — computes the minimal set of per-shard
+  ownership moves between two maps.  Rendezvous hashing guarantees
+  minimality structurally: a membership change only disturbs the shards
+  whose owner sets actually involve the joining or leaving node, and the
+  planner simply collects the shards whose owner sets differ.
 - :class:`FailureDetector` — Section III-E's peer liveness tracking.
 
 Failure detection for Section III-E.
@@ -29,7 +37,8 @@ usually much faster than waiting out the heartbeat silence.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, List, NamedTuple, Optional, Sequence, Set,
+                    Tuple)
 
 from repro.core.config import StabilizerConfig
 from repro.errors import ConfigError
@@ -66,6 +75,13 @@ class ShardMap:
     — full replication, the degenerate configuration that must behave
     exactly like the unsharded engine.  An explicit ``owners`` mapping
     (``{shard_id: [names]}``) overrides rendezvous assignment entirely.
+
+    ``epoch`` numbers the map's place in a deployment's membership
+    history: the initial map is epoch 0 and every successor produced by
+    :meth:`with_nodes` bumps it by one.  Shard stacks stamp their map
+    epoch into every frame, so a node still running a superseded layout
+    gets fenced instead of corrupting ACK rows (see
+    :mod:`repro.core.rebalance`).
     """
 
     def __init__(
@@ -74,6 +90,7 @@ class ShardMap:
         shard_count: int = 1,
         replication: Optional[int] = None,
         owners: Optional[Dict[int, Sequence[str]]] = None,
+        epoch: int = 0,
     ):
         if not node_names:
             raise ConfigError("ShardMap needs at least one node")
@@ -85,9 +102,13 @@ class ShardMap:
             raise ConfigError(
                 f"shard replication {replication} outside 1..{len(node_names)}"
             )
+        if epoch < 0:
+            raise ConfigError("epoch must be non-negative")
         self.node_names = list(node_names)
         self.shard_count = shard_count
         self.replication = replication
+        self.epoch = int(epoch)
+        self._explicit = owners is not None
         self._order = {name: i for i, name in enumerate(self.node_names)}
         self._owners: Dict[int, Tuple[str, ...]] = {}
         self._primaries: Dict[int, str] = {}
@@ -170,12 +191,43 @@ class ShardMap:
                 f"shard {shard} out of range 0..{self.shard_count - 1}"
             )
 
+    # -- successor maps ----------------------------------------------------------
+    def with_nodes(
+        self,
+        node_names: Sequence[str],
+        owners: Optional[Dict[int, Sequence[str]]] = None,
+    ) -> "ShardMap":
+        """The successor map after a membership change, epoch bumped.
+
+        Replication is clamped to the new population so a shrinking
+        deployment degrades to fewer replicas instead of refusing to
+        exist.  Maps built from an explicit ``owners`` table cannot be
+        re-derived (there is no hash to re-run) — the caller must supply
+        the successor's owners too.
+        """
+        if self._explicit and owners is None:
+            raise ConfigError(
+                "explicit-owners ShardMap cannot derive a successor; "
+                "pass the new owners mapping"
+            )
+        replication = self.replication
+        if replication is not None:
+            replication = min(replication, len(node_names))
+        return ShardMap(
+            node_names,
+            shard_count=self.shard_count,
+            replication=replication,
+            owners=owners,
+            epoch=self.epoch + 1,
+        )
+
     # -- (de)serialization -------------------------------------------------------
     def to_dict(self) -> dict:
         return {
             "node_names": list(self.node_names),
             "shard_count": self.shard_count,
             "replication": self.replication,
+            "epoch": self.epoch,
             "owners": {
                 str(shard): list(members)
                 for shard, members in self._owners.items()
@@ -187,14 +239,136 @@ class ShardMap:
             isinstance(other, ShardMap)
             and other.node_names == self.node_names
             and other.shard_count == self.shard_count
+            and other.epoch == self.epoch
             and other._owners == self._owners
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<ShardMap {self.shard_count} shards x "
+            f"<ShardMap epoch={self.epoch} {self.shard_count} shards x "
             f"{len(self.node_names)} nodes, replication={self.replication}>"
         )
+
+
+class ShardMove(NamedTuple):
+    """One shard's ownership change between two maps."""
+
+    shard_id: int
+    old: Tuple[str, ...]
+    new: Tuple[str, ...]
+
+    @property
+    def joiners(self) -> Tuple[str, ...]:
+        """New owners that were not owners before — need state handoff."""
+        return tuple(n for n in self.new if n not in self.old)
+
+    @property
+    def leavers(self) -> Tuple[str, ...]:
+        """Old owners no longer owning — release state after cutover."""
+        return tuple(n for n in self.old if n not in self.new)
+
+    @property
+    def stayers(self) -> Tuple[str, ...]:
+        """Owners on both sides — remap tables in place, handoff sources."""
+        return tuple(n for n in self.old if n in self.new)
+
+
+class RebalancePlan:
+    """The minimal set of per-shard moves taking ``old_map`` to ``new_map``."""
+
+    def __init__(self, old_map: ShardMap, new_map: ShardMap,
+                 moves: Sequence[ShardMove]):
+        self.old_map = old_map
+        self.new_map = new_map
+        self.moves: Tuple[ShardMove, ...] = tuple(moves)
+
+    @property
+    def old_epoch(self) -> int:
+        return self.old_map.epoch
+
+    @property
+    def new_epoch(self) -> int:
+        return self.new_map.epoch
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.moves
+
+    def moved_shards(self) -> Tuple[int, ...]:
+        return tuple(move.shard_id for move in self.moves)
+
+    def moves_for(self, name: str) -> Tuple[ShardMove, ...]:
+        """Moves ``name`` participates in (as joiner, leaver, or stayer)."""
+        return tuple(
+            move for move in self.moves
+            if name in move.old or name in move.new
+        )
+
+    def summary(self) -> dict:
+        """Run metadata for benchmarks and traces."""
+        return {
+            "old_epoch": self.old_epoch,
+            "new_epoch": self.new_epoch,
+            "shards_moved": len(self.moves),
+            "shards_total": self.new_map.shard_count,
+            "handoffs": sum(len(move.joiners) for move in self.moves),
+            "releases": sum(len(move.leavers) for move in self.moves),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RebalancePlan epoch {self.old_epoch}->{self.new_epoch}, "
+            f"{len(self.moves)} moves>"
+        )
+
+
+class RebalancePlanner:
+    """Computes the minimal shard moves for a membership change.
+
+    Rendezvous hashing does the heavy lifting: a join only disturbs the
+    shards the new node *wins* (scores into the top ``replication``),
+    and a leave only disturbs the shards the departing node owned.  The
+    planner therefore just diffs owner sets between the current map and
+    its successor — every shard whose owner set is unchanged keeps its
+    running stack, epoch stamp and all.
+    """
+
+    def __init__(self, shard_map: ShardMap):
+        self.shard_map = shard_map
+
+    def plan_join(self, name: str) -> RebalancePlan:
+        """``name`` joins the deployment (appended in deployment order)."""
+        if name in self.shard_map.node_names:
+            raise ConfigError(f"node {name!r} is already a member")
+        new_map = self.shard_map.with_nodes(
+            list(self.shard_map.node_names) + [name]
+        )
+        return self.plan(new_map)
+
+    def plan_leave(self, name: str) -> RebalancePlan:
+        """``name`` leaves (decommission or declared permanently dead)."""
+        if name not in self.shard_map.node_names:
+            raise ConfigError(f"node {name!r} is not a member")
+        remaining = [n for n in self.shard_map.node_names if n != name]
+        if not remaining:
+            raise ConfigError("cannot remove the last node")
+        new_map = self.shard_map.with_nodes(remaining)
+        return self.plan(new_map)
+
+    def plan(self, new_map: ShardMap) -> RebalancePlan:
+        """Diff ``new_map`` against the current map shard by shard."""
+        if new_map.shard_count != self.shard_map.shard_count:
+            raise ConfigError(
+                f"shard_count cannot change in a rebalance "
+                f"({self.shard_map.shard_count} -> {new_map.shard_count})"
+            )
+        moves = [
+            ShardMove(shard, self.shard_map.owners(shard),
+                      new_map.owners(shard))
+            for shard in range(new_map.shard_count)
+            if set(self.shard_map.owners(shard)) != set(new_map.owners(shard))
+        ]
+        return RebalancePlan(self.shard_map, new_map, moves)
 
 
 class FailureDetector:

@@ -18,7 +18,13 @@ Version 4 is the sharded envelope: a
 :class:`~repro.core.sharding.ShardedStabilizer` snapshots as one inner
 version-3 snapshot per owned shard (each carrying that shard's
 watermarks, tables, and buffer tail) plus the shard layout, and refuses
-to restore into a node whose owned-shard set differs.
+to restore into a node whose owned-shard set differs.  Version 5 adds
+the live-rebalance state: the shard map's membership *epoch*, the set
+of shards frozen for an in-flight handoff, and any transferred state
+blobs parked in the :class:`~repro.core.rebalance.HandoffManager` —
+so a node crashing between transfer and cutover restarts without losing
+the handoff.  Version-4 envelopes still restore (epoch 0, nothing in
+flight).
 """
 
 from __future__ import annotations
@@ -33,8 +39,9 @@ from repro.storage.faultio import OS_FS
 from repro.transport.messages import SyntheticPayload
 
 SNAPSHOT_VERSION = 3
-SHARDED_SNAPSHOT_VERSION = 4
+SHARDED_SNAPSHOT_VERSION = 5
 _SUPPORTED_VERSIONS = (1, 2, 3)
+_SUPPORTED_SHARDED_VERSIONS = (4, 5)
 
 
 def _encode_payload(payload):
@@ -71,6 +78,10 @@ def snapshot_state(stabilizer) -> dict:
                 str(shard): snapshot_state(inner)
                 for shard, inner in stabilizer.shards.items()
             },
+            # v5: live-rebalance state.  Pending shards are implicit —
+            # they are exactly the owned shards absent from "shards".
+            "frozen": list(stabilizer.frozen_shards()),
+            "handoffs": stabilizer.handoff.incoming_state(),
         }
     buffer = stabilizer.dataplane.buffer
     return {
@@ -126,7 +137,7 @@ def restore_state(stabilizer, snapshot: dict) -> None:
     send buffer's undelivered tail, ready for
     :meth:`~repro.core.stabilizer.Stabilizer.request_catchup` replay.
     """
-    if snapshot.get("version") == SHARDED_SNAPSHOT_VERSION:
+    if snapshot.get("version") in _SUPPORTED_SHARDED_VERSIONS:
         _restore_sharded(stabilizer, snapshot)
         return
     if snapshot.get("version") not in _SUPPORTED_VERSIONS:
@@ -201,7 +212,7 @@ def _restore_sharded(stabilizer, snapshot: dict) -> None:
 
     if not isinstance(stabilizer, ShardedStabilizer):
         raise StabilizerError(
-            "version-4 snapshots are sharded; restore into a "
+            "version-4/5 snapshots are sharded; restore into a "
             "ShardedStabilizer built from the same deployment config"
         )
     config = snapshot["config"]
@@ -212,20 +223,38 @@ def _restore_sharded(stabilizer, snapshot: dict) -> None:
             f"snapshot belongs to node {config['local']!r}, "
             f"not {stabilizer.config.local!r}"
         )
-    if snapshot["shard_map"] != stabilizer.shard_map.to_dict():
+    # Version-4 envelopes predate membership epochs: normalize to epoch 0
+    # so a pre-rebalance snapshot restores into an epoch-0 deployment.
+    found = dict(snapshot["shard_map"])
+    found.setdefault("epoch", 0)
+    expected = stabilizer.shard_map.to_dict()
+    if found != expected:
         raise StabilizerError(
             "snapshot's shard layout differs from this deployment's — "
-            "per-shard watermarks cannot be mapped across layouts"
+            "per-shard watermarks cannot be mapped across layouts "
+            f"(expected shard_count={expected['shard_count']} "
+            f"replication={expected['replication']} "
+            f"epoch={expected['epoch']} over {len(expected['node_names'])} "
+            f"nodes; snapshot has shard_count={found.get('shard_count')} "
+            f"replication={found.get('replication')} "
+            f"epoch={found.get('epoch')} over "
+            f"{len(found.get('node_names', []))} nodes)"
         )
     snapshotted = {int(shard) for shard in snapshot["shards"]}
-    owned = set(stabilizer.shards)
-    if snapshotted != owned:
+    built = set(stabilizer.shards)
+    if snapshotted != built:
         raise StabilizerError(
             f"snapshot covers shards {sorted(snapshotted)} but node "
-            f"{stabilizer.name!r} owns {sorted(owned)}"
+            f"{stabilizer.name!r} runs stacks for {sorted(built)}"
         )
     for shard, inner_snapshot in snapshot["shards"].items():
         restore_state(stabilizer.shards[int(shard)], inner_snapshot)
+    # v5: reinstate the live-rebalance state — re-freeze shards that were
+    # mid-handoff and re-park transferred blobs awaiting cutover.
+    for shard in snapshot.get("frozen", []):
+        if int(shard) in stabilizer.shards:
+            stabilizer.freeze_shard(int(shard))
+    stabilizer.handoff.restore_incoming(snapshot.get("handoffs", []))
 
 
 def save_snapshot(

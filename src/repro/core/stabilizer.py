@@ -173,6 +173,10 @@ class Stabilizer:
         self.degradations = 0
         self.reinclusions = 0
         self.endpoint.on_peer_dead = self._on_peer_dead
+        # Optional relay for the node hosting this stack (e.g. a
+        # ShardedStabilizer re-scoping the report by shard): called as
+        # fn(peer, channel_name) after the local detector is informed.
+        self.on_peer_dead: Optional[Callable[[str, str], None]] = None
         self.detector.on_suspect(self._on_peer_suspected)
         self.detector.on_recover(self._on_peer_recovered)
         self.detector.start()
@@ -398,8 +402,13 @@ class Stabilizer:
     def _on_peer_dead(self, peer: str, channel_name: str) -> None:
         # The paper's "data transmission failure information": the
         # transport exhausted its retransmit budget toward this peer.
+        # Scope: this stack's endpoint only — under sharding each shard
+        # stack has its own endpoint, port, and detector, so suspicion
+        # here never leaks into co-owned shards with healthy links.
         self._degradation_log.append((self.sim.now, "transport_dead", peer))
         self.detector.suspect(peer)
+        if self.on_peer_dead is not None:
+            self.on_peer_dead(peer, channel_name)
 
     def _on_peer_suspected(self, peer: str) -> None:
         self._degradation_log.append((self.sim.now, "suspect", peer))
@@ -441,6 +450,11 @@ class Stabilizer:
         table = self.tables[self.name]
         for peer in self.config.remote_names():
             peer_has = table.get(self.config.node_index(peer), received)
+            # A rebalance joiner's column starts at zero even though the
+            # state transfer covered everything already reclaimed (reclaim
+            # waits for every then-owner); within one epoch the clamp is a
+            # no-op because reclaim never passes any peer's received ack.
+            peer_has = max(peer_has, self.dataplane.buffer.reclaimed_up_to)
             if self.dataplane.last_sent_seq() > peer_has:
                 self.dataplane.replay_to(peer, peer_has)
 
@@ -448,7 +462,13 @@ class Stabilizer:
         """A restarted ``peer`` asked for catch-up: replay our stream
         above its watermark and resync our acknowledgment rows."""
         self._degradation_log.append((self.sim.now, "resume_request", peer))
-        self.dataplane.replay_to(peer, have.get(self.local_index, 0))
+        # Clamp like request_catchup: a joiner rebuilt from a state
+        # transfer may ask from zero, but the reclaimed prefix rode in
+        # the handoff blob and no longer exists to replay.
+        from_seq = max(
+            have.get(self.local_index, 0), self.dataplane.buffer.reclaimed_up_to
+        )
+        self.dataplane.replay_to(peer, from_seq)
         self.controlplane.resync_to(peer)
         self.detector.heard_from(peer)
 
@@ -496,6 +516,11 @@ class Stabilizer:
             "reinclusions": self.reinclusions,
             "duplicates_dropped": self.dataplane.duplicates_dropped,
             "replayed_chunks": self.dataplane.replayed_chunks,
+            "stale_epoch_frames": (
+                self.dataplane.stale_epoch_frames
+                + self.controlplane.stale_epoch_frames
+            ),
+            "shard_epoch": self.config.shard_epoch,
             "transport_retransmissions": sum(
                 c.retransmissions for c in self.endpoint.channels().values()
             ),

@@ -309,12 +309,21 @@ class FifoChannel:
         )
 
     def _suspend(self) -> None:
-        """Give up retrying: the peer looks dead.  Frames are retained."""
+        """Give up retrying: the peer looks dead.  Frames are retained.
+
+        The dead-peer report is scoped to this channel's *endpoint* — and
+        an endpoint is bound to one port, which under sharding is one
+        shard stack (``transport.s<shard>``).  A report here suspends the
+        peer only in this endpoint and its failure detector; co-owned
+        shards whose links are healthy keep their own channels running
+        (asymmetric partitions are per-link, so suspicion must be too).
+        """
         self.suspended = True
         self.suspensions += 1
         if self.endpoint.tracer.enabled:
             self.endpoint.tracer.emit(
-                self.local, "transport.suspend", peer=self.peer, channel=self.name
+                self.local, "transport.suspend", peer=self.peer,
+                channel=self.name, port=self.endpoint.port,
             )
         if self._retransmit_timer is not None:
             self._retransmit_timer.cancel()
@@ -339,6 +348,7 @@ class FifoChannel:
                 "transport.revive",
                 peer=self.peer,
                 channel=self.name,
+                port=self.endpoint.port,
                 frames=len(self._unacked),
             )
         for seq in sorted(self._unacked):

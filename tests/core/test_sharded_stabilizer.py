@@ -1,5 +1,5 @@
 """ShardedStabilizer integration: routing, owner-set fan-out, per-shard
-state, snapshot v4, and partial-replication degradation scoping."""
+state, snapshot v4/v5, and partial-replication degradation scoping."""
 
 import json
 
@@ -188,11 +188,11 @@ def test_register_predicate_and_type_apply_to_every_owned_shard():
 
 
 # ---------------------------------------------------------------------------
-# Snapshot v4 round-trip.
+# Sharded snapshot round-trip (v5 envelope).
 # ---------------------------------------------------------------------------
 
 
-def test_snapshot_v4_round_trips_through_restart():
+def test_sharded_snapshot_round_trips_through_restart():
     sim, cluster = build()
     node = cluster["n1"]
     sent = {}
@@ -203,7 +203,7 @@ def test_snapshot_v4_round_trips_through_restart():
             node.waitfor(seq, "all", shard=shard, timeout_s=10.0)
         )
     snapshot = json.loads(json.dumps(snapshot_state(node)))  # wire-safe
-    assert snapshot["version"] == 4
+    assert snapshot["version"] == 5
     assert set(map(int, snapshot["shards"])) == set(node.owned_shards)
     assert snapshot["shard_map"] == cluster.shard_map.to_dict()
 
@@ -218,7 +218,7 @@ def test_snapshot_v4_round_trips_through_restart():
     cluster.close()
 
 
-def test_snapshot_v4_refuses_wrong_target_or_layout():
+def test_sharded_snapshot_refuses_wrong_target_or_layout():
     _sim, cluster = build()
     snapshot = snapshot_state(cluster["n0"])
 

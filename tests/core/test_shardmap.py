@@ -108,6 +108,24 @@ def test_removing_a_node_only_reassigns_the_shards_it_owned():
     assert before.owned_shards(removed)
 
 
+def test_adding_a_node_only_reassigns_shards_it_wins():
+    before = ShardMap(NODES, shard_count=64, replication=2)
+    after = before.with_nodes(NODES + ["n8"])
+    assert after.epoch == before.epoch + 1
+    for shard in range(64):
+        if "n8" not in after.owners(shard):
+            # The joiner didn't win this shard: nothing moves.
+            assert after.owners(shard) == before.owners(shard)
+        else:
+            # The joiner displaced exactly one old owner; the other
+            # old owner keeps the shard (rendezvous stability).
+            displaced = set(before.owners(shard)) - set(after.owners(shard))
+            assert len(displaced) == 1
+            assert len(after.owners(shard)) == 2
+    # The joiner must actually win something, or the test proved nothing.
+    assert after.owned_shards("n8")
+
+
 # ---------------------------------------------------------------------------
 # Explicit owner mappings.
 # ---------------------------------------------------------------------------
