@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
-        durability-smoke obs-smoke rebalance-smoke shard-smoke api-check \
-        verify report clean
+        durability-smoke obs-smoke overload-smoke rebalance-smoke \
+        shard-smoke api-check verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,12 @@ durability-smoke:
 obs-smoke:
 	pytest -m obs_smoke
 
+# Overload chaos: seeded flash-crowd / slow-node sweeps over the
+# admission-control and SLA-controller invariants — no admitted message
+# is ever shed, degraded predicates are restored (see docs/overload.md).
+overload-smoke:
+	pytest -m overload_smoke
+
 # Membership chaos: seeded join/leave/failover sweeps plus handcrafted
 # crash-mid-handoff schedules over the rebalance invariants
 # (see docs/sharding.md, "Rebalancing & failover").
@@ -48,14 +54,15 @@ shard-smoke:
 	pytest -m shard_smoke
 
 # Public-API gate: the __all__ snapshot test plus a warning-free import
-# (`import repro` must never trip a DeprecationWarning).
+# (`import repro` must never trip a DeprecationWarning).  The snapshot
+# suite also fails when a public name is missing from docs/api.md.
 api-check:
 	pytest tests/test_public_api.py
 	python -W error::DeprecationWarning -c "import repro"
 
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
 verify: test bench-smoke chaos-smoke durability-smoke obs-smoke \
-        rebalance-smoke shard-smoke api-check
+        overload-smoke rebalance-smoke shard-smoke api-check
 
 report:
 	python -m repro report

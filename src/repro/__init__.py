@@ -51,15 +51,19 @@ Quick start::
 from repro import testing
 from repro.apps import FileBackupService, QuorumKV, WanKVStore
 from repro.core import (
+    AdmissionController,
+    CircuitBreaker,
     RebalanceCoordinator,
     RebalancePlan,
     RebalancePlanner,
     ShardedCluster,
     ShardedStabilizer,
     ShardMap,
+    SlaController,
     Stabilizer,
     StabilizerCluster,
     StabilizerConfig,
+    TokenBucket,
     build_cluster,
     build_sharded_cluster,
 )
@@ -70,7 +74,7 @@ from repro.dsl import (
     shard_standard_predicates,
     standard_predicates,
 )
-from repro.errors import BackpressureError, ReproError
+from repro.errors import AdmissionError, BackpressureError, ReproError
 from repro.net import NetemSpec, Network, Topology
 from repro.obs import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -86,8 +90,11 @@ __version__ = "1.0.0"
 #: snapshot test (``tests/test_public_api.py``) holds this list to the
 #: checked-in ``docs/api_surface.txt``; changing either is an API event.
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
     "AppendLog",
     "BackpressureError",
+    "CircuitBreaker",
     "CompiledPredicate",
     "DegradationPolicy",
     "FileBackupService",
@@ -110,10 +117,12 @@ __all__ = [
     "ShardedCluster",
     "ShardedStabilizer",
     "Simulator",
+    "SlaController",
     "Stabilizer",
     "StabilizerBroker",
     "StabilizerCluster",
     "StabilizerConfig",
+    "TokenBucket",
     "Topology",
     "Tracer",
     "WanKVStore",

@@ -80,12 +80,27 @@ class ConsistencySLA:
         """
         event = self.sim.event()
         started = self.sim.now
-        state = {"index": 0, "done": False}
+        state = {"index": 0, "done": False, "waiters": [], "timers": []}
+
+        def cancel_pending() -> None:
+            # GC: a degraded-past sub-SLA must not leave its waiter
+            # sitting in the per-key heap (nor its deadline timer in the
+            # wheel) until the frontier happens to catch up — under
+            # overload that is exactly when frontiers stall and stale
+            # entries would pile up unboundedly.
+            engine = self.stabilizer.engine
+            for handle in state["waiters"]:
+                engine.cancel_waiter(handle)
+            state["waiters"].clear()
+            for timer in state["timers"]:
+                timer.cancel()
+            state["timers"].clear()
 
         def resolve(sub: SubSla) -> None:
             if state["done"]:
                 return
             state["done"] = True
+            cancel_pending()
             outcome = SlaOutcome(sub, self.sim.now - started, seq)
             self.outcomes.append(outcome)
             event.succeed(outcome)
@@ -117,29 +132,38 @@ class ConsistencySLA:
                 if not state["done"] and state["index"] == token:
                     resolve(sub)
 
-            self.stabilizer.engine.add_waiter(
+            handle = self.stabilizer.engine.add_waiter(
                 origin or self.stabilizer.name,
                 seq,
                 on_satisfied,
                 key=sub.predicate_key,
             )
+            if handle is not None:
+                state["waiters"].append(handle)
             if deadline is not None:
 
                 def on_deadline() -> None:
                     if not state["done"] and state["index"] == token:
                         state["index"] += 1
+                        cancel_pending()  # this level's waiter is stale now
                         try_level()
 
-                self.sim.call_later(deadline - self.sim.now, on_deadline)
+                state["timers"].append(
+                    self.sim.call_later(deadline - self.sim.now, on_deadline)
+                )
 
         try_level()
         return event
 
-    def mean_utility(self) -> float:
-        """Average delivered utility over every resolved acquire."""
-        if not self.outcomes:
+    def mean_utility(self, since: int = 0) -> float:
+        """Average delivered utility over resolved acquires — all of
+        them by default, or only ``outcomes[since:]`` so a controller
+        (:class:`~repro.core.slacontrol.SlaController`) can window the
+        signal by remembering ``len(outcomes)`` between ticks."""
+        outcomes = self.outcomes[since:]
+        if not outcomes:
             return 0.0
-        return sum(o.sub_sla.utility for o in self.outcomes) / len(self.outcomes)
+        return sum(o.sub_sla.utility for o in outcomes) / len(outcomes)
 
 
 # ---------------------------------------------------------------------------

@@ -1387,3 +1387,266 @@ def run_rebalance_bench(
     coordinator.close()
     cluster.close()
     return result
+
+
+# ---------------------------------------------------------------------------
+# Overload: a regional flash crowd, closed loop vs. no controller.
+# ---------------------------------------------------------------------------
+
+
+def _overload_topology(nodes: int, azs: int, rate_mbit: float) -> Topology:
+    topo = Topology()
+    for i in range(nodes):
+        topo.add_node(f"n{i}", group=f"az{i % azs}")
+    # A deliberately narrow WAN: the crowd must be able to congest it.
+    topo.set_default(NetemSpec(latency_ms=30, rate_mbit=rate_mbit))
+    return topo
+
+
+def run_overload_bench(
+    nodes: int = 8,
+    azs: int = 4,
+    shard_count: int = 8,
+    replication: int = 3,
+    base_interval_s: float = 0.08,
+    payload_bytes: int = 2048,
+    link_rate_mbit: float = 1.0,
+    crowd_multiplier: float = 10.0,
+    crowd_az: str = "az0",
+    crowd_start_s: float = 2.0,
+    crowd_ramp_s: float = 0.5,
+    crowd_hold_s: float = 3.0,
+    duration_s: float = 10.0,
+    target_p99_s: float = 0.4,
+    admit_rate_per_s: float = 25.0,
+    queue_limit: int = 64,
+    sample_interval_s: float = 0.25,
+    control_interval_s: float = 0.01,
+    max_settle_s: float = 60.0,
+    seed: int = 0,
+) -> dict:
+    """A 10x regional flash crowd through a partially replicated
+    cluster, run twice: without any defense (the baseline — ``send``
+    straight into the buffers) and with the full closed loop (admission
+    control in front, one :class:`~repro.core.slacontrol.SlaController`
+    per shard stack behind).
+
+    Both runs sample the *windowed* p99 send->stable latency and the
+    oldest-pending age every ``sample_interval_s``; a sample breaches
+    when either exceeds ``target_p99_s``.  The claim the bench guards:
+    the baseline blows the SLA for the duration of the crowd, the
+    closed loop sheds a bounded amount at the edge, keeps every admitted
+    message, relaxes the predicate, and walks it back — so its breach
+    count stays a fraction of the baseline's.
+    """
+    from repro.core.slacontrol import SlaController, _HistogramWindow, _WindowStats
+    from repro.core.sharding import build_sharded_cluster
+    from repro.errors import BackpressureError
+    from repro.workloads.rates import FlashCrowdShape
+
+    shape = FlashCrowdShape(
+        base_rate=1.0,
+        peak_rate=crowd_multiplier,
+        t0=crowd_start_s,
+        ramp_s=crowd_ramp_s,
+        hold_s=crowd_hold_s,
+        decay_s=crowd_ramp_s,
+    )
+    traffic_end = duration_s
+
+    def run_mode(controlled: bool) -> dict:
+        sim, net = build_network(
+            _overload_topology(nodes, azs, link_rate_mbit), seed
+        )
+        cluster = build_sharded_cluster(
+            net,
+            {"sla": "MIN($ALLWNODES - $MYWNODE)"},
+            shard_count=shard_count,
+            shard_replication=replication,
+            control_interval_s=control_interval_s,
+            window_bytes=8 * 1024,
+            frame_bytes=2 * 1024,
+            frame_delay_ms=2.0,
+        )
+        crowd_nodes = {
+            name
+            for name in net.topology.node_names()
+            if net.topology.groups()[crowd_az].count(name)
+        }
+        counters = {
+            "offered": 0, "sent": 0, "queued": 0,
+            "shed": 0, "backpressure": 0,
+        }
+        admission = {}
+        sla = {}
+        if controlled:
+            for name in cluster.nodes:
+                node = cluster[name]
+                admission[name] = node.set_admission(
+                    rate_per_s=admit_rate_per_s,
+                    queue_limit=queue_limit,
+                    shed_policy="reject_new",
+                )
+                sla[name] = SlaController.install(
+                    node,
+                    "sla",
+                    target_p99_s,
+                    interval_s=0.2,
+                    cooldown_s=0.6,
+                    healthy_ticks=3,
+                )
+
+        def stacks():
+            for name in cluster.nodes:
+                for shard, inner in sorted(cluster[name].shards.items()):
+                    yield name, shard, inner
+
+        windows = {
+            (name, shard): _HistogramWindow(
+                inner.registry.histogram(f"{inner.stability.prefix}.sla")
+            )
+            for name, shard, inner in stacks()
+        }
+
+        def send_tick(name: str, state: dict) -> None:
+            if sim.now >= traffic_end:
+                return
+            multiplier = shape.rate_at(sim.now) if name in crowd_nodes else 1.0
+            sim.call_later(
+                base_interval_s / multiplier, send_tick, name, state
+            )
+            node = cluster[name]
+            shard = node.owned_shards[state["i"] % len(node.owned_shards)]
+            state["i"] += 1
+            counters["offered"] += 1
+            payload = SyntheticPayload(payload_bytes)
+            if controlled:
+                outcome = admission[name].submit(payload, shard=shard)
+                counters[outcome.status] += 1
+            else:
+                try:
+                    node.send(payload, shard=shard)
+                    counters["sent"] += 1
+                except BackpressureError:
+                    counters["backpressure"] += 1
+
+        timeline = []
+
+        def sample() -> dict:
+            deltas = None
+            bounds = None
+            observed_max = 0.0
+            pending = 0.0
+            for name, shard, inner in stacks():
+                stats = windows[(name, shard)].advance()
+                if deltas is None:
+                    bounds = stats.bounds
+                    deltas = [0] * len(stats.counts)
+                for i, c in enumerate(stats.counts):
+                    deltas[i] += c
+                observed_max = max(observed_max, stats.observed_max)
+                pending = max(
+                    pending, inner.stability.oldest_pending_age("sla")
+                )
+            combined = _WindowStats(bounds, deltas, observed_max)
+            p99 = combined.percentile(99) if combined.count else 0.0
+            point = {
+                "t": round(sim.now, 3),
+                "samples": combined.count,
+                "p99_s": round(p99, 4),
+                "pending_s": round(pending, 4),
+                "breach": p99 > target_p99_s or pending > target_p99_s,
+            }
+            timeline.append(point)
+            return point
+
+        def sample_tick() -> None:
+            if sim.now >= traffic_end:
+                return
+            sim.call_later(sample_interval_s, sample_tick)
+            sample()
+
+        for name in cluster.nodes:
+            sim.call_later(base_interval_s, send_tick, name, {"i": 0})
+        sim.call_later(sample_interval_s, sample_tick)
+        sim.run(until=traffic_end)
+
+        # Settle: drain queues and pending sends, let controllers restore.
+        def quiescent() -> bool:
+            if any(c.queue_depth() for c in admission.values()):
+                return False
+            if controlled and not all(
+                ctrl.restored()
+                for per_shard in sla.values()
+                for ctrl in per_shard.values()
+            ):
+                return False
+            return all(
+                inner.stability.oldest_pending_age("sla") == 0.0
+                for _, _, inner in stacks()
+            )
+
+        settle_s = 0.0
+        while not quiescent() and settle_s < max_settle_s:
+            sim.run(until=sim.now + 2.0)
+            settle_s += 2.0
+            sample()
+
+        crowd_points = [
+            p for p in timeline if crowd_start_s <= p["t"] <= traffic_end
+        ]
+        result = {
+            "mode": "controlled" if controlled else "baseline",
+            "counters": dict(counters),
+            "timeline": timeline,
+            "steady_p99_s": max(
+                (p["p99_s"] for p in timeline if p["t"] < crowd_start_s),
+                default=0.0,
+            ),
+            "peak_p99_s": max(p["p99_s"] for p in timeline),
+            "peak_pending_s": max(p["pending_s"] for p in timeline),
+            "breach_windows": sum(p["breach"] for p in crowd_points),
+            "crowd_windows": len(crowd_points),
+            "settle_s": settle_s,
+            "drained": quiescent(),
+            "virtual_end_s": round(sim.now, 3),
+        }
+        if controlled:
+            totals: Dict[str, float] = {}
+            for controller in admission.values():
+                for key, value in controller.stats().items():
+                    totals[key] = totals.get(key, 0) + value
+            result["admission"] = totals
+            result["max_degrade_steps"] = max(
+                ctrl.stats()["slacontrol.degrade_steps"]
+                for per_shard in sla.values()
+                for ctrl in per_shard.values()
+            )
+            result["restored"] = all(
+                ctrl.restored()
+                for per_shard in sla.values()
+                for ctrl in per_shard.values()
+            )
+            for per_shard in sla.values():
+                for ctrl in per_shard.values():
+                    ctrl.close()
+        cluster.close()
+        return result
+
+    return {
+        "config": {
+            "nodes": nodes,
+            "azs": azs,
+            "shard_count": shard_count,
+            "replication": replication,
+            "crowd_multiplier": crowd_multiplier,
+            "crowd_az": crowd_az,
+            "target_p99_s": target_p99_s,
+            "admit_rate_per_s": admit_rate_per_s,
+            "queue_limit": queue_limit,
+            "payload_bytes": payload_bytes,
+            "seed": seed,
+        },
+        "baseline": run_mode(controlled=False),
+        "controlled": run_mode(controlled=True),
+    }

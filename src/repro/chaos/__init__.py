@@ -23,7 +23,12 @@ of safety invariants is asserted after every event and at quiescence:
   :class:`~repro.core.rebalance.RebalanceCoordinator`), no delivery is
   lost across a cutover, every shard's replication factor is restored
   at quiescence, and each (shard, epoch) pair ever has exactly one
-  owner set — including crashes landing mid-handoff.
+  owner set — including crashes landing mid-handoff;
+- under overload (:mod:`repro.chaos.overload`: ``flash_crowd`` /
+  ``slow_node`` schedule events against a cluster running admission
+  control and the closed-loop SLA controller), no admitted message is
+  ever shed and every degraded predicate is walked back to its pristine
+  definition once load subsides (invariants 13 and 14).
 
 Everything is deterministic per seed: the same seed reproduces the same
 schedule, the same event interleaving, and the same final frontiers.
@@ -36,6 +41,11 @@ from repro.chaos.harness import (
     run_chaos,
 )
 from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.overload import (
+    OverloadChaosConfig,
+    OverloadChaosHarness,
+    run_overload_chaos,
+)
 from repro.chaos.rebalance import (
     RebalanceChaosConfig,
     RebalanceChaosHarness,
@@ -50,9 +60,12 @@ __all__ = [
     "ChaosHarness",
     "InvariantChecker",
     "InvariantViolation",
+    "OverloadChaosConfig",
+    "OverloadChaosHarness",
     "RebalanceChaosConfig",
     "RebalanceChaosHarness",
     "generate_schedule",
     "run_chaos",
+    "run_overload_chaos",
     "run_rebalance_chaos",
 ]

@@ -55,6 +55,19 @@ monitor / waiter / stats surfaces an application uses — and raises
     cluster ever adopts assigns each shard exactly one owner set at
     each membership epoch; two cutovers may never disagree about who
     owned a shard at a given epoch (:meth:`note_owner_map`).
+13. **An admitted message is never shed.**  Edge admission may refuse
+    or shed work *before* it is sequenced, never after: on every
+    :class:`~repro.core.admission.AdmissionController`, the
+    admitted-then-shed counter stays zero and the offered count is
+    conserved — ``offered == admitted + shed + queue_depth``
+    (:meth:`check_admission`).  Whatever was admitted then falls under
+    invariant 5 like any other send.
+14. **Overload degradation is temporary.**  After load subsides, every
+    :class:`~repro.core.slacontrol.SlaController` has walked its
+    predicate back to level 0 with the pristine source installed, and
+    the node has no local send its frontier still leaves uncovered
+    (:meth:`check_sla_restoration`) — the controller borrows
+    consistency during the surge, it never keeps it.
 
 Every individual comparison counts toward ``checks``; the bench harness
 divides by wall-clock time for the invariant-check throughput trajectory.
@@ -548,6 +561,66 @@ class InvariantChecker:
                         f"replication not restored: shard {shard} is still "
                         f"frozen at owner {owner!r}"
                     )
+
+    def check_admission(self, controllers) -> None:
+        """Invariant 13: sample every admission controller's accounting.
+
+        ``controllers`` is an iterable of ``(label, controller)`` pairs
+        (the label names the node in failure messages).  Safe to call
+        continuously — the conservation law holds at every instant, not
+        just at quiescence."""
+        for label, controller in controllers:
+            stats = controller.stats()
+            self.checks += 1
+            if stats["admission.admitted_shed"] != 0:
+                self._fail(
+                    f"admitted message shed at {label}: "
+                    f"{stats['admission.admitted_shed']} messages were "
+                    "dropped after admission assigned them a sequence"
+                )
+            self.checks += 1
+            balance = (
+                stats["admission.admitted"]
+                + stats["admission.shed"]
+                + stats["admission.queue_depth"]
+            )
+            if stats["admission.offered"] != balance:
+                self._fail(
+                    f"admission accounting leak at {label}: offered "
+                    f"{stats['admission.offered']} != admitted "
+                    f"{stats['admission.admitted']} + shed "
+                    f"{stats['admission.shed']} + queued "
+                    f"{stats['admission.queue_depth']}"
+                )
+
+    def check_sla_restoration(self, controllers) -> None:
+        """Invariant 14: at quiescence every SLA controller is back to
+        strict.  ``controllers`` is an iterable of ``(label,
+        controller)`` pairs.  Only meaningful after the surge ended and
+        the settle loop gave the restore path ``healthy_ticks`` worth of
+        calm — calling it mid-surge asserts the wrong thing."""
+        for label, controller in controllers:
+            self.checks += 1
+            if not controller.restored():
+                current = controller.stabilizer.engine.predicate(
+                    controller.key
+                ).source
+                self._fail(
+                    f"degradation not walked back at {label}: "
+                    f"{controller.key!r} is at level {controller.level} "
+                    f"with source {current!r}, expected level 0 and "
+                    f"{controller.original_source!r}"
+                )
+            self.checks += 1
+            pending = controller.stabilizer.stability.oldest_pending_age(
+                controller.key
+            )
+            if pending > 0.0:
+                self._fail(
+                    f"SLA not recovered at {label}: oldest local send "
+                    f"under {controller.key!r} has been pending "
+                    f"{pending:.3f}s at quiescence"
+                )
 
     def forget_node(self, name: str) -> None:
         """Drop table samples for a crashing node.

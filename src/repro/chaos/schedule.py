@@ -25,7 +25,16 @@ can actually execute against a cluster:
   crashed node, never below ``min_members`` survivors, and a departed
   member is never crashed, restarted, or picked again.  Membership
   events open no fault, so they need no closing event.  The defaults
-  (no membership changes) leave historical seeds byte-identical.
+  (no membership changes) leave historical seeds byte-identical;
+- with ``flash_crowds > 0``, ``flash_crowd`` events surge one AZ's
+  send rate (the harness applies a
+  :class:`~repro.workloads.rates.FlashCrowdShape` multiplier) and
+  ``flash_end`` events end the surge — at most one crowd at a time,
+  always ended before the schedule closes.  With ``slow_nodes > 0``,
+  ``slow_node`` events degrade one node's links (latency up, bandwidth
+  down) and ``slow_heal`` events restore them — a node is slowed at
+  most once at a time, every slowdown healed by the end.  Both budgets
+  default to zero, leaving historical seeds byte-identical.
 """
 
 from __future__ import annotations
@@ -39,7 +48,8 @@ class ChaosEvent(NamedTuple):
 
     at: float  # virtual seconds
     # "crash" | "restart" | "partition" | "heal" | "disk_fault" |
-    # "disk_heal" | "node_join" | "node_leave"
+    # "disk_heal" | "node_join" | "node_leave" | "flash_crowd" |
+    # "flash_end" | "slow_node" | "slow_heal"
     kind: str
     # node name; the two partitioned AZ names; or (node, fault_kind).
     target: Tuple[str, ...]
@@ -57,6 +67,8 @@ def generate_schedule(
     spare_nodes: Sequence[str] = (),
     max_leaves: int = 0,
     min_members: Optional[int] = None,
+    flash_crowds: int = 0,
+    slow_nodes: int = 0,
 ) -> List[ChaosEvent]:
     """Generate a valid schedule of at least ``events`` fault events.
 
@@ -67,7 +79,8 @@ def generate_schedule(
     hosts eligible for ``node_join``; ``max_leaves`` budgets
     ``node_leave`` events, which never shrink the membership below
     ``min_members`` (default: the initial membership minus the leave
-    budget, floored at 2).
+    budget, floored at 2).  ``flash_crowds`` and ``slow_nodes`` budget
+    the overload events (see module docstring).
     """
     if events < 2:
         raise ValueError("need at least 2 events for a fault and its repair")
@@ -86,6 +99,10 @@ def generate_schedule(
     disk_faulted: List[str] = []
     spares_left = list(spare_nodes)
     leaves_left = max_leaves
+    crowds_left = flash_crowds
+    slows_left = slow_nodes
+    crowd_active = False
+    slowed: List[str] = []
     partitioned = False
     t = start
 
@@ -98,7 +115,13 @@ def generate_schedule(
         # Close every open fault before the budget runs out: each crashed
         # node needs one restart and an open partition needs one heal.
         budget_left = events - len(schedule)
-        must_close = len(crashed) + len(disk_faulted) + (1 if partitioned else 0)
+        must_close = (
+            len(crashed)
+            + len(disk_faulted)
+            + len(slowed)
+            + (1 if partitioned else 0)
+            + (1 if crowd_active else 0)
+        )
         choices = []
         if budget_left > must_close:
             if len(crashed) < max_crashed:
@@ -113,12 +136,20 @@ def generate_schedule(
                 len(nodes) > len(crashed)
             ):
                 choices.append("node_leave")
+            if crowds_left > 0 and not crowd_active:
+                choices.append("flash_crowd")
+            if slows_left > 0 and len(slowed) < len(nodes):
+                choices.append("slow_node")
         if crashed:
             choices.append("restart")
         if partitioned:
             choices.append("heal")
         if disk_faulted:
             choices.append("disk_heal")
+        if crowd_active:
+            choices.append("flash_end")
+        if slowed:
+            choices.append("slow_heal")
         kind = rng.choice(choices)
         if kind == "crash":
             victim = rng.choice(sorted(set(nodes) - set(crashed)))
@@ -148,12 +179,32 @@ def generate_schedule(
             nodes.remove(victim)  # gone for good: never crashed again
             leaves_left -= 1
             emit("node_leave", (victim,))
+        elif kind == "flash_crowd":
+            az = rng.choice(az_names)
+            crowds_left -= 1
+            crowd_active = True
+            emit("flash_crowd", (az,))
+        elif kind == "flash_end":
+            crowd_active = False
+            emit("flash_end", ())
+        elif kind == "slow_node":
+            victim = rng.choice(sorted(set(nodes) - set(slowed)))
+            slows_left -= 1
+            slowed.append(victim)
+            emit("slow_node", (victim,))
+        elif kind == "slow_heal":
+            victim = slowed.pop(rng.randrange(len(slowed)))
+            emit("slow_heal", (victim,))
         else:
             partitioned = False
             emit("heal", ())
     # Close anything still open (can exceed the requested count).
     if partitioned:
         emit("heal", ())
+    if crowd_active:
+        emit("flash_end", ())
+    for victim in list(slowed):
+        emit("slow_heal", (victim,))
     for victim in list(disk_faulted):
         emit("disk_heal", (victim,))
     for victim in list(crashed):

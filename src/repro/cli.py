@@ -272,6 +272,50 @@ def _cmd_obs(args) -> None:
         print(f"JSONL trace written to {args.jsonl_out}")
 
 
+def _cmd_overload(args) -> None:
+    """One seeded overload-chaos run: flash crowds and slow nodes against
+    admission control and the closed-loop SLA controller."""
+    from repro.chaos import OverloadChaosConfig, run_overload_chaos
+
+    report = run_overload_chaos(
+        OverloadChaosConfig(
+            seed=args.seed,
+            events=args.events,
+            flash_crowds=args.flash_crowds,
+            slow_nodes=args.slow_nodes,
+        )
+    )
+    print(
+        format_table(
+            ["event", "at (s)", "target"],
+            [(kind, f"{t:.2f}", ",".join(target)) for t, kind, target in report["fired"]],
+            title=f"Overload chaos, seed {report['seed']} "
+            f"({report['nodes']} nodes / {report['azs']} AZs)",
+        )
+    )
+    admission = report["admission"]
+    print(
+        f"\nadmission: offered={admission['admission.offered']:.0f} "
+        f"admitted={admission['admission.admitted']:.0f} "
+        f"shed={admission['admission.shed']:.0f} "
+        f"admitted_shed={admission['admission.admitted_shed']:.0f}"
+    )
+    print(
+        f"slacontrol: max_degrade_steps={report['max_degrade_steps']:.0f} "
+        f"restored={report['restored']}"
+    )
+    print(
+        f"checks: {report['invariant_checks']} invariant checks, "
+        f"{len(report['violations'])} violations, "
+        f"settled in {report['virtual_end_s']:.1f} virtual s "
+        f"({report['elapsed_s']:.1f} wall s)"
+    )
+    if report["violations"]:
+        for violation in report["violations"]:
+            print(f"  VIOLATION: {violation}")
+        raise SystemExit(1)
+
+
 def _cmd_report(args) -> None:
     """Run every checked experiment and print a verdict table."""
     from repro.bench.paper import verdicts_for
@@ -371,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl-out", default=None, help="write JSONL trace events here"
     )
     obs.set_defaults(fn=_cmd_obs)
+    overload = sub.add_parser(
+        "overload",
+        help="seeded overload chaos: flash crowds / slow nodes vs the "
+        "admission gate and SLA controller (invariants 13-14)",
+    )
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--events", type=int, default=10)
+    overload.add_argument("--flash-crowds", type=int, default=1)
+    overload.add_argument("--slow-nodes", type=int, default=1)
+    overload.set_defaults(fn=_cmd_overload)
     rep = sub.add_parser(
         "report", help="run every checked experiment; print verdict table"
     )

@@ -6,6 +6,12 @@ planes live in :mod:`repro.core.dataplane` / :mod:`repro.core.controlplane`.
 """
 
 from repro.core.acks import AckTable
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionOutcome,
+    CircuitBreaker,
+    TokenBucket,
+)
 from repro.core.cluster import StabilizerCluster, build_cluster
 from repro.core.config import StabilizerConfig
 from repro.core.controlplane import ControlPlane
@@ -36,10 +42,14 @@ from repro.core.sharding import (
     ShardedStabilizer,
     build_sharded_cluster,
 )
+from repro.core.slacontrol import SlaController, relaxation_ladder
 from repro.core.stabilizer import Stabilizer
 
 __all__ = [
     "AckTable",
+    "AdmissionController",
+    "AdmissionOutcome",
+    "CircuitBreaker",
     "ControlPlane",
     "DataPlane",
     "DegradationPolicy",
@@ -56,12 +66,15 @@ __all__ = [
     "ShardMove",
     "ShardedCluster",
     "ShardedStabilizer",
+    "SlaController",
     "Stabilizer",
     "StabilizerCluster",
     "StabilizerConfig",
+    "TokenBucket",
     "build_cluster",
     "build_sharded_cluster",
     "load_snapshot",
+    "relaxation_ladder",
     "remap_inner_snapshot",
     "restore_state",
     "save_snapshot",

@@ -145,6 +145,41 @@ class PredicateAutoAdjuster:
         out = out.replace("$SHARDNODES", f"($SHARDNODES{subtraction})")
         return out
 
+    def rebase_original(self, key: str, source: str) -> str:
+        """Adopt ``source`` as ``key``'s new pristine definition and
+        return the variant to install *right now*.
+
+        The composition hook for controllers that legitimately redefine
+        predicates while masking may be active (the SLA controller's
+        relaxation ladder): without it, a level change would either
+        clobber the masking rewrite or be clobbered by the next
+        unmask-restore.  With it, the adjuster records ``source`` as what
+        restoration should return to, and hands back the masked variant
+        when nodes are currently masked (the pristine source otherwise,
+        or when masking it would empty a set).
+        """
+        if key in self.protect or not self._masked:
+            self._originals.pop(key, None)
+            return source
+        masked_names = [
+            name
+            for name in sorted(self._masked)
+            if self.stabilizer.engine.compiler.compile(source).depends_on(
+                self.stabilizer.config.node_index(name)
+            )
+        ]
+        if not masked_names:
+            self._originals.pop(key, None)
+            return source
+        masked = self._mask(source, masked_names)
+        try:
+            self.stabilizer.engine.compiler.compile(masked)
+        except DslSemanticError:
+            self._originals.pop(key, None)
+            return source
+        self._originals[key] = source
+        return masked
+
     # ------------------------------------------------------------------ inspection
     def masked_nodes(self) -> Set[str]:
         return set(self._masked)

@@ -86,3 +86,12 @@ class MaskSuspectedPolicy(DegradationPolicy):
         if self._adjuster is None:
             return []
         return self._adjuster.adjusted_keys()
+
+    def adjuster_for(self, stabilizer: "Stabilizer"):
+        """The bound :class:`~repro.core.autoadjust.PredicateAutoAdjuster`
+        (built on first use).  Public so cooperating controllers — the
+        SLA controller's relaxation ladder — can compose their own
+        ``change_predicate`` steps with masking via
+        :meth:`~repro.core.autoadjust.PredicateAutoAdjuster.rebase_original`
+        instead of fighting the policy over who owns the pristine source."""
+        return self._bind(stabilizer)

@@ -56,12 +56,13 @@ CellUpdate = Tuple[int, int]  # (type_id, new_seq) for the updated node
 
 
 class _Waiter:
-    __slots__ = ("seq", "callback", "released")
+    __slots__ = ("seq", "callback", "released", "cancelled")
 
     def __init__(self, seq: int, callback: WaiterFn):
         self.seq = seq
         self.callback = callback
         self.released = False
+        self.cancelled = False
 
 
 class _SlotState:
@@ -111,6 +112,7 @@ class FrontierEngine:
         # Waiter min-heaps: (seq, insertion tiebreak, waiter).
         self._waiters: Dict[Tuple[str, str], List[Tuple[int, int, _Waiter]]] = {}
         self._waiter_counter = 0
+        self._cancelled_waiters = 0  # still heaped but dead (lazy deletion)
         self._origins = list(origins)
         self.evaluations = 0
         self.skipped_by_index = 0
@@ -226,21 +228,41 @@ class FrontierEngine:
 
     def add_waiter(
         self, origin: str, seq: int, callback: WaiterFn, key: Optional[str] = None
-    ) -> None:
+    ) -> Optional[_Waiter]:
         """Run ``callback`` once frontier(origin, key) >= seq.
 
-        Fires immediately (synchronously) if already satisfied.
+        Fires immediately (synchronously) if already satisfied.  Returns a
+        handle for :meth:`cancel_waiter`, or ``None`` when the callback
+        fired synchronously (there is nothing left to cancel).
         """
         key = self._resolve_key(key)
         self.predicate(key)
         if self.frontier(origin, key) >= seq:
             callback()
-            return
+            return None
         self._waiter_counter += 1
+        waiter = _Waiter(seq, callback)
         heapq.heappush(
             self._waiters.setdefault((origin, key), []),
-            (seq, self._waiter_counter, _Waiter(seq, callback)),
+            (seq, self._waiter_counter, waiter),
         )
+        return waiter
+
+    def cancel_waiter(self, handle: Optional[_Waiter]) -> bool:
+        """Mark a pending waiter dead so release skips its callback.
+
+        Cancellation is lazy: the heap entry stays until the frontier
+        passes it (popping mid-heap would cost O(n)), but a cancelled
+        waiter is excluded from :meth:`pending_waiters` immediately and
+        its callback never runs.  Safe to call with ``None`` (a waiter
+        that fired synchronously) or on an already released/cancelled
+        handle; returns True only when this call retired the waiter.
+        """
+        if handle is None or handle.released or handle.cancelled:
+            return False
+        handle.cancelled = True
+        self._cancelled_waiters += 1
+        return True
 
     def frontier(self, origin: str, key: Optional[str] = None) -> int:
         key = self._resolve_key(key)
@@ -439,6 +461,9 @@ class FrontierEngine:
         while heap and heap[0][0] <= frontier:
             _seq, _tie, waiter = heapq.heappop(heap)
             waiter.released = True
+            if waiter.cancelled:
+                self._cancelled_waiters -= 1
+                continue
             if tracing:
                 self._tracer.emit(
                     self._trace_node,
@@ -453,7 +478,8 @@ class FrontierEngine:
             del self._waiters[slot]
 
     def pending_waiters(self) -> int:
-        return sum(len(ws) for ws in self._waiters.values())
+        live = sum(len(ws) for ws in self._waiters.values())
+        return live - self._cancelled_waiters
 
     # -- persistence ----------------------------------------------------------------
     def snapshot_frontiers(self) -> Dict[str, Dict[str, int]]:

@@ -107,6 +107,9 @@ class ShardedStabilizer:
         # frames with that shard's running epoch or every peer fences
         # them.  Cleared at cutover — rebuilds there use the new epoch.
         self._shard_epoch_overrides: Dict[int, int] = dict(shard_epochs or {})
+        # Edge admission (opt-in): one controller spans every owned
+        # shard, with per-(peer, shard) breakers — see set_admission.
+        self.admission = None
         self.fs = fs
         for shard in self.owned_shards:
             if shard in self.pending_shards:
@@ -199,7 +202,14 @@ class ShardedStabilizer:
         ``key``, else the lowest owned shard.  Returns the sequence
         number within that shard's stream (sequence spaces are
         per-shard; pair it with the shard for global identity).
+
+        With an admission controller attached the call first clears its
+        fail-fast gate (which may raise
+        :class:`~repro.errors.AdmissionError`) — the inner stacks carry
+        no controllers of their own, so the gate is charged exactly once.
         """
+        if self.admission is not None:
+            self.admission.preflight()
         target = self._resolve(key, shard)
         if target in self._frozen:
             raise StabilizerError(
@@ -369,6 +379,18 @@ class ShardedStabilizer:
         self._policy_args = (policy_factory, protect)
         return policies
 
+    def set_admission(self, controller=None, **kwargs):
+        """Attach an :class:`~repro.core.admission.AdmissionController`
+        guarding this node's ingest across every owned shard (breakers
+        are keyed per (peer, shard); see ``docs/overload.md``).  Returns
+        the installed controller; its counters join :meth:`stats`."""
+        if controller is None:
+            from repro.core.admission import AdmissionController
+
+            controller = AdmissionController(self, **kwargs)
+        self.admission = controller
+        return controller
+
     def degradation_log(self) -> List[Tuple[float, str, str, int]]:
         """Every (virtual time, transition, peer, shard) event across the
         owned shards, oldest first."""
@@ -515,6 +537,8 @@ class ShardedStabilizer:
                     totals[stat_key] = max(totals.get(stat_key, 0), value)
                 else:
                     totals[stat_key] = totals.get(stat_key, 0) + value
+        if self.admission is not None:
+            totals.update(self.admission.stats())
         totals["shards_owned"] = len(self.shards)
         totals["shards_pending"] = len(self.pending_shards)
         totals["shards_frozen"] = len(self._frozen)
@@ -525,11 +549,15 @@ class ShardedStabilizer:
 
     # ------------------------------------------------------------------ teardown
     def close(self) -> None:
+        if self.admission is not None:
+            self.admission.close()
         for inner in self.shards.values():
             inner.close()
         self.handoff.close()
 
     def crash(self) -> None:
+        if self.admission is not None:
+            self.admission.close()
         for inner in self.shards.values():
             inner.crash()
         self.handoff.close()

@@ -1,0 +1,428 @@
+"""Closed-loop SLA control over user-defined consistency (Section VI-D,
+automated).
+
+The paper demonstrates *manual* dynamic reconfiguration: an operator
+watching tail latency calls ``change_predicate`` to trade consistency
+for responsiveness, then walks the predicate back once the WAN recovers.
+:class:`SlaController` closes that loop.  Each control tick it measures
+three overload signals on one node:
+
+- the send→stable latency percentile over the *last interval only* (a
+  :class:`_HistogramWindow` diff over the cumulative
+  ``stability_latency.<key>`` histogram — cumulative percentiles hide
+  recovery because history never leaves them);
+- the age of the oldest local send the frontier has not covered
+  (:meth:`~repro.obs.stability.StabilityInstruments.oldest_pending_age`
+  — the stall signal a latency histogram cannot give, since a stuck
+  frontier stops producing samples exactly when things are worst);
+- optionally, the windowed mean utility of a
+  :class:`~repro.apps.sla.ConsistencySLA`'s recent outcomes and the
+  ``frontier_lag.*`` gauges of remote streams.
+
+When the SLA is breached it relaxes the watched predicate one rung down
+a *relaxation ladder* (by default: shrinking-quorum ``KTH_MAX`` steps
+ending at ``MAX`` — eventual); when measurements have stayed healthy for
+``healthy_ticks`` consecutive ticks it restores one rung up.  Both
+directions respect a cooldown, so the controller cannot flap faster than
+the system can re-equilibrate, and restoration demands margin
+(``restore_fraction`` of the target) — classic hysteresis.
+
+Predicate changes are routed through
+:meth:`~repro.core.autoadjust.PredicateAutoAdjuster.rebase_original`
+when a masking degradation policy is live, so a ladder step taken while
+a peer is suspected composes with the mask instead of clobbering it.
+
+Every decision is counted (``slacontrol.*`` in ``stats()``) and traced
+(``slacontrol.degrade`` / ``slacontrol.restore``), so invariant 14 of
+the chaos harness can audit that the controller walked all the way back
+to the pristine predicate after load subsided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StabilizerError
+
+__all__ = ["SlaController", "relaxation_ladder"]
+
+
+class _WindowStats:
+    """Percentile-capable view over one interval's histogram delta."""
+
+    __slots__ = ("bounds", "counts", "count", "observed_max")
+
+    def __init__(self, bounds, counts, observed_max):
+        self.bounds = bounds
+        self.counts = counts
+        self.count = sum(counts)
+        self.observed_max = observed_max
+
+    def percentile(self, q: float) -> float:
+        """Interpolated ``q``-th percentile of this window's samples."""
+        if not self.count:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        hi = 0.0
+        for i, bucket_count in enumerate(self.counts):
+            lo = self.bounds[i - 1] if i > 0 else 0.0
+            if i < len(self.bounds):
+                hi = self.bounds[i]
+            else:
+                # Overflow bucket: the cumulative max is the only upper
+                # bound we have for this window (an overestimate after
+                # recovery — acceptable for a bucket that should be empty
+                # when things are healthy).
+                hi = max(self.observed_max, self.bounds[-1])
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return hi
+
+
+class _HistogramWindow:
+    """Turn a cumulative histogram into per-interval snapshots by
+    diffing ``bucket_counts`` between :meth:`advance` calls."""
+
+    def __init__(self, histogram):
+        self.histogram = histogram
+        self._last = list(histogram.bucket_counts)
+
+    def advance(self) -> _WindowStats:
+        current = list(self.histogram.bucket_counts)
+        delta = [c - p for c, p in zip(current, self._last)]
+        self._last = current
+        observed_max = self.histogram.max
+        if observed_max == float("-inf"):
+            observed_max = 0.0
+        return _WindowStats(self.histogram.bounds, delta, observed_max)
+
+
+def relaxation_ladder(config) -> List[str]:
+    """The default consistency ladder for ``config``, strictest first.
+
+    Each rung waits on one fewer remote replica: ``KTH_MAX(n-1, ...)``
+    (all-but-one), down through majority, to ``MAX(...)`` (any single
+    remote replica — eventual consistency with one witness).  The rungs
+    deliberately exclude ``$MYWNODE``: the completeness rule makes the
+    local row cover everything instantly, so including it would let the
+    bottom rungs claim stability with zero remote acknowledgment.
+
+    Works unchanged inside a shard view, where ``$ALLWNODES`` is the
+    shard's owner set.
+    """
+    remote = "($ALLWNODES - $MYWNODE)"
+    n_remote = config.node_count() - 1
+    if n_remote <= 1:
+        return [f"MAX({remote})"]
+    return [
+        f"KTH_MAX({k}, {remote})" for k in range(n_remote - 1, 1, -1)
+    ] + [f"MAX({remote})"]
+
+
+class SlaController:
+    """Closed-loop controller for one predicate key on one node.
+
+    Parameters
+    ----------
+    stabilizer:
+        A plain :class:`~repro.core.stabilizer.Stabilizer` (for a
+        :class:`~repro.core.sharding.ShardedStabilizer` use
+        :meth:`install`, which puts one controller on each shard stack).
+    key:
+        The predicate key to control.  Its source at construction time
+        is recorded as the *pristine* definition restoration returns to.
+    target_p99_s:
+        The SLA: windowed p99 send→stable latency (and oldest-pending
+        age) must stay at or below this.
+    ladder:
+        Relaxed sources, strictest first; defaults to
+        :func:`relaxation_ladder`.  ``level`` 0 is the pristine source,
+        level ``i`` is ``ladder[i-1]``.
+    interval_s / cooldown_s / healthy_ticks / restore_fraction:
+        Control cadence and hysteresis: measure every ``interval_s``;
+        at most one step per ``cooldown_s``; restore only after
+        ``healthy_ticks`` consecutive ticks at or below
+        ``restore_fraction * target_p99_s``.
+    min_samples:
+        Below this many window samples the percentile is not trusted
+        (the pending-age signal still is).
+    sla / min_utility:
+        Optional :class:`~repro.apps.sla.ConsistencySLA` whose recent
+        outcome utilities feed the loop: windowed mean utility below
+        ``min_utility`` counts as a breach.
+    max_lag:
+        Optional message-count threshold on the ``frontier_lag.*``
+        gauges of remote streams; ``None`` disables the signal.
+    adjuster:
+        Explicit :class:`~repro.core.autoadjust.PredicateAutoAdjuster`
+        for mask composition; default: resolved from the stabilizer's
+        degradation policy at step time (``adjuster_for``).
+    """
+
+    def __init__(
+        self,
+        stabilizer,
+        key: str,
+        target_p99_s: float,
+        ladder: Optional[List[str]] = None,
+        interval_s: float = 0.25,
+        cooldown_s: float = 1.0,
+        healthy_ticks: int = 4,
+        restore_fraction: float = 0.5,
+        min_samples: int = 5,
+        sla=None,
+        min_utility: Optional[float] = None,
+        max_lag: Optional[int] = None,
+        adjuster=None,
+        autostart: bool = True,
+    ):
+        if target_p99_s <= 0:
+            raise ValueError("target_p99_s must be > 0")
+        if not 0.0 < restore_fraction <= 1.0:
+            raise ValueError("restore_fraction must be in (0, 1]")
+        self.stabilizer = stabilizer
+        self.sim = stabilizer.sim
+        self.key = key
+        self.target_p99_s = float(target_p99_s)
+        self.original_source = stabilizer.engine.predicate(key).source
+        self.ladder = (
+            list(ladder)
+            if ladder is not None
+            else relaxation_ladder(stabilizer.config)
+        )
+        if not self.ladder:
+            raise ValueError("relaxation ladder must have at least one rung")
+        # Reject unregisterable rungs now, not mid-incident.
+        for source in self.ladder:
+            stabilizer.engine.compiler.compile(source)
+        self.interval_s = interval_s
+        self.cooldown_s = cooldown_s
+        self.healthy_ticks = healthy_ticks
+        self.restore_fraction = restore_fraction
+        self.min_samples = min_samples
+        self.sla = sla
+        self.min_utility = min_utility
+        self.max_lag = max_lag
+        self._adjuster = adjuster
+
+        #: 0 = pristine; i = ladder[i-1] is installed.
+        self.level = 0
+        self._healthy_streak = 0
+        self._last_step_at = float("-inf")
+        self._sla_index = 0
+        self._closed = False
+        self._window = _HistogramWindow(
+            stabilizer.registry.histogram(
+                f"{stabilizer.stability.prefix}.{key}"
+            )
+        )
+        self._remote_lag_gauges = [
+            stabilizer.registry.gauge(f"frontier_lag.{origin}.received")
+            for origin in stabilizer.config.node_names
+            if origin != stabilizer.name
+        ]
+
+        registry = stabilizer.registry
+        registry.gauge("slacontrol.level", fn=lambda: self.level)
+        self._c_ticks = registry.counter("slacontrol.ticks")
+        self._c_breaches = registry.counter("slacontrol.breaches")
+        self._c_degrades = registry.counter("slacontrol.degrade_steps")
+        self._c_restores = registry.counter("slacontrol.restore_steps")
+        self._g_p99 = registry.gauge("slacontrol.window_p99_s")
+        self._g_pending = registry.gauge("slacontrol.oldest_pending_s")
+        self._g_p99.set(0.0)
+        self._g_pending.set(0.0)
+
+        self._timer = None
+        if autostart:
+            self._timer = self.sim.call_later(self.interval_s, self._tick)
+
+    # ------------------------------------------------------------------ sharded
+    @classmethod
+    def install(cls, node, key: str, target_p99_s: float, **kwargs):
+        """Attach controllers to ``node``: a dict of them keyed by shard
+        for a :class:`~repro.core.sharding.ShardedStabilizer` (one per
+        owned shard stack — each shard has its own engine, tables, and
+        latency histograms, so each needs its own loop), or ``{None:
+        controller}`` for a plain Stabilizer."""
+        shards = getattr(node, "shards", None)
+        if shards is None:
+            return {None: cls(node, key, target_p99_s, **kwargs)}
+        return {
+            shard: cls(inner, key, target_p99_s, **kwargs)
+            for shard, inner in sorted(shards.items())
+        }
+
+    # ------------------------------------------------------------------ measurement
+    def measure(self) -> Dict[str, float]:
+        """One interval's signals (also consumed by :meth:`_tick`)."""
+        window = self._window.advance()
+        p99 = None
+        if window.count >= self.min_samples:
+            p99 = window.percentile(99)
+        pending_age = self.stabilizer.stability.oldest_pending_age(self.key)
+        utility = None
+        if self.sla is not None:
+            outcomes = self.sla.outcomes[self._sla_index:]
+            self._sla_index += len(outcomes)
+            if outcomes:
+                utility = sum(
+                    o.sub_sla.utility for o in outcomes
+                ) / len(outcomes)
+        lag = 0
+        if self._remote_lag_gauges:
+            lag = max(int(g.value) for g in self._remote_lag_gauges)
+        self._g_p99.set(p99 if p99 is not None else 0.0)
+        self._g_pending.set(pending_age)
+        return {
+            "samples": window.count,
+            "p99": p99,
+            "pending_age": pending_age,
+            "utility": utility,
+            "lag": lag,
+        }
+
+    def _breached(self, m: Dict[str, float]) -> bool:
+        if m["p99"] is not None and m["p99"] > self.target_p99_s:
+            return True
+        if m["pending_age"] > self.target_p99_s:
+            return True
+        if (
+            self.min_utility is not None
+            and m["utility"] is not None
+            and m["utility"] < self.min_utility
+        ):
+            return True
+        if self.max_lag is not None and m["lag"] > self.max_lag:
+            return True
+        return False
+
+    def _healthy(self, m: Dict[str, float]) -> bool:
+        margin = self.restore_fraction * self.target_p99_s
+        if m["pending_age"] > margin:
+            return False
+        if m["p99"] is not None and m["p99"] > margin:
+            return False
+        if (
+            self.min_utility is not None
+            and m["utility"] is not None
+            and m["utility"] < self.min_utility
+        ):
+            return False
+        if self.max_lag is not None and m["lag"] > self.max_lag:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ control loop
+    def _tick(self) -> None:
+        if self._closed:
+            return
+        self._timer = self.sim.call_later(self.interval_s, self._tick)
+        self._c_ticks.inc()
+        m = self.measure()
+        now = self.sim.now
+        in_cooldown = now - self._last_step_at < self.cooldown_s
+        if self._breached(m):
+            self._c_breaches.inc()
+            self._healthy_streak = 0
+            if self.level < len(self.ladder) and not in_cooldown:
+                self._step(+1, m)
+        elif self._healthy(m):
+            self._healthy_streak += 1
+            if (
+                self.level > 0
+                and self._healthy_streak >= self.healthy_ticks
+                and not in_cooldown
+            ):
+                self._step(-1, m)
+                self._healthy_streak = 0
+        else:
+            # Neither breached nor comfortably healthy: hold position,
+            # and make restoration re-earn its streak.
+            self._healthy_streak = 0
+
+    def _step(self, direction: int, m: Dict[str, float]) -> None:
+        old_level = self.level
+        self.level += direction
+        self._last_step_at = self.sim.now
+        source = (
+            self.original_source
+            if self.level == 0
+            else self.ladder[self.level - 1]
+        )
+        adjuster = self._resolve_adjuster()
+        install = source
+        if adjuster is not None:
+            install = adjuster.rebase_original(self.key, source)
+        try:
+            self.stabilizer.change_predicate(self.key, install)
+        except StabilizerError:
+            # The rung does not compile against the live view (e.g. a
+            # mask emptied its set).  Back out the level change; the next
+            # tick retries with fresh state.
+            self.level = old_level
+            return
+        if direction > 0:
+            self._c_degrades.inc()
+            etype = "slacontrol.degrade"
+        else:
+            self._c_restores.inc()
+            etype = "slacontrol.restore"
+        tracer = self.stabilizer.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.stabilizer.name,
+                etype,
+                key=self.key,
+                level=self.level,
+                source=source,
+                p99=m["p99"],
+                pending_age=round(m["pending_age"], 6),
+            )
+
+    def _resolve_adjuster(self):
+        if self._adjuster is not None:
+            return self._adjuster
+        policy = self.stabilizer.degradation_policy
+        if policy is not None and hasattr(policy, "adjuster_for"):
+            return policy.adjuster_for(self.stabilizer)
+        return None
+
+    # ------------------------------------------------------------------ inspection
+    def restored(self) -> bool:
+        """True when the controller is back at level 0 *and* the engine
+        holds the pristine source (modulo any still-active mask) — what
+        chaos invariant 14 checks after load subsides."""
+        if self.level != 0:
+            return False
+        current = self.stabilizer.engine.predicate(self.key).source
+        if current == self.original_source:
+            return True
+        adjuster = self._resolve_adjuster()
+        return (
+            adjuster is not None
+            and bool(adjuster.masked_nodes())
+            and self.key in adjuster.adjusted_keys()
+        )
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "slacontrol.level": self.level,
+            "slacontrol.ticks": self._c_ticks.value,
+            "slacontrol.breaches": self._c_breaches.value,
+            "slacontrol.degrade_steps": self._c_degrades.value,
+            "slacontrol.restore_steps": self._c_restores.value,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

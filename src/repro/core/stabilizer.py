@@ -180,6 +180,9 @@ class Stabilizer:
         self.detector.on_suspect(self._on_peer_suspected)
         self.detector.on_recover(self._on_peer_recovered)
         self.detector.start()
+        # Edge admission (opt-in, like the degradation policy): installed
+        # via set_admission; when present, direct sends preflight it.
+        self.admission = None
         # Frontier-lag gauges: how far each (origin, type) ACK-table cell
         # of the *local row* trails the data plane's position.
         for type_name, type_id in self._type_ids.items():
@@ -201,7 +204,14 @@ class Stabilizer:
     def send(self, payload: Payload, meta=None) -> int:
         """Originate one message; returns the sequence number that stands
         for it (its last chunk).  Locally, every stability property holds
-        for it immediately (the Section III-C completeness rule)."""
+        for it immediately (the Section III-C completeness rule).
+
+        With an admission controller attached the call first clears its
+        fail-fast gate and may raise
+        :class:`~repro.errors.AdmissionError` — *before* the message is
+        sequenced, so a refusal never loses admitted work."""
+        if self.admission is not None:
+            self.admission.preflight()
         first, last = self.dataplane.send(payload, meta)
         self.stability.note_send(first, last)
         table = self.tables[self.name]
@@ -394,6 +404,22 @@ class Stabilizer:
             policy.on_suspect(self, peer)
         return policy
 
+    def set_admission(self, controller=None, **kwargs):
+        """Attach an :class:`~repro.core.admission.AdmissionController`
+        guarding this node's ingest (overload robustness; see
+        ``docs/overload.md``).  Pass a prebuilt controller, or keyword
+        arguments (``rate_per_s=...`` etc.) to construct one.  Its
+        ``admission.*`` / ``breaker.*`` counters join :meth:`stats`, and
+        every direct :meth:`send` preflights its fail-fast gate.
+        Returns the installed controller.
+        """
+        if controller is None:
+            from repro.core.admission import AdmissionController
+
+            controller = AdmissionController(self, **kwargs)
+        self.admission = controller
+        return controller
+
     def degradation_log(self) -> List[Tuple[float, str, str]]:
         """Every (virtual time, transition, peer) suspicion/recovery
         event observed at this node, oldest first."""
@@ -543,6 +569,8 @@ class Stabilizer:
             # aliases were removed after their one deprecation release.
             for key, value in self.durability.stats().items():
                 stats[f"durability.{key}"] = value
+        if self.admission is not None:
+            stats.update(self.admission.stats())
 
     # ------------------------------------------------------------------ internals
     def _on_sent(self, seq: int, payload: Payload) -> None:
@@ -624,6 +652,8 @@ class Stabilizer:
         """Graceful shutdown: the WAL gets a final group commit (whose
         ``persisted`` reports still flow while the control plane lives),
         then timers stop."""
+        if self.admission is not None:
+            self.admission.close()
         self.dataplane.flush()  # ship any partial frames before the end
         if self.durability is not None:
             self.durability.close(sync=True)
@@ -636,6 +666,8 @@ class Stabilizer:
         """Crash teardown: no parting flush, no goodbyes.  Whatever the
         WAL had not fsynced is abandoned — exactly the state of affairs
         this node's ``persisted`` column always admitted to."""
+        if self.admission is not None:
+            self.admission.close()
         if self.durability is not None:
             self.durability.crash()
         self.detector.stop()

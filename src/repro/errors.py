@@ -88,6 +88,23 @@ class BackpressureError(StabilizerError):
         self.max_bytes = max_bytes
 
 
+class AdmissionError(BackpressureError):
+    """Edge admission refused a message before it was sequenced.
+
+    Raised by ``Stabilizer.send`` / ``ShardedStabilizer.send`` when an
+    :class:`~repro.core.admission.AdmissionController` is attached and the
+    message cannot be admitted right now.  ``reason`` is ``"rate"`` (token
+    bucket empty), ``"breaker"`` (too many peer circuit breakers open) or
+    ``"queue_full"`` (bounded admission queue at capacity).  The message
+    was *never* admitted — refusing here is the whole point: nothing that
+    was accepted is ever dropped (invariant 13).
+    """
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
 class NodeFailedError(ReproError):
     """An operation was routed to a node that has crashed."""
 

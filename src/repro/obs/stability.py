@@ -82,6 +82,26 @@ class StabilityInstruments:
         self._covered[key] = frontier
         self._gc()
 
+    def oldest_pending_age(self, key: str) -> float:
+        """Age of the oldest local send ``key``'s frontier has not
+        covered, 0.0 when nothing is pending.
+
+        The stall signal the latency histograms cannot give: a
+        cumulative histogram only records once a message *becomes*
+        stable, so when a frontier stops moving under overload the
+        histogram goes silent while in-flight messages quietly age.
+        This reads that age directly (``SlaController`` feeds on it).
+        """
+        covered = self._covered.get(key, 0)
+        now = self.clock()
+        send_times = self._send_times
+        for seq in self._send_order:
+            if seq > covered:
+                ts = send_times.get(seq)
+                if ts is not None:
+                    return now - ts
+        return 0.0
+
     def _gc(self) -> None:
         if not self._covered:
             return

@@ -16,14 +16,21 @@ from repro.workloads.dropbox_trace import (
     trace_stats,
 )
 from repro.workloads.filesizes import bounded_lognormal, bounded_pareto
-from repro.workloads.rates import constant_rate, poisson_rate
+from repro.workloads.rates import (
+    FlashCrowdShape,
+    constant_rate,
+    flash_crowd,
+    poisson_rate,
+)
 
 __all__ = [
     "DropboxTraceConfig",
+    "FlashCrowdShape",
     "TraceRecord",
     "bounded_lognormal",
     "bounded_pareto",
     "constant_rate",
+    "flash_crowd",
     "poisson_rate",
     "synthesize_trace",
     "trace_stats",

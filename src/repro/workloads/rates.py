@@ -58,3 +58,88 @@ def poisson_rate(
     process = sim.spawn(runner(), name=f"poisson-rate-{rate_per_s}")
     process.add_callback(lambda _e: None)
     return process
+
+
+class FlashCrowdShape:
+    """The rate profile of a flash crowd: trapezoid ramp to a peak.
+
+    ``rate_at(t)`` is ``base_rate`` before ``t0``, ramps linearly to
+    ``peak_rate`` over ``ramp_s``, holds for ``hold_s``, decays linearly
+    back over ``decay_s``, and is ``base_rate`` again afterwards.  The
+    shape is shared between the chaos scheduler (which flips a region's
+    sender into the profile) and the overload benchmark (which reports
+    SLA timelines against it), so both stress the system with the *same*
+    surge geometry.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        t0: float = 0.0,
+        ramp_s: float = 1.0,
+        hold_s: float = 2.0,
+        decay_s: float = 1.0,
+    ):
+        if base_rate <= 0 or peak_rate < base_rate:
+            raise ConfigError("need 0 < base_rate <= peak_rate")
+        if ramp_s < 0 or hold_s < 0 or decay_s < 0:
+            raise ConfigError("ramp/hold/decay durations must be >= 0")
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.t0 = t0
+        self.ramp_s = ramp_s
+        self.hold_s = hold_s
+        self.decay_s = decay_s
+
+    @property
+    def end(self) -> float:
+        return self.t0 + self.ramp_s + self.hold_s + self.decay_s
+
+    def rate_at(self, t: float) -> float:
+        if t < self.t0 or t >= self.end:
+            return self.base_rate
+        dt = t - self.t0
+        if dt < self.ramp_s:
+            frac = dt / self.ramp_s if self.ramp_s else 1.0
+            return self.base_rate + (self.peak_rate - self.base_rate) * frac
+        dt -= self.ramp_s
+        if dt < self.hold_s:
+            return self.peak_rate
+        dt -= self.hold_s
+        frac = dt / self.decay_s if self.decay_s else 1.0
+        return self.peak_rate - (self.peak_rate - self.base_rate) * frac
+
+    def multiplier_at(self, t: float) -> float:
+        """``rate_at(t) / base_rate`` — for callers that scale an
+        existing sender instead of owning the rate outright."""
+        return self.rate_at(t) / self.base_rate
+
+
+def flash_crowd(
+    sim: Simulator,
+    shape: FlashCrowdShape,
+    duration_s: float,
+    send: SendFn,
+) -> Process:
+    """Open-loop sender following ``shape`` for ``duration_s`` seconds.
+
+    Like :func:`constant_rate` but with a time-varying rate: each
+    inter-send gap is ``1 / shape.rate_at(now)``, so the instantaneous
+    rate tracks the trapezoid.  Open loop — the crowd does not slow
+    down because the system is hurting, which is the whole point.
+    """
+    if duration_s <= 0:
+        raise ConfigError("duration must be positive")
+    deadline = sim.now + duration_s
+
+    def runner():
+        index = 0
+        while sim.now < deadline:
+            send(index)
+            index += 1
+            yield 1.0 / shape.rate_at(sim.now)
+
+    process = sim.spawn(runner(), name=f"flash-crowd-{shape.peak_rate}")
+    process.add_callback(lambda _e: None)
+    return process

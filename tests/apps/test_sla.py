@@ -128,6 +128,72 @@ def test_mean_utility_tracks_outcomes():
     assert sla.mean_utility() == 1.0
 
 
+def test_equal_utility_sub_slas_degrade_in_listed_order():
+    # Descending need not be strict: two rows may deliver the same
+    # utility (say, two equally acceptable relaxations).  Degradation
+    # must then walk them in listed order, not reshuffle ties.
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = ConsistencySLA(
+        hq,
+        [
+            SubSla("gold", "strong", 0.05, utility=1.0),  # unattainable
+            SubSla("silver-a", "medium", 0.5, utility=0.6),
+            SubSla("silver-b", "weak", None, utility=0.6),
+        ],
+    )
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "silver-a"  # first of the tie wins
+
+
+def test_equal_utility_tie_falls_through_when_first_expires():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = ConsistencySLA(
+        hq,
+        [
+            SubSla("gold", "strong", 0.02, utility=1.0),
+            SubSla("silver-a", "medium", 0.04, utility=0.6),  # needs ~0.08
+            SubSla("silver-b", "weak", None, utility=0.6),
+        ],
+    )
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "silver-b"
+    assert sla.mean_utility() == 0.6
+
+
+def test_deadline_degradation_cancels_stale_waiters():
+    # The strong-level waiter must leave the per-key heap the moment the
+    # deadline degrades past it — not linger until the frontier happens
+    # to catch up (which, with `far` down, would be never).
+    sim, net, cluster = build()
+    net.crash_node("far")
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=0.1, medium_bound=0.5)
+    seq = hq.send(b"record")
+    event = sla.acquire(seq)
+    assert hq.engine.pending_waiters() == 1  # the strong-level waiter
+    outcome = sim.run_until_triggered(event, limit=5.0)
+    assert outcome.sub_sla.name == "medium"
+    assert hq.engine.pending_waiters() == 0
+
+
+def test_resolution_cancels_waiters_and_timers():
+    sim, net, cluster = build()
+    hq = cluster["hq"]
+    sla = sla_for(hq, strong_bound=1.0)
+    seq = hq.send(b"record")
+    outcome = sim.run_until_triggered(sla.acquire(seq), limit=5.0)
+    assert outcome.sub_sla.name == "strong"
+    assert hq.engine.pending_waiters() == 0
+    # The deadline timer was cancelled too: nothing fires at t=1.0 that
+    # could double-resolve or append a second outcome.
+    sim.run(until=2.0)
+    assert len(sla.outcomes) == 1
+
+
 # ---------------------------------------------------------------------------
 # WheelFS-style path cues.
 # ---------------------------------------------------------------------------
@@ -142,8 +208,25 @@ def test_path_cue_extraction():
     assert parse_path_cue("a/.OneWNode/b/c") == ("a/b/c", "OneWNode")
 
 
+def test_path_cue_edge_cases():
+    # The cue may be the last component: it governs the file before it.
+    assert parse_path_cue("a/b.txt/.OneWNode") == ("a/b.txt", "OneWNode")
+    # Absolute paths keep their leading slash.
+    assert parse_path_cue("/a/.X/b") == ("/a/b", "X")
+    # A lone "." is a normal component, not a cue.
+    assert parse_path_cue("a/./b") == ("a/./b", "AllWNodes")
+    # The default predicate is configurable.
+    assert parse_path_cue("f", default_predicate="Quorum") == ("f", "Quorum")
+
+
 def test_path_cue_errors():
     with pytest.raises(ConfigError, match="multiple"):
         parse_path_cue("a/.X/.Y/b")
+    with pytest.raises(ConfigError, match="multiple"):
+        parse_path_cue("a/.X/b/.X/c")  # repeating the same cue is no better
     with pytest.raises(ConfigError, match="no file"):
         parse_path_cue(".OneWNode")
+    with pytest.raises(ConfigError, match="no file"):
+        parse_path_cue("a/.X/b/")  # trailing slash: directory, not a file
+    with pytest.raises(ConfigError, match="no file"):
+        parse_path_cue(".X/")

@@ -1,0 +1,388 @@
+"""Tests for the closed-loop SLA controller and its windowed signals."""
+
+import pytest
+
+from repro.core import StabilizerCluster, StabilizerConfig, build_sharded_cluster
+from repro.core.slacontrol import (
+    SlaController,
+    _HistogramWindow,
+    relaxation_ladder,
+)
+from repro.net import NetemSpec, Topology
+from repro.obs import MetricsRegistry
+from repro.sim import Simulator
+from repro.testing import SyntheticPayload
+
+REMOTE = "($ALLWNODES - $MYWNODE)"
+STRICT = f"MIN({REMOTE})"
+
+
+def build(nodes=("a", "b", "c"), **config_kwargs):
+    topo = Topology()
+    for i, name in enumerate(nodes):
+        topo.add_node(name, f"az{i}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig.from_topology(
+        topo,
+        nodes[0],
+        predicates={"all": STRICT},
+        control_interval_s=0.005,
+        **config_kwargs,
+    )
+    return sim, net, StabilizerCluster(net, config)
+
+
+def controller_for(node, **kwargs):
+    kwargs.setdefault("target_p99_s", 0.5)
+    kwargs.setdefault("healthy_ticks", 2)
+    kwargs.setdefault("cooldown_s", 0.2)
+    kwargs.setdefault("autostart", False)
+    return SlaController(node, "all", **kwargs)
+
+
+def tick(sim, ctrl, advance=0.0):
+    """Drive one controller tick by hand, keeping the cadence explicit."""
+    if advance:
+        sim.run(until=sim.now + advance)
+    ctrl._tick()
+    if ctrl._timer is not None:  # keep the rearm from double-ticking
+        ctrl._timer.cancel()
+
+
+def inject(node, value, n=10):
+    hist = node.registry.histogram(f"{node.stability.prefix}.all")
+    for _ in range(n):
+        hist.observe(value)
+
+
+# ---------------------------------------------------------------------------
+# Windowed percentiles
+# ---------------------------------------------------------------------------
+
+
+def test_window_reflects_only_new_samples():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    window = _HistogramWindow(hist)
+    for _ in range(20):
+        hist.observe(2.0)
+    stats = window.advance()
+    assert stats.count == 20
+    assert stats.percentile(99) > 1.0
+    # A cumulative percentile would stay stuck near 2.0 here; the
+    # windowed one must see only the fresh, fast samples.
+    for _ in range(20):
+        hist.observe(0.002)
+    stats = window.advance()
+    assert stats.count == 20
+    assert stats.percentile(99) < 0.01
+
+
+def test_empty_window_has_no_percentile_signal():
+    registry = MetricsRegistry()
+    window = _HistogramWindow(registry.histogram("lat"))
+    stats = window.advance()
+    assert stats.count == 0
+    assert stats.percentile(99) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# The relaxation ladder
+# ---------------------------------------------------------------------------
+
+
+def five_node_config():
+    names = ["a", "b", "c", "d", "e"]
+    return StabilizerConfig(
+        names, {n: [n] for n in names}, "a", predicates={"all": STRICT}
+    )
+
+
+def test_ladder_walks_kth_max_down_to_max():
+    assert relaxation_ladder(five_node_config()) == [
+        f"KTH_MAX(3, {REMOTE})",
+        f"KTH_MAX(2, {REMOTE})",
+        f"MAX({REMOTE})",
+    ]
+
+
+def test_ladder_degenerates_to_max_for_tiny_clusters():
+    for names in (["a", "b"], ["a", "b", "c"]):
+        config = StabilizerConfig(
+            names, {n: [n] for n in names}, "a", predicates={"all": STRICT}
+        )
+        assert relaxation_ladder(config) == [f"MAX({REMOTE})"]
+
+
+def test_every_default_rung_compiles():
+    sim, net, cluster = build(nodes=("a", "b", "c", "d", "e"))
+    node = cluster["a"]
+    for source in relaxation_ladder(node.config):
+        node.engine.compiler.compile(source)
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_validation():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    with pytest.raises(ValueError, match="target_p99_s"):
+        controller_for(node, target_p99_s=0.0)
+    with pytest.raises(ValueError, match="restore_fraction"):
+        controller_for(node, restore_fraction=0.0)
+    with pytest.raises(ValueError, match="ladder"):
+        controller_for(node, ladder=[])
+    with pytest.raises(Exception):
+        controller_for(node, ladder=["MIN(("])  # rejected at construction
+    cluster.close()
+
+
+def test_records_pristine_source():
+    sim, net, cluster = build()
+    ctrl = controller_for(cluster["a"])
+    assert ctrl.original_source == STRICT
+    assert ctrl.level == 0 and ctrl.restored()
+    cluster.close()
+
+
+def test_install_shapes():
+    sim, net, cluster = build()
+    plain = SlaController.install(
+        cluster["a"], "all", target_p99_s=0.5, autostart=False
+    )
+    assert list(plain) == [None]
+    cluster.close()
+
+    shard_sim = Simulator()
+    topo = Topology()
+    for i, name in enumerate(("a", "b", "c")):
+        topo.add_node(name, f"az{i}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sharded = build_sharded_cluster(
+        topo.build(shard_sim),
+        {"all": STRICT},
+        shard_count=4,
+        control_interval_s=0.005,
+    )
+    node = sharded["a"]
+    controllers = SlaController.install(
+        node, "all", target_p99_s=0.5, autostart=False
+    )
+    assert sorted(controllers) == sorted(node.shards)
+    for shard, ctrl in controllers.items():
+        assert ctrl.stabilizer is node.shards[shard]
+    sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# The control loop
+# ---------------------------------------------------------------------------
+
+
+def test_p99_breach_degrades_one_rung():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    ctrl = controller_for(node)
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    assert node.engine.predicate("all").source == ctrl.ladder[0]
+    stats = ctrl.stats()
+    assert stats["slacontrol.breaches"] == 1
+    assert stats["slacontrol.degrade_steps"] == 1
+    cluster.close()
+
+
+def test_cooldown_blocks_back_to_back_steps():
+    sim, net, cluster = build(nodes=("a", "b", "c", "d", "e"))
+    node = cluster["a"]
+    ctrl = controller_for(node, cooldown_s=0.5)
+    assert len(ctrl.ladder) == 3
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    inject(node, 2.0)
+    tick(sim, ctrl)  # same instant: breached but inside the cooldown
+    assert ctrl.level == 1
+    assert ctrl.stats()["slacontrol.breaches"] == 2
+    inject(node, 2.0)
+    tick(sim, ctrl, advance=0.6)
+    assert ctrl.level == 2
+    cluster.close()
+
+
+def test_restore_needs_a_healthy_streak():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    ctrl = controller_for(node, healthy_ticks=2, cooldown_s=0.1)
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    tick(sim, ctrl, advance=0.2)  # healthy (empty window), streak 1
+    assert ctrl.level == 1
+    tick(sim, ctrl, advance=0.2)  # streak 2: restore
+    assert ctrl.level == 0
+    assert node.engine.predicate("all").source == STRICT
+    assert ctrl.restored()
+    assert ctrl.stats()["slacontrol.restore_steps"] == 1
+    cluster.close()
+
+
+def test_neutral_zone_resets_the_streak():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    # margin = 0.25; a 0.4s window is neither breached nor healthy.
+    ctrl = controller_for(node, healthy_ticks=2, cooldown_s=0.1)
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    tick(sim, ctrl, advance=0.2)  # healthy, streak 1
+    inject(node, 0.4)
+    tick(sim, ctrl, advance=0.2)  # neutral: streak back to 0
+    tick(sim, ctrl, advance=0.2)  # healthy, streak 1 — still no restore
+    assert ctrl.level == 1
+    tick(sim, ctrl, advance=0.2)  # streak 2: restore
+    assert ctrl.level == 0
+    cluster.close()
+
+
+def test_pending_age_breaches_without_samples():
+    sim, net, cluster = build(nodes=("a", "b"))
+    node = cluster["a"]
+    ctrl = controller_for(node)
+    cluster["b"].crash()
+    net.crash_node("b")
+    node.send(SyntheticPayload(64))  # can never stabilize
+    tick(sim, ctrl, advance=1.0)  # no window samples; age >> target
+    assert ctrl.level == 1
+    assert ctrl.stats()["slacontrol.breaches"] == 1
+    cluster.close()
+
+
+def test_degrade_stops_at_the_bottom_rung():
+    sim, net, cluster = build(nodes=("a", "b"))
+    node = cluster["a"]
+    ctrl = controller_for(node, cooldown_s=0.1)
+    assert len(ctrl.ladder) == 1
+    for _ in range(3):
+        inject(node, 2.0)
+        tick(sim, ctrl, advance=0.2)
+    assert ctrl.level == 1
+    assert ctrl.stats()["slacontrol.degrade_steps"] == 1
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Optional signals: utility and lag
+# ---------------------------------------------------------------------------
+
+
+class _FakeOutcome:
+    class _Sub:
+        def __init__(self, utility):
+            self.utility = utility
+
+    def __init__(self, utility):
+        self.sub_sla = self._Sub(utility)
+
+
+class _FakeSla:
+    def __init__(self):
+        self.outcomes = []
+
+
+def test_low_utility_is_a_breach():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    sla = _FakeSla()
+    ctrl = controller_for(node, sla=sla, min_utility=0.8)
+    sla.outcomes.extend([_FakeOutcome(0.6), _FakeOutcome(0.6)])
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    # The window moved past those outcomes: an empty interval is healthy.
+    m = ctrl.measure()
+    assert m["utility"] is None
+    cluster.close()
+
+
+def test_utility_window_is_incremental():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    sla = _FakeSla()
+    ctrl = controller_for(node, sla=sla, min_utility=0.5)
+    sla.outcomes.append(_FakeOutcome(1.0))
+    assert ctrl.measure()["utility"] == 1.0
+    sla.outcomes.append(_FakeOutcome(0.2))
+    assert ctrl.measure()["utility"] == 0.2  # only the new outcome
+    cluster.close()
+
+
+def test_remote_lag_breaches_when_enabled():
+    sim, net, cluster = build()
+    node = cluster["a"]
+    ctrl = controller_for(node, max_lag=10)
+    node.registry.gauge("frontier_lag.b.received").set(25)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Composition with the masking degradation policy
+# ---------------------------------------------------------------------------
+
+
+def masked_setup():
+    sim, net, cluster = build(
+        nodes=("a", "b", "c"), failure_timeout_s=0.3
+    )
+    node = cluster["a"]
+    policy = node.set_degradation_policy()
+    ctrl = controller_for(node, cooldown_s=0.1)
+    node.send(SyntheticPayload(64))  # warmup: establish heartbeat state
+    sim.run(until=0.5)
+    cluster["c"].crash()
+    net.crash_node("c")
+    node.send(SyntheticPayload(64))
+    sim.run(until=2.0)  # a suspects c; the mask rewrites "all"
+    adjuster = policy.adjuster_for(node)
+    assert "c" in adjuster.masked_nodes()
+    assert "all" in adjuster.adjusted_keys()
+    return sim, net, cluster, node, ctrl, adjuster
+
+
+def test_ladder_steps_compose_with_active_mask():
+    sim, net, cluster, node, ctrl, adjuster = masked_setup()
+    masked_strict = node.engine.predicate("all").source
+    assert masked_strict != STRICT
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    assert ctrl.level == 1
+    installed = node.engine.predicate("all").source
+    # The step rebased through the adjuster: neither the raw rung nor a
+    # clobbered pristine source, but the rung rewritten under the mask.
+    assert installed != ctrl.ladder[0]
+    assert installed != masked_strict
+    assert "- $WNODE_c" in installed  # the rung, with c still masked out
+    cluster.close()
+
+
+def test_restored_accepts_an_active_mask():
+    sim, net, cluster, node, ctrl, adjuster = masked_setup()
+    inject(node, 2.0)
+    tick(sim, ctrl)
+    tick(sim, ctrl, advance=0.2)  # healthy, streak 1
+    tick(sim, ctrl, advance=0.2)  # streak 2: restore to level 0
+    assert ctrl.level == 0
+    # The engine still holds the masked variant (c is down), yet the
+    # controller is done: invariant 14 must not demand the literal
+    # pristine string while a mask legitimately rewrites it.
+    assert node.engine.predicate("all").source != STRICT
+    assert ctrl.restored()
+    cluster.close()

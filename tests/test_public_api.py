@@ -6,6 +6,7 @@ Changing the surface is allowed — but it is an API event: update the
 snapshot in the same commit and say so in the PR.
 """
 
+import re
 import warnings
 from pathlib import Path
 
@@ -14,6 +15,7 @@ import pytest
 import repro
 
 SNAPSHOT = Path(__file__).resolve().parent.parent / "docs" / "api_surface.txt"
+API_DOC = Path(__file__).resolve().parent.parent / "docs" / "api.md"
 
 
 def test_all_matches_snapshot():
@@ -25,6 +27,22 @@ def test_all_matches_snapshot():
     assert sorted(repro.__all__) == recorded, (
         "repro.__all__ diverged from docs/api_surface.txt — if the API "
         "change is intentional, regenerate the snapshot"
+    )
+
+
+def test_every_public_name_is_documented():
+    """Exporting a name is only half the job: it must appear (in code
+    backticks) somewhere in docs/api.md, so `make api-check` fails when
+    a new public name ships undocumented."""
+    text = API_DOC.read_text()
+    missing = [
+        name
+        for name in repro.__all__
+        if not re.search(rf"`[^`]*\b{re.escape(name)}\b[^`]*`", text)
+    ]
+    assert not missing, (
+        f"public names missing from docs/api.md: {missing} — document "
+        "them in the same commit that exports them"
     )
 
 
