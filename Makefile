@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
         durability-smoke obs-smoke overload-smoke rebalance-smoke \
-        shard-smoke api-check verify report clean
+        shard-smoke trace-smoke api-check verify report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -53,6 +53,13 @@ rebalance-smoke:
 shard-smoke:
 	pytest -m shard_smoke
 
+# Cross-node tracing smoke: a seeded 3-node run must yield a well-formed
+# chrome trace with at least one complete cross-node span tree, a
+# parseable OpenMetrics exposition, and >= 95% blame attribution at 1/1
+# sampling (see docs/observability.md, "Tracing & attribution").
+trace-smoke:
+	pytest -m trace_smoke
+
 # Public-API gate: the __all__ snapshot test plus a warning-free import
 # (`import repro` must never trip a DeprecationWarning).  The snapshot
 # suite also fails when a public name is missing from docs/api.md.
@@ -62,7 +69,7 @@ api-check:
 
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
 verify: test bench-smoke chaos-smoke durability-smoke obs-smoke \
-        overload-smoke rebalance-smoke shard-smoke api-check
+        overload-smoke rebalance-smoke shard-smoke trace-smoke api-check
 
 report:
 	python -m repro report

@@ -23,6 +23,7 @@ from repro.core.config import StabilizerConfig
 from repro.core.dataplane import DataPlane
 from repro.net.tc import NetemSpec
 from repro.net.topology import Topology
+from repro.obs.tracer import Tracer
 from repro.sim.kernel import Simulator
 from repro.transport import TransportEndpoint
 from repro.transport.messages import SyntheticPayload
@@ -41,6 +42,10 @@ WINDOW_BYTES = 4 * 1024 * 1024
 #: The coalesced plane must deliver at least this multiple of the
 #: per-message baseline's wall-clock bytes/s.
 SPEEDUP_GATE = 2.0
+#: Benches run with tracing ON, sampled at 1/2^6 = 1/64 of sequences
+#: (head-based, seeded): the speedup gate below then also guards the
+#: claim that sampled tracing is cheap enough for always-on use.
+TRACE_SAMPLE_SHIFT = 6
 
 
 def run_once(total_bytes: int, frame_bytes) -> dict:
@@ -69,10 +74,16 @@ def run_once(total_bytes: int, frame_bytes) -> dict:
         delivered_bytes += len(payload)
         done_at[0] = sim.now
 
-    dp_x = DataPlane(TransportEndpoint(net, "x"), config("x"))
-    dp_y = DataPlane(
-        TransportEndpoint(net, "y"), config("y"), on_received=on_received
+    tracer = Tracer(
+        clock=sim.clock, capacity=4096, enabled=True,
+        sample_shift=TRACE_SAMPLE_SHIFT,
     )
+    ep_x = TransportEndpoint(net, "x")
+    ep_y = TransportEndpoint(net, "y")
+    ep_x.tracer = tracer
+    ep_y.tracer = tracer
+    dp_x = DataPlane(ep_x, config("x"))
+    dp_y = DataPlane(ep_y, config("y"), on_received=on_received)
 
     messages = total_bytes // CHUNK_BYTES
     dp_x.send(SyntheticPayload(total_bytes))
@@ -99,6 +110,8 @@ def run_once(total_bytes: int, frame_bytes) -> dict:
         "max_frame_messages": dp_x.max_frame_messages,
         "window_stalls": dp_x.window_stalls,
         "retransmissions": channel.retransmissions,
+        "trace_events": tracer.emitted,
+        "trace_sample_shift": TRACE_SAMPLE_SHIFT,
     }
     dp_x.close()
     dp_y.close()

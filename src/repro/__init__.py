@@ -76,7 +76,14 @@ from repro.dsl import (
 )
 from repro.errors import AdmissionError, BackpressureError, ReproError
 from repro.net import NetemSpec, Network, Topology
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    BlameTable,
+    MetricsRegistry,
+    SloAlerter,
+    SnapshotWriter,
+    build_span_trees,
+    render_openmetrics,
+)
 from repro.obs.tracer import Tracer
 from repro.paxos import PaxosCluster
 from repro.pubsub import PulsarCluster, ReliableBroadcast, StabilizerBroker
@@ -94,6 +101,7 @@ __all__ = [
     "AdmissionError",
     "AppendLog",
     "BackpressureError",
+    "BlameTable",
     "CircuitBreaker",
     "CompiledPredicate",
     "DegradationPolicy",
@@ -118,6 +126,8 @@ __all__ = [
     "ShardedStabilizer",
     "Simulator",
     "SlaController",
+    "SloAlerter",
+    "SnapshotWriter",
     "Stabilizer",
     "StabilizerBroker",
     "StabilizerCluster",
@@ -128,6 +138,8 @@ __all__ = [
     "WanKVStore",
     "build_cluster",
     "build_sharded_cluster",
+    "build_span_trees",
+    "render_openmetrics",
     "shard_standard_predicates",
     "standard_predicates",
     "testing",

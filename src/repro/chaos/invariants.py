@@ -239,6 +239,19 @@ class InvariantChecker:
         if tail:
             lines.append(f"last {tail} trace events:")
             lines.append(recorder.format_tail(tail))
+        # Critical-path attribution over the same ring: when the run got
+        # far enough to stabilize sends, name the straggler peers — the
+        # node holding frontiers back is usually the node that broke the
+        # invariant's timing assumptions.  Best-effort: the dump must
+        # never mask the real violation.
+        try:
+            from repro.obs.critpath import analyze
+
+            blame = analyze(recorder.events())
+            if blame.sends:
+                lines.append(blame.format().rstrip("\n"))
+        except Exception as exc:  # pragma: no cover - defensive
+            lines.append(f"blame analysis failed: {exc}")
         return "\n".join(lines)
 
     def _check_monitor(

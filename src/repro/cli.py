@@ -216,6 +216,9 @@ def _cmd_obs(args) -> None:
         messages=args.messages,
         seed=args.seed,
         durability=args.durability,
+        sample_shift=args.sample_shift,
+        snapshots_out=args.snapshots_out,
+        slo_threshold_s=args.slo_threshold,
     )
     print(
         f"obs run: {len(result['nodes'])} nodes x "
@@ -270,6 +273,104 @@ def _cmd_obs(args) -> None:
     if args.jsonl_out:
         tracer.to_jsonl_file(args.jsonl_out)
         print(f"JSONL trace written to {args.jsonl_out}")
+    if args.span_out:
+        import json
+
+        from repro.obs.spans import build_span_trees, chrome_span_trace
+
+        trees = build_span_trees(tracer.events())
+        doc = chrome_span_trace(trees)
+        with open(args.span_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        print(
+            f"span trace written to {args.span_out} "
+            f"({doc['otherData']['sends']} sends, "
+            f"{doc['otherData']['complete']} complete span trees)"
+        )
+    if args.openmetrics_out:
+        from repro.obs.export import render_openmetrics
+
+        text = render_openmetrics(result["snapshots"])
+        with open(args.openmetrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"OpenMetrics exposition written to {args.openmetrics_out}")
+    if args.snapshots_out:
+        print(
+            f"{result.get('snapshot_records', 0)} JSONL snapshots written "
+            f"to {args.snapshots_out} (view with `repro top`)"
+        )
+    for name, alerts in (result.get("alerts") or {}).items():
+        for alert in alerts:
+            status = (
+                "resolved" if alert["resolved_at"] is not None else "ACTIVE"
+            )
+            print(
+                f"alert [{status}] {name}: {alert['rule']} "
+                f"window={alert['window_s']} burn={alert['burn_short']:.1f}x"
+            )
+
+
+def _cmd_blame(args) -> None:
+    """Critical-path attribution: which peer's ACK stabilized each send
+    last, and which segment dominated.  Analyzes a JSONL trace file
+    (``--jsonl``) or runs the instrumented scenario first."""
+    from repro.obs.critpath import analyze
+
+    if args.jsonl:
+        from repro.obs.spans import load_events
+
+        events = load_events(args.jsonl)
+        source = args.jsonl
+    else:
+        from repro.obs.scenario import run_obs_scenario
+
+        result = run_obs_scenario(
+            nodes=args.nodes,
+            messages=args.messages,
+            seed=args.seed,
+            durability=args.durability,
+        )
+        events = list(result["tracer"].events())
+        source = (
+            f"{len(result['nodes'])}-node scenario, "
+            f"{result['virtual_end_s']:.2f} s virtual"
+        )
+    keys = args.keys.split(",") if args.keys else None
+    table = analyze(events, keys=keys)
+    print(f"critical-path attribution ({source}):")
+    print(table.format(), end="")
+    if table.sends and table.attribution_rate < 0.95:
+        print(
+            f"warning: only {table.attribution_rate:.1%} of stabilized "
+            "sends attributed (sampled trace, or ring wrapped?)"
+        )
+
+
+def _cmd_top(args) -> None:
+    """Terminal dashboard over a JSONL snapshot stream (see
+    ``repro obs --snapshots-out``)."""
+    from repro.obs.export import read_snapshots
+    from repro.obs.top import render_top
+
+    def frame() -> str:
+        prev = last = None
+        for record in read_snapshots(args.file):
+            prev, last = last, record
+        if last is None:
+            return "repro top: no snapshot records yet\n"
+        return render_top(last, prev=prev, width=args.width)
+
+    if not args.follow:
+        print(frame(), end="")
+        return
+    import time
+
+    try:
+        while True:
+            print("\033[2J\033[H" + frame(), end="", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
 
 
 def _cmd_overload(args) -> None:
@@ -414,7 +515,60 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--jsonl-out", default=None, help="write JSONL trace events here"
     )
+    obs.add_argument(
+        "--span-out", default=None,
+        help="write reconstructed cross-node span trees as Chrome "
+        "trace_event JSON here",
+    )
+    obs.add_argument(
+        "--openmetrics-out", default=None,
+        help="write an OpenMetrics text exposition of the final "
+        "snapshots here",
+    )
+    obs.add_argument(
+        "--snapshots-out", default=None,
+        help="stream periodic JSONL metric snapshots here (repro top "
+        "tails this file)",
+    )
+    obs.add_argument(
+        "--sample-shift", type=int, default=0,
+        help="keep 1/2^N of per-sequence trace events (head-based, "
+        "seeded; 0 = keep all)",
+    )
+    obs.add_argument(
+        "--slo-threshold", type=float, default=None, metavar="SECONDS",
+        help="arm a multi-window burn-rate alerter over send->stable "
+        "latency at this threshold",
+    )
     obs.set_defaults(fn=_cmd_obs)
+    blame = sub.add_parser(
+        "blame",
+        help="critical-path attribution: per predicate, the straggler "
+        "peer and dominant segment behind send->stable latency",
+    )
+    blame.add_argument(
+        "--jsonl", default=None,
+        help="analyze this JSONL trace file instead of running the "
+        "scenario",
+    )
+    blame.add_argument("--keys", default=None, help="comma-separated predicate keys")
+    blame.add_argument("--nodes", type=int, default=3)
+    blame.add_argument("--messages", type=int, default=120)
+    blame.add_argument("--seed", type=int, default=0)
+    blame.add_argument("--durability", action="store_true")
+    blame.set_defaults(fn=_cmd_blame)
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a JSONL snapshot stream "
+        "(from `repro obs --snapshots-out`)",
+    )
+    top.add_argument("file", help="JSONL snapshot file to read")
+    top.add_argument(
+        "--follow", action="store_true", help="redraw as the file grows"
+    )
+    top.add_argument("--interval", type=float, default=1.0)
+    top.add_argument("--width", type=int, default=100)
+    top.set_defaults(fn=_cmd_top)
     overload = sub.add_parser(
         "overload",
         help="seeded overload chaos: flash crowds / slow nodes vs the "

@@ -111,7 +111,7 @@ class ControlPlane:
             raise StabilizerError(f"unknown origin stream {origin!r}")
         if not table.update(self.local_index, type_id, seq):
             return  # stale: monotonic overwrite means nothing to report
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.sampled(origin, seq):
             names = self._type_names
             self.tracer.emit(
                 self._trace_node,
@@ -171,12 +171,26 @@ class ControlPlane:
             self.reports_sent += len(frames)
             self._last_sent_to_any = self.sim.now
             if tracing:
+                # heads = the ack watermarks this flush carries, as
+                # [origin, type, seq] triples — the trace context that
+                # lets span reconstruction follow one send's ACK from the
+                # acking peer back to its origin.
+                names = self._type_names
                 self.tracer.emit(
                     self._trace_node,
                     "control.send",
                     peer=peer,
                     origins=len(frames),
                     cells=sum(len(f.entries) for f in frames),
+                    heads=[
+                        [
+                            self.config.node_names[f.origin_index],
+                            names[t] if t < len(names) else t,
+                            s,
+                        ]
+                        for f in frames
+                        for t, s in f.entries.items()
+                    ],
                 )
 
     def _targets(self, origin: str):
@@ -309,12 +323,17 @@ class ControlPlane:
         reporter = frame.node_index
         origin = self.config.node_names[frame.origin_index]
         if self.tracer.enabled:
+            names = self._type_names
             self.tracer.emit(
                 self._trace_node,
                 "control.receive",
                 peer=self.config.node_names[reporter],
                 origin=origin,
                 cells=len(frame.entries),
+                heads=[
+                    [names[t] if t < len(names) else t, s]
+                    for t, s in frame.entries.items()
+                ],
             )
         table = self.tables.get(origin)
         if table is None:

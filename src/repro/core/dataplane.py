@@ -293,7 +293,7 @@ class DataPlane:
             entry = self.buffer.add(
                 seq, size, meta, payload=chunk.payload, chunk_meta=chunk_meta
             )
-            if tracing:
+            if tracing and tracer.sampled(self._trace_node, seq):
                 tracer.emit(
                     self._trace_node,
                     "data.enqueue",
@@ -307,10 +307,19 @@ class DataPlane:
                     stream.enqueue(entry)
             else:
                 # Pre-pipelining path: one transport frame per message.
-                for channel in self._out_channels.values():
+                for peer, channel in self._out_channels.items():
                     channel.send(
                         chunk.payload, meta=(EPOCH_TAG, self.epoch, chunk_meta)
                     )
+                    if tracing and tracer.sampled(self._trace_node, seq):
+                        tracer.emit(
+                            self._trace_node,
+                            "data.peer_send",
+                            peer=peer,
+                            origin=self._trace_node,
+                            seq=seq,
+                            bytes=size,
+                        )
             self.messages_sent += 1
             self.payload_bytes_sent += size * len(self._out_channels)
             if self.on_sent is not None:
@@ -419,10 +428,17 @@ class DataPlane:
         )
         self.flush_causes[cause_key] = self.flush_causes.get(cause_key, 0) + 1
         if self.tracer.enabled:
+            # metas are chunk metas in stream order; the frame covers the
+            # contiguous sequence run [first_seq, last_seq] — the trace
+            # context that lets span reconstruction tie a peer's
+            # data.receive back to this frame.
             self.tracer.emit(
                 self._trace_node,
                 "data.frame_send",
                 peer=stream.peer,
+                origin=self._trace_node,
+                first_seq=metas[0][0],
+                last_seq=metas[-1][0],
                 messages=len(metas),
                 bytes=sum(lengths),
                 cause=cause,
@@ -607,7 +623,7 @@ class DataPlane:
             # the peer's view of our received-watermark lags by control
             # latency.  Duplicates are harmless — drop them.
             self.duplicates_dropped += 1
-            if self.tracer.enabled:
+            if self.tracer.enabled and self.tracer.sampled(origin, seq):
                 self.tracer.emit(
                     self._trace_node, "data.duplicate", origin=origin, seq=seq
                 )
@@ -619,7 +635,7 @@ class DataPlane:
             )
         self._highest_received[origin] = seq
         self.messages_received += 1
-        if self.tracer.enabled:
+        if self.tracer.enabled and self.tracer.sampled(origin, seq):
             self.tracer.emit(
                 self._trace_node,
                 "data.receive",
@@ -639,7 +655,7 @@ class DataPlane:
         if self.on_received is not None:
             self.on_received(origin, seq, payload)
         if complete is not None:
-            if self.tracer.enabled:
+            if self.tracer.enabled and self.tracer.sampled(origin, seq):
                 self.tracer.emit(
                     self._trace_node,
                     "data.deliver",

@@ -190,7 +190,9 @@ class DurabilityManager:
             self._current_max[record.origin] = max(
                 self._current_max.get(record.origin, 0), record.seq
             )
-            if self.tracer.enabled:
+            if self.tracer.enabled and self.tracer.sampled(
+                record.origin, record.seq
+            ):
                 self.tracer.emit(
                     self._trace_node,
                     "wal.append",

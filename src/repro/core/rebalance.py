@@ -346,6 +346,9 @@ class RebalanceCoordinator:
     ):
         self.cluster = cluster
         self.sim = cluster.sim
+        # Let the cluster's obs_snapshot() surface our rebalance.*
+        # metrics as its cluster-level block.
+        cluster.coordinator = self
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.drain_timeout_s = drain_timeout_s
         self.transfer_timeout_s = transfer_timeout_s

@@ -547,6 +547,43 @@ class ShardedStabilizer:
         totals["shard_epoch"] = self.shard_map.epoch
         return totals
 
+    def obs_snapshot(self) -> Dict[str, object]:
+        """The sharded node's full observability view: the aggregated
+        ``stats()`` plus per-shard histogram summaries, each family
+        prefixed ``s<shard>.`` (per-shard send→stable distributions are
+        the point of sharding — summing them would hide a hot shard)."""
+        histograms: Dict[str, object] = {}
+        for shard, inner in sorted(self.shards.items()):
+            for name, summary in inner.registry.snapshot()["histograms"].items():
+                histograms[f"s{shard}.{name}"] = summary
+        return {
+            "metrics": self.stats(),
+            "histograms": histograms,
+            "node": self.name,
+        }
+
+    def blame(self, keys=None, max_sends=None):
+        """Cross-shard critical-path attribution of this node's own
+        sends (see :meth:`repro.core.stabilizer.Stabilizer.blame`); the
+        shared ring's shard tags keep per-shard sequence spaces apart."""
+        from repro.obs.critpath import BlameTable, analyze_trees
+        from repro.obs.spans import build_span_trees
+
+        table = BlameTable()
+        tracer = next(
+            (s.tracer for s in self.shards.values() if s.tracer.enabled),
+            None,
+        )
+        if tracer is None or tracer.emitted == 0:
+            return table
+        trees = build_span_trees(
+            tracer.events(), keys=keys, max_sends=max_sends
+        )
+        for attribution in analyze_trees(trees, keys=keys):
+            if attribution.origin == self.name:
+                table.add(attribution)
+        return table
+
     # ------------------------------------------------------------------ teardown
     def close(self) -> None:
         if self.admission is not None:
@@ -586,6 +623,10 @@ class ShardedCluster:
         self.tracer = tracer
         self.filesystems: Dict[str, object] = {}
         self.nodes: Dict[str, ShardedStabilizer] = {}
+        # Set by RebalanceCoordinator on attach; lets obs_snapshot()
+        # surface the cluster-level rebalance.* metrics next to the
+        # per-node views.
+        self.coordinator = None
         for name in base_config.node_names:
             fs = fs_factory(name) if fs_factory is not None else None
             node = ShardedStabilizer(
@@ -711,6 +752,26 @@ class ShardedCluster:
         if node is not None:
             node.close()
         self.net.crash_node(name)
+
+    def obs_snapshot(self) -> Dict[str, object]:
+        """One record for the snapshot stream: every node's view plus —
+        when a rebalance coordinator is attached — the cluster-level
+        ``rebalance.*`` metrics (migrations in flight, handoff bytes,
+        retries, drain timeouts, cutover latency)."""
+        record: Dict[str, object] = {
+            "nodes": {
+                name: node.obs_snapshot()
+                for name, node in sorted(self.nodes.items())
+            },
+        }
+        if self.coordinator is not None:
+            snap = self.coordinator.metrics.snapshot()
+            cluster = dict(snap["metrics"])
+            for name, summary in snap["histograms"].items():
+                cluster[f"{name}.p99"] = summary.get("p99", 0.0)
+                cluster[f"{name}.count"] = summary.get("count", 0)
+            record["cluster"] = cluster
+        return record
 
     def __getitem__(self, name: str) -> ShardedStabilizer:
         return self.nodes[name]

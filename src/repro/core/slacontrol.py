@@ -70,14 +70,16 @@ class _WindowStats:
             if i < len(self.bounds):
                 hi = self.bounds[i]
             else:
-                # Overflow bucket: the cumulative max is the only upper
-                # bound we have for this window (an overestimate after
+                # Overflow bucket: no upper edge to interpolate toward —
+                # clamp to the cumulative max (an overestimate after
                 # recovery — acceptable for a bucket that should be empty
                 # when things are healthy).
                 hi = max(self.observed_max, self.bounds[-1])
             if not bucket_count:
                 continue
             if cumulative + bucket_count >= rank:
+                if i >= len(self.bounds):
+                    return hi
                 fraction = (rank - cumulative) / bucket_count
                 return lo + (hi - lo) * min(1.0, max(0.0, fraction))
             cumulative += bucket_count

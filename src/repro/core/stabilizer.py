@@ -105,6 +105,16 @@ class Stabilizer:
         self.stability = StabilityInstruments(
             self.registry, clock=self.sim.clock, node=config.local
         )
+        # Critical-path attribution over the flight-recorder ring (see
+        # repro.obs.critpath).  Off in stats() by default — the analysis
+        # is O(ring) and some tests poll stats() in tight loops — but
+        # blame() is always available, and the cache below makes
+        # repeated stats() calls between new events free.
+        self.blame_in_stats = False
+        self._blame_cache: Optional[Dict[str, float]] = None
+        self._blame_cache_key = -1
+        # Optional SLO burn-rate alerter (attach_alerter).
+        self.alerter = None
 
         self._type_ids: Dict[str, int] = config.type_ids()
         type_count = len(self._type_ids)
@@ -516,6 +526,38 @@ class Stabilizer:
         snapshot["node"] = self.name
         return snapshot
 
+    def blame(self, keys=None, max_sends=None):
+        """Critical-path attribution of this node's own stabilized sends
+        from the flight-recorder ring: per predicate key, which peer's
+        ACK arrived last and which segment (network / queueing / fsync /
+        frontier-eval) dominated.  Returns a
+        :class:`repro.obs.critpath.BlameTable` (empty when tracing is
+        off or the ring holds no stabilized sends)."""
+        from repro.obs.critpath import BlameTable, analyze_trees
+        from repro.obs.spans import build_span_trees
+
+        table = BlameTable()
+        if self.tracer.emitted == 0:
+            return table
+        trees = build_span_trees(
+            self.tracer.events(), keys=keys, max_sends=max_sends
+        )
+        for attribution in analyze_trees(trees, keys=keys):
+            if attribution.origin == self.name:
+                table.add(attribution)
+        return table
+
+    def attach_alerter(self, alerter) -> None:
+        """Wire an :class:`repro.obs.alerts.SloAlerter` into the node:
+        every send→stable sample feeds the alerter as series
+        ``stable.<key>``, and ``alerts.*`` counters join ``stats()``.
+        Frontier-lag rules are fed by the caller's periodic
+        ``alerter.observe("frontier_lag", ...)`` sampling."""
+        self.alerter = alerter
+        self.stability.on_sample = lambda key, latency: alerter.observe(
+            f"stable.{key}", latency
+        )
+
     def _collect_stats(self, stats: Dict[str, float]) -> None:
         stats.update({
             "messages_sent": self.dataplane.messages_sent,
@@ -571,6 +613,14 @@ class Stabilizer:
                 stats[f"durability.{key}"] = value
         if self.admission is not None:
             stats.update(self.admission.stats())
+        if self.alerter is not None:
+            stats.update(self.alerter.stats())
+        if self.blame_in_stats and self.tracer.enabled:
+            if self._blame_cache_key != self.tracer.emitted:
+                self._blame_cache = self.blame().metrics()
+                self._blame_cache_key = self.tracer.emitted
+            if self._blame_cache:
+                stats.update(self._blame_cache)
 
     # ------------------------------------------------------------------ internals
     def _on_sent(self, seq: int, payload: Payload) -> None:

@@ -9,12 +9,27 @@ Three layers, all optional and all cheap when idle:
   ``trace_event`` JSON.
 - :mod:`repro.obs.stability` — derived send→stable latency histograms
   and the plumbing the frontier engine feeds them through.
+- :mod:`repro.obs.spans` / :mod:`repro.obs.critpath` — offline span-tree
+  reconstruction from the ring and critical-path attribution of
+  stabilized sends (``repro blame``).
+- :mod:`repro.obs.export` / :mod:`repro.obs.alerts` /
+  :mod:`repro.obs.top` — the live ops surface: OpenMetrics exposition,
+  JSONL snapshot streams, multi-window SLO burn-rate alerting, and the
+  ``repro top`` dashboard renderer.
 
 This package must not import :mod:`repro.core` (the core imports us);
 the demo scenario behind ``repro obs`` lives in
 :mod:`repro.obs.scenario` and is imported lazily by the CLI.
 """
 
+from repro.obs.alerts import Alert, SloAlerter, SloRule
+from repro.obs.critpath import Attribution, BlameTable, analyze
+from repro.obs.export import (
+    SnapshotWriter,
+    read_snapshots,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     Counter,
@@ -22,7 +37,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.spans import (
+    SendTrace,
+    SpanNode,
+    build_span_trees,
+    chrome_span_trace,
+)
 from repro.obs.stability import StabilityInstruments
+from repro.obs.top import render_top
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -35,4 +57,19 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "SpanNode",
+    "SendTrace",
+    "build_span_trees",
+    "chrome_span_trace",
+    "Attribution",
+    "BlameTable",
+    "analyze",
+    "SloRule",
+    "SloAlerter",
+    "Alert",
+    "SnapshotWriter",
+    "read_snapshots",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "render_top",
 ]

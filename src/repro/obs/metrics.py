@@ -107,13 +107,19 @@ class Histogram:
         for i, bucket_count in enumerate(self.bucket_counts):
             if not bucket_count:
                 continue
-            lo = self.bounds[i - 1] if i > 0 else 0.0
-            hi = self.bounds[i] if i < len(self.bounds) else self.max
-            # Clamp to observed extremes: exact at the tails, and a
-            # single-bucket histogram reports a point, not a smear.
-            lo = max(lo, self.min)
-            hi = min(hi, self.max)
             if cumulative + bucket_count >= rank:
+                if i >= len(self.bounds):
+                    # Overflow bucket: there is no upper bound to
+                    # interpolate toward, and smearing from the last
+                    # bucket edge *under*-reports the tail — clamp to
+                    # the max observed value instead.
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                # Clamp to observed extremes: exact at the tails, and a
+                # single-bucket histogram reports a point, not a smear.
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
                 if hi <= lo:
                     return lo
                 fraction = (rank - cumulative) / bucket_count

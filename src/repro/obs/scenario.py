@@ -41,8 +41,20 @@ def run_obs_scenario(
     latency_ms: float = 10.0,
     tracer: Optional[Tracer] = None,
     trace_capacity: int = 65536,
+    sample_shift: int = 0,
+    snapshots_out: Optional[str] = None,
+    snapshot_interval_s: float = 0.25,
+    slo_threshold_s: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run the scenario; returns stats snapshots and the trace ring."""
+    """Run the scenario; returns stats snapshots and the trace ring.
+
+    ``sample_shift`` keeps 1/2^shift of per-sequence trace events
+    (head-based, seeded — every node reaches the same verdict);
+    ``snapshots_out`` streams periodic JSONL metric snapshots (the file
+    ``repro top`` tails); ``slo_threshold_s`` arms a multi-window
+    burn-rate alerter per node over every predicate's send→stable
+    latency.
+    """
     if nodes < 2:
         raise ValueError("need at least 2 nodes")
     topo = Topology()
@@ -53,7 +65,10 @@ def run_obs_scenario(
     sim = Simulator()
     net = topo.build(sim, RngRegistry(seed))
     if tracer is None:
-        tracer = Tracer(clock=sim.clock, capacity=trace_capacity, enabled=True)
+        tracer = Tracer(
+            clock=sim.clock, capacity=trace_capacity, enabled=True,
+            sample_shift=sample_shift, sample_seed=seed,
+        )
     predicates = {
         STRICT_KEY: "MIN($ALLWNODES - $MYWNODE)",
         RELAXED_KEY: "MAX($ALLWNODES - $MYWNODE)",
@@ -75,6 +90,45 @@ def run_obs_scenario(
     cluster = StabilizerCluster(
         net, config, fs_factory=fs_factory, tracer=tracer
     )
+    for name in names:
+        cluster[name].blame_in_stats = True
+
+    alerters = {}
+    if slo_threshold_s is not None:
+        from repro.obs.alerts import SloAlerter, SloRule
+
+        for name in names:
+            node = cluster[name]
+            rules = [
+                SloRule(
+                    f"stable.{key}.slow", f"stable.{key}",
+                    threshold=slo_threshold_s, target=0.9,
+                    windows=((0.5, 2.0, 4.0),),
+                )
+                for key in predicates
+            ]
+            alerter = SloAlerter(
+                clock=sim.clock, rules=rules, tracer=tracer, node=name
+            )
+            node.attach_alerter(alerter)
+            alerters[name] = alerter
+
+    writer = None
+    if snapshots_out is not None:
+        from repro.obs.export import SnapshotWriter
+
+        writer = SnapshotWriter(snapshots_out)
+
+        def snapshot_tick() -> None:
+            writer.append(
+                sim.now,
+                {name: cluster[name].obs_snapshot() for name in names},
+            )
+            for alerter in alerters.values():
+                alerter.evaluate()
+            sim.call_later(snapshot_interval_s, snapshot_tick)
+
+        sim.call_later(snapshot_interval_s, snapshot_tick)
 
     per_node = max(1, messages // nodes)
 
@@ -111,5 +165,16 @@ def run_obs_scenario(
         "stability_latency": stability,
         "tracer": tracer,
     }
+    if writer is not None:
+        # One final record so the dashboard's last frame is the drained
+        # end state, then stop tailing.
+        writer.append(sim.now, snapshots)
+        writer.close()
+        result["snapshot_records"] = writer.records
+    if alerters:
+        result["alerts"] = {
+            name: [a.to_dict() for a in alerter.history]
+            for name, alerter in alerters.items()
+        }
     cluster.close()
     return result

@@ -46,6 +46,9 @@ class StabilityInstruments:
         #: predicate is redefined and its frontier recomputed.
         self._covered: Dict[str, int] = {}
         self._samples = registry.counter(f"{prefix}.samples")
+        #: Optional ``fn(key, latency_s)`` invoked per sample — the hook
+        #: the SLO burn-rate alerter hangs off (see repro.obs.alerts).
+        self.on_sample: Optional[Callable[[str, float], None]] = None
 
     def register_key(self, key: str) -> None:
         self._covered.setdefault(key, 0)
@@ -74,11 +77,15 @@ class StabilityInstruments:
         hist = self.registry.histogram(f"{self.prefix}.{key}", self.buckets)
         now = self.clock()
         send_times = self._send_times
+        on_sample = self.on_sample
         for seq in range(covered + 1, frontier + 1):
             ts = send_times.get(seq)
             if ts is not None:
-                hist.observe(now - ts)
+                latency = now - ts
+                hist.observe(latency)
                 self._samples.inc()
+                if on_sample is not None:
+                    on_sample(key, latency)
         self._covered[key] = frontier
         self._gc()
 

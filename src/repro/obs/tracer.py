@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import time
+import zlib
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
@@ -63,6 +64,8 @@ class Tracer:
         clock: Optional[Callable[[], float]] = None,
         capacity: int = 65536,
         enabled: bool = True,
+        sample_shift: int = 0,
+        sample_seed: int = 0,
     ):
         self.clock = clock if clock is not None else time.monotonic
         self.capacity = capacity
@@ -71,6 +74,30 @@ class Tracer:
         #: Total events ever emitted; ``dropped`` is this minus the ring.
         self.emitted = 0
         self._null = False
+        # Head-based per-send sampling: a (origin, seq) lifecycle is
+        # either traced at every node or at none.  The decision is a
+        # seeded hash, so every node reaches the same verdict with no
+        # extra wire bits — 1 in 2**sample_shift sends are kept (shift 0:
+        # everything, the default; benches run shift 6 = 1/64).
+        if sample_shift < 0:
+            raise ValueError("sample_shift must be >= 0")
+        self.sample_shift = sample_shift
+        self.sample_seed = sample_seed
+        self._sample_mask = (1 << sample_shift) - 1
+        self._sample_salt = zlib.crc32(str(sample_seed).encode("ascii"))
+
+    def sampled(self, origin: str, seq: int) -> bool:
+        """Head-based sampling verdict for one send's lifecycle.
+
+        Call sites for per-sequence events guard emission with
+        ``tracer.enabled`` first, then ``tracer.sampled(origin, seq)``
+        inside the guarded block; events not tied to one sequence
+        (frames, flushes, faults, alerts) stay unsampled.
+        """
+        if not self._sample_mask:
+            return True
+        key = f"{origin}#{seq}".encode("ascii", "replace")
+        return (zlib.crc32(key, self._sample_salt) & self._sample_mask) == 0
 
     def emit(self, node: str, etype: str, **fields: object) -> None:
         """Record one event.  Call sites guard on :attr:`enabled` first."""

@@ -99,3 +99,37 @@ def test_registry_snapshot_includes_histograms():
     snap = r.snapshot()
     assert snap["histograms"]["h"]["count"] == 1
     assert "metrics" in snap
+
+
+def test_empty_histogram_percentiles_are_zero():
+    h = Histogram("lat")
+    for q in (0, 50, 99, 100):
+        assert h.percentile(q) == 0.0
+
+
+def test_one_sample_histogram_reports_the_sample():
+    h = Histogram("lat")
+    h.observe(0.042)
+    for q in (1, 50, 99, 100):
+        assert h.percentile(q) == pytest.approx(0.042)
+
+
+def test_overflow_only_histogram_clamps_to_max_observed():
+    # Every sample past the last bound: no bucket edge to interpolate
+    # toward, so every percentile must report the exact observed max —
+    # smearing between the edge and max under-reports the tail.
+    h = Histogram("lat", buckets=(1.0, 2.0))
+    for value in (150.0, 300.0, 500.0):
+        h.observe(value)
+    for q in (1, 50, 90, 99, 99.9):
+        assert h.percentile(q) == pytest.approx(500.0)
+    assert h.min == pytest.approx(150.0)
+
+
+def test_mixed_histogram_tail_rank_in_overflow_reports_max():
+    h = Histogram("lat", buckets=(1.0, 2.0))
+    for _ in range(99):
+        h.observe(0.5)
+    h.observe(500.0)  # one extreme outlier in the overflow bucket
+    assert h.percentile(50) <= 1.0
+    assert h.percentile(99.9) == pytest.approx(500.0)

@@ -1,0 +1,178 @@
+"""The live ops surface: OpenMetrics exposition, JSONL snapshots, the
+burn-rate alerter, and the ``repro top`` renderer."""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import SloAlerter, SloRule
+from repro.obs.export import (
+    SnapshotWriter,
+    read_snapshots,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import render_top
+from repro.obs.tracer import Tracer
+
+
+def _snapshot(node="n0", lag=3.0):
+    registry = MetricsRegistry()
+    registry.counter("data.chunks_sent").inc(100)
+    registry.gauge("frontier_lag.n1.received").set(lag)
+    hist = registry.histogram("stability_latency.all")
+    for value in (0.01, 0.02, 0.03):
+        hist.observe(value)
+    snap = registry.snapshot()
+    snap["node"] = node
+    return snap
+
+
+# ---------------------------------------------------------- OpenMetrics
+def test_openmetrics_roundtrip():
+    text = render_openmetrics({"n0": _snapshot("n0"), "n1": _snapshot("n1")})
+    assert text.endswith("# EOF\n")
+    samples = validate_openmetrics(text)
+    gauge = samples["repro_frontier_lag_n1_received"]
+    assert sorted(labels["node"] for labels, _v in gauge) == ["n0", "n1"]
+    summary = samples["repro_stability_latency_all"]
+    counts = [v for labels, v in summary if "quantile" not in labels]
+    assert 3.0 in counts  # the _count sample
+    quantiles = {
+        labels["quantile"]: v for labels, v in summary if "quantile" in labels
+    }
+    assert set(quantiles) == {"0.5", "0.9", "0.99"}
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "repro_x 1\n# EOF\n",                       # sample without TYPE
+        "# TYPE repro_x gauge\nrepro_x 1\n",        # missing EOF
+        "# TYPE repro_x gauge\nrepro_x{node=n0} 1\n# EOF\n",  # bad labels
+        "# TYPE repro_x gauge\n# TYPE repro_x gauge\n# EOF\n",  # dup TYPE
+        "# TYPE repro_x gauge\nrepro_x one\n# EOF\n",  # non-numeric
+    ],
+)
+def test_openmetrics_validator_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        validate_openmetrics(bad)
+
+
+def test_openmetrics_name_sanitization():
+    text = render_openmetrics(
+        {"n0": {"metrics": {"a.b-c/d": 1.5}, "histograms": {}}}
+    )
+    assert "repro_a_b_c_d" in text
+    validate_openmetrics(text)
+
+
+# ------------------------------------------------------- JSONL snapshots
+def test_snapshot_writer_roundtrip(tmp_path):
+    path = tmp_path / "snaps.jsonl"
+    with SnapshotWriter(path) as writer:
+        writer.append(1.0, {"n0": _snapshot()})
+        writer.append(
+            2.0, {"n0": _snapshot()}, cluster={"rebalance.completed": 1}
+        )
+        assert writer.records == 2
+    records = list(read_snapshots(path))
+    assert [r["ts"] for r in records] == [1.0, 2.0]
+    assert records[1]["cluster"]["rebalance.completed"] == 1
+    assert records[0]["nodes"]["n0"]["metrics"]["data.chunks_sent"] == 100
+
+
+# ------------------------------------------------------------- alerting
+def _alerter(**rule_kwargs):
+    t = [0.0]
+    rule = SloRule(
+        "slow", "stable.all", threshold=0.05, target=0.9,
+        windows=((1.0, 5.0, 2.0),), **rule_kwargs,
+    )
+    tracer = Tracer(clock=lambda: t[0], capacity=64, enabled=True)
+    return t, SloAlerter(
+        clock=lambda: t[0], rules=[rule], tracer=tracer, node="n0"
+    ), tracer
+
+
+def test_alert_fires_on_sustained_burn_and_resolves():
+    t, alerter, tracer = _alerter()
+    for _ in range(20):
+        t[0] += 0.1
+        alerter.observe("stable.all", 0.2)  # 100% violations
+    assert alerter.fired == 1
+    assert len(alerter.active()) == 1
+    events = [e.etype for e in tracer.events()]
+    assert "alert.fire" in events
+    for _ in range(20):
+        t[0] += 0.1
+        alerter.observe("stable.all", 0.01)  # healthy again
+    assert alerter.resolved == 1
+    assert not alerter.active()
+    assert "alert.resolve" in [e.etype for e in tracer.events()]
+    assert alerter.stats()["alerts.fired"] == 1.0
+
+
+def test_alert_needs_min_samples():
+    t, alerter, _tracer = _alerter(min_samples=10)
+    for _ in range(9):
+        t[0] += 0.01
+        alerter.observe("stable.all", 0.2)
+    assert alerter.fired == 0
+    t[0] += 0.01
+    alerter.observe("stable.all", 0.2)
+    assert alerter.fired == 1
+
+
+def test_alert_tolerates_within_budget_errors():
+    # target 0.9 → 10% budget; 2x burn factor → alert needs >20% errors.
+    # One violation per 10 sends (arriving after 9 healthy samples, so
+    # the startup window never spikes past the factor) stays quiet.
+    t, alerter, _tracer = _alerter()
+    for i in range(100):
+        t[0] += 0.01
+        alerter.observe("stable.all", 0.2 if i % 10 == 9 else 0.01)
+    assert alerter.fired == 0
+
+
+def test_observing_unbound_series_is_a_noop():
+    _t, alerter, _tracer = _alerter()
+    alerter.observe("frontier_lag", 1e9)
+    assert alerter.fired == 0
+
+
+# ------------------------------------------------------------ dashboard
+def test_render_top_rates_and_sections():
+    rec1 = {"ts": 1.0, "nodes": {"n0": _snapshot()}}
+    snap2 = _snapshot()
+    snap2["metrics"]["data.chunks_sent"] = 200
+    rec2 = {
+        "ts": 2.0,
+        "nodes": {"n0": snap2},
+        "cluster": {
+            "rebalance.shards_migrating": 2,
+            "rebalance.completed": 3,
+            "rebalance.handoff_bytes": 2048,
+        },
+        "alerts": [{"rule": "slow", "window_s": [1, 5], "burn_short": 4.2}],
+    }
+    frame = render_top(rec2, prev=rec1)
+    assert "t=2.000s" in frame
+    assert "100.0" in frame  # (200-100)/1s send rate
+    p99_ms = snap2["histograms"]["stability_latency.all"]["p99"] * 1000
+    assert f"all:{p99_ms:.1f}" in frame
+    assert "migrating=2" in frame and "completed=3" in frame
+    assert "ALERT slow" in frame
+    # No prev record: rates render as zero, frame still complete.
+    assert "t=1.000s" in render_top(rec1)
+
+
+def test_render_top_handles_sharded_histogram_prefixes():
+    snap = _snapshot()
+    snap["histograms"] = {
+        "s0.stability_latency.all": {"p99": 0.010},
+        "s1.stability_latency.all": {"p99": 0.050},
+    }
+    frame = render_top({"ts": 1.0, "nodes": {"n0": snap}})
+    assert "all:50.0" in frame  # worst shard wins

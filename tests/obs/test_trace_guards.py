@@ -1,0 +1,137 @@
+"""Lint: every ``tracer.emit`` call site sits behind a flag check.
+
+The overhead contract (see ``test_overhead.py``) rests on one rule:
+instrumentation must cost a single boolean attribute check when tracing
+is off, so no ``emit`` call — whose keyword arguments would otherwise be
+evaluated eagerly — may execute unguarded.  This AST lint walks the
+whole source tree and verifies each emit call on a tracer-like receiver
+is lexically inside an ``if`` whose condition checks ``.enabled`` (or a
+local previously assigned from ``.enabled``, the hoisted-guard idiom).
+
+Accepted guard shapes::
+
+    if self.tracer.enabled:                      # direct
+    if tracer.enabled and tracer.sampled(o, s):  # guard + sampling
+    tracing = self.tracer.enabled                # hoisted...
+    if tracing:                                  # ...checked later
+    if tracing and self.tracer.sampled(o, s):
+
+The tracer module itself is exempt (it implements ``emit``), as is the
+test tree.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Modules allowed to call emit unguarded: the tracer implements it.
+EXEMPT = {"obs/tracer.py"}
+
+#: Receiver expressions that count as "a tracer": the attribute/name
+#: spelling must mention one of these.
+TRACER_WORDS = ("tracer", "tracing", "recorder")
+
+
+def _iter_sources():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel not in EXEMPT:
+            yield rel, path.read_text(encoding="utf-8")
+
+
+def _guard_locals(tree):
+    """Names assigned from an ``.enabled`` attribute (hoisted guards)."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr == "enabled":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _test_is_guard(test, guard_names):
+    """Does this ``if`` condition check a tracing flag?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Name) and node.id in guard_names:
+            return True
+    return False
+
+
+def _emit_calls(tree):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            receiver = ast.unparse(node.func.value)
+            if any(word in receiver for word in TRACER_WORDS):
+                yield node
+
+
+def test_every_tracer_emit_is_flag_guarded():
+    violations = []
+    for rel, source in _iter_sources():
+        tree = ast.parse(source)
+        guard_names = _guard_locals(tree)
+        # Parent links, so each emit call can walk out to enclosing ifs.
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child._lint_parent = parent
+        for call in _emit_calls(tree):
+            node = call
+            guarded = False
+            while node is not None:
+                node = getattr(node, "_lint_parent", None)
+                if isinstance(node, ast.If) and _test_is_guard(
+                    node.test, guard_names
+                ):
+                    guarded = True
+                    break
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    # Guards don't cross function boundaries: a helper
+                    # whose *callers* check the flag still pays its own
+                    # argument evaluation.
+                    break
+            if not guarded:
+                violations.append(
+                    f"{rel}:{call.lineno} unguarded "
+                    f"{ast.unparse(call.func)}(...)"
+                )
+    assert not violations, (
+        "tracer.emit must sit behind `if <tracer>.enabled:` "
+        "(or a local assigned from it):\n  " + "\n  ".join(violations)
+    )
+
+
+def test_lint_catches_an_unguarded_emit():
+    """The lint itself must not be vacuous."""
+    tree = ast.parse(
+        "def f(self):\n"
+        "    self.tracer.emit('n0', 'x', seq=1)\n"
+    )
+    assert len(list(_emit_calls(tree))) == 1
+    guarded_tree = ast.parse(
+        "def f(self):\n"
+        "    if self.tracer.enabled:\n"
+        "        self.tracer.emit('n0', 'x', seq=1)\n"
+    )
+    for parent in ast.walk(guarded_tree):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent
+    call = next(_emit_calls(guarded_tree))
+    node, guarded = call, False
+    while node is not None:
+        node = getattr(node, "_lint_parent", None)
+        if isinstance(node, ast.If) and _test_is_guard(node.test, set()):
+            guarded = True
+            break
+    assert guarded

@@ -1,0 +1,201 @@
+"""Ring-bound behaviour: wraparound under scoped views, wraparound
+across a crash-restart run on one shared ring, chrome export of a
+wrapped ring, and the seeded head-based sampling verdict.
+
+The flight-recorder contract is that eviction is whole-event and
+oldest-first, no matter how many writers (per-shard ``scoped()`` views,
+successive node incarnations) share the ring.
+"""
+
+import json
+
+from repro.core import StabilizerCluster, StabilizerConfig, snapshot_state
+from repro.net import NetemSpec, Topology
+from repro.obs import Tracer
+from repro.obs.spans import build_span_trees, chrome_span_trace
+from repro.sim import Simulator
+
+
+def make_tracer(**kwargs):
+    t = [0.0]
+
+    def clock():
+        t[0] += 0.001
+        return t[0]
+
+    return Tracer(clock=clock, **kwargs)
+
+
+# ------------------------------------------------- scoped-view wraparound
+def test_wraparound_interleaved_scoped_views():
+    base = make_tracer(capacity=8)
+    shards = [base.scoped(shard=s) for s in (0, 1)]
+    for i in range(20):
+        shards[i % 2].emit("n0", "data.enqueue", origin="n0", seq=i)
+    assert len(base) == 8
+    assert base.emitted == 20
+    assert base.dropped == 12
+    # Oldest evicted first: the survivors are exactly the last 8 emits,
+    # in emission order, each stamped with its view's scope field.
+    survivors = base.events()
+    assert [e.fields["seq"] for e in survivors] == list(range(12, 20))
+    assert [e.fields["shard"] for e in survivors] == [0, 1] * 4
+    # Views report the shared ring's counters, not per-view ones.
+    assert shards[0].emitted == 20
+    assert len(shards[1]) == 8
+
+
+def test_scoped_view_shares_lifecycle_and_flag():
+    base = make_tracer(capacity=4)
+    view = base.scoped(shard=3)
+    base.disable()
+    view.emit("n0", "x", seq=1)
+    assert base.emitted == 0
+    base.enable()
+    view.emit("n0", "x", seq=2)
+    assert base.events()[0].fields["shard"] == 3
+    # clear() through the view empties the shared ring.
+    view.clear()
+    assert len(base) == 0 and base.emitted == 0
+
+
+def test_nested_scopes_merge_and_explicit_fields_win():
+    base = make_tracer(capacity=4)
+    view = base.scoped(shard=1).scoped(peer="n1")
+    view.emit("n0", "x", seq=1)
+    view.emit("n0", "y", seq=2, peer="n9")  # explicit beats scope
+    first, second = base.events()
+    assert first.fields == {"shard": 1, "peer": "n1", "seq": 1}
+    assert second.fields["peer"] == "n9" and second.fields["shard"] == 1
+
+
+# ------------------------------------------------ chrome export, wrapped
+def test_chrome_export_of_wrapped_ring_is_wellformed():
+    base = make_tracer(capacity=6)
+    view = base.scoped(shard=0)
+    for i in range(15):
+        view.emit(f"n{i % 3}", "data.enqueue", origin=f"n{i % 3}", seq=i)
+    assert base.dropped == 9
+    doc = json.loads(json.dumps(base.chrome_trace()))
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 6  # whole-event eviction: survivors only
+    assert doc["otherData"] == {"emitted": 15, "dropped": 9}
+    # Every instant references a declared process.
+    declared = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "M"
+                and e["name"] == "process_name"}
+    assert {e["pid"] for e in instants} <= declared
+
+
+def test_span_chrome_export_of_wrapped_ring_is_wellformed():
+    # Wrap mid-lifecycle: enqueues for early seqs evicted, later seqs
+    # complete.  Span reconstruction must stay well-formed (balanced
+    # b/e pairs) and only claim trees it can actually anchor.
+    base = make_tracer(capacity=12)
+    for seq in range(8):
+        base.emit("n0", "data.enqueue", origin="n0", seq=seq, bytes=64)
+        base.emit("n0", "data.frame_send", peer="n1", origin="n0",
+                  first_seq=seq, last_seq=seq, messages=1, bytes=100)
+        base.emit("n1", "data.receive", origin="n0", seq=seq)
+    assert base.dropped > 0
+    trees = build_span_trees([e.to_dict() for e in base.events()])
+    # Trees only exist for seqs whose enqueue survived the wrap.
+    assert trees
+    assert all(seq >= 4 for (_o, _s, seq) in trees)
+    doc = json.loads(json.dumps(chrome_span_trace(trees)))
+    opens = {}
+    for event in doc["traceEvents"]:
+        if event.get("ph") == "b":
+            opens[event["id"]] = opens.get(event["id"], 0) + 1
+        elif event.get("ph") == "e":
+            opens[event["id"]] = opens.get(event["id"], 0) - 1
+    assert opens and all(count == 0 for count in opens.values())
+
+
+# ------------------------------------------- crash-restart, shared ring
+def test_wrapped_shared_ring_across_crash_restart():
+    """A deliberately tiny ring wraps during a crash-restart run; the
+    surviving window still has one monotonic timeline, no re-emitted
+    receives, and a valid chrome export."""
+    topo = Topology()
+    topo.add_node("a", "east")
+    topo.add_node("b", "west")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    config = StabilizerConfig(
+        ["a", "b"],
+        {"east": ["a"], "west": ["b"]},
+        "a",
+        predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+        control_interval_s=0.005,
+        failure_timeout_s=0.5,
+        max_retransmit_attempts=5,
+        transport_max_rto_s=1.0,
+    )
+    tracer = Tracer(clock=sim.clock, capacity=64, enabled=True)
+    cluster = StabilizerCluster(net, config, tracer=tracer)
+    a, b = cluster["a"], cluster["b"]
+    for _ in range(4):
+        a.send(b"warmup")
+    sim.run(until=0.5)
+
+    snapshot = snapshot_state(b)
+    b.close()
+    net.crash_node("b")
+    missed = [a.send(b"while b is down") for _ in range(4)]
+    sim.run(until=1.5)
+    net.recover_node("b")
+    b2 = cluster.restart_node("b", snapshot)
+    sim.run(until=4.0)
+    assert b2.dataplane.highest_received("a") == missed[-1]
+    cluster.close()
+
+    assert tracer.dropped > 0, "ring was sized to wrap"
+    assert len(tracer) == 64
+    events = tracer.events()
+    stamps = [e.ts for e in events]
+    assert stamps == sorted(stamps)  # one virtual timeline, both lives
+    # No duplicate receives inside the surviving window: replay after
+    # restart arrives as data.replay, never a second data.receive.
+    seen = set()
+    for ev in events:
+        if ev.etype == "data.receive":
+            slot = (ev.node, ev.fields["origin"], ev.fields["seq"])
+            assert slot not in seen, f"re-emitted data.receive {slot}"
+            seen.add(slot)
+    doc = json.loads(json.dumps(tracer.chrome_trace()))
+    assert doc["otherData"]["dropped"] == tracer.dropped
+
+
+# -------------------------------------------------------- sampling maths
+def test_sampling_verdict_is_deterministic_across_instances():
+    first = Tracer(clock=lambda: 0.0, sample_shift=4, sample_seed=7)
+    second = Tracer(
+        clock=lambda: 0.0, capacity=16, sample_shift=4, sample_seed=7
+    )
+    for seq in range(512):
+        assert first.sampled("n0", seq) == second.sampled("n0", seq)
+
+
+def test_sampling_shift_zero_keeps_everything():
+    tracer = Tracer(clock=lambda: 0.0, sample_shift=0)
+    assert all(tracer.sampled("n0", seq) for seq in range(256))
+
+
+def test_sampling_rate_tracks_two_to_the_shift():
+    tracer = Tracer(clock=lambda: 0.0, sample_shift=3, sample_seed=1)
+    kept = sum(
+        tracer.sampled(origin, seq)
+        for origin in ("n0", "n1", "n2", "n3")
+        for seq in range(1024)
+    )
+    # 4096 keys at a 1/8 target: CRC32 spreads them ~binomially.
+    assert 0.6 * 4096 / 8 < kept < 1.4 * 4096 / 8
+
+
+def test_sampling_seed_changes_the_kept_set():
+    a = Tracer(clock=lambda: 0.0, sample_shift=2, sample_seed=1)
+    b = Tracer(clock=lambda: 0.0, sample_shift=2, sample_seed=2)
+    verdicts_a = [a.sampled("n0", seq) for seq in range(256)]
+    verdicts_b = [b.sampled("n0", seq) for seq in range(256)]
+    assert verdicts_a != verdicts_b

@@ -1,0 +1,62 @@
+"""CI smoke for the tracing/attribution/ops surface (make trace-smoke).
+
+One seeded 3-node scenario, then the full acceptance sweep: the flat
+chrome trace and the nested span trace are well-formed JSON with at
+least one complete cross-node span tree; the OpenMetrics exposition
+parses; blame attribution at 1/1 sampling names a straggler node and a
+dominant segment for >= 95% of stabilized sends.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.critpath import SEGMENTS, analyze
+from repro.obs.export import render_openmetrics, validate_openmetrics
+from repro.obs.spans import build_span_trees, chrome_span_trace
+
+pytestmark = pytest.mark.trace_smoke
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.obs.scenario import run_obs_scenario
+
+    return run_obs_scenario(nodes=3, messages=45, seed=11, durability=True)
+
+
+def test_chrome_trace_is_wellformed_json(scenario):
+    doc = json.loads(json.dumps(scenario["tracer"].chrome_trace()))
+    assert doc["traceEvents"]
+    assert doc["otherData"]["emitted"] > 0
+
+
+def test_span_trace_has_a_complete_cross_node_tree(scenario):
+    events = [e.to_dict() for e in scenario["tracer"].events()]
+    trees = build_span_trees(events)
+    complete = [
+        t for t in trees.values() if t.complete and t.cross_node
+    ]
+    assert complete, "no complete cross-node span tree reconstructed"
+    doc = json.loads(json.dumps(chrome_span_trace(trees)))
+    spans = [e for e in doc["traceEvents"] if e.get("ph") in ("b", "e")]
+    assert spans
+    assert doc["otherData"]["complete"] >= len(complete)
+
+
+def test_openmetrics_exposition_parses(scenario):
+    text = render_openmetrics(scenario["snapshots"])
+    families = validate_openmetrics(text)
+    assert any(name.startswith("repro_") for name in families)
+    assert any("stability_latency" in name for name in families)
+
+
+def test_blame_attribution_meets_the_bar(scenario):
+    events = [e.to_dict() for e in scenario["tracer"].events()]
+    table = analyze(events)
+    assert table.sends > 0
+    assert table.attribution_rate >= 0.95, table.format()
+    for attribution in table.attributions:
+        if attribution.attributed:
+            assert attribution.blamed is not None
+            assert attribution.dominant in SEGMENTS
