@@ -2,7 +2,8 @@
 
 .PHONY: install test bench bench-smoke bench-full chaos-smoke \
         durability-smoke obs-smoke overload-smoke rebalance-smoke \
-        shard-smoke trace-smoke api-check verify report clean
+        shard-smoke strategy-smoke trace-smoke api-check verify report \
+        clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -53,6 +54,12 @@ rebalance-smoke:
 shard-smoke:
 	pytest -m shard_smoke
 
+# Stabilization-engine smoke: one seeded chaos run per engine — ACK
+# table, sequencer, hybrid clock — under the full invariant checker
+# (see docs/strategies.md).
+strategy-smoke:
+	pytest -m strategy_smoke
+
 # Cross-node tracing smoke: a seeded 3-node run must yield a well-formed
 # chrome trace with at least one complete cross-node span tree, a
 # parseable OpenMetrics exposition, and >= 95% blame attribution at 1/1
@@ -69,7 +76,8 @@ api-check:
 
 # The whole gate in one target: tier-1 tests, then every smoke sweep.
 verify: test bench-smoke chaos-smoke durability-smoke obs-smoke \
-        overload-smoke rebalance-smoke shard-smoke trace-smoke api-check
+        overload-smoke rebalance-smoke shard-smoke strategy-smoke \
+        trace-smoke api-check
 
 report:
 	python -m repro report

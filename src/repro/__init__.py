@@ -10,6 +10,13 @@ The public API mirrors the paper's library surface:
   ``change_predicate`` take predicate source strings;
   :func:`standard_predicates` generates the paper's Table III set and
   :func:`shard_standard_predicates` its shard-scoped variant.
+- Stabilization engines — :class:`StabilizationStrategy` is the control
+  protocol behind the tables: :class:`AckTableStrategy` (the paper's ACK
+  streaming, the default), :class:`SequencerStrategy` (deferred-update
+  stabilization through one sequencer), :class:`HybridClockStrategy`
+  (Okapi-style stable-time vectors); select with
+  ``StabilizerConfig(stabilization_strategy=...)`` (see
+  ``docs/strategies.md``).
 - Partial replication — :class:`ShardMap` assigns keys to shards and
   shards to owner sets; :class:`ShardedStabilizer` /
   :class:`ShardedCluster` run one Stabilizer stack per *owned* shard so
@@ -51,15 +58,19 @@ Quick start::
 from repro import testing
 from repro.apps import FileBackupService, QuorumKV, WanKVStore
 from repro.core import (
+    AckTableStrategy,
     AdmissionController,
     CircuitBreaker,
+    HybridClockStrategy,
     RebalanceCoordinator,
     RebalancePlan,
     RebalancePlanner,
+    SequencerStrategy,
     ShardedCluster,
     ShardedStabilizer,
     ShardMap,
     SlaController,
+    StabilizationStrategy,
     Stabilizer,
     StabilizerCluster,
     StabilizerConfig,
@@ -97,6 +108,7 @@ __version__ = "1.0.0"
 #: snapshot test (``tests/test_public_api.py``) holds this list to the
 #: checked-in ``docs/api_surface.txt``; changing either is an API event.
 __all__ = [
+    "AckTableStrategy",
     "AdmissionController",
     "AdmissionError",
     "AppendLog",
@@ -106,6 +118,7 @@ __all__ = [
     "CompiledPredicate",
     "DegradationPolicy",
     "FileBackupService",
+    "HybridClockStrategy",
     "MaskSuspectedPolicy",
     "MetricsRegistry",
     "NetemSpec",
@@ -121,6 +134,7 @@ __all__ = [
     "RebalancePlanner",
     "ReliableBroadcast",
     "ReproError",
+    "SequencerStrategy",
     "ShardMap",
     "ShardedCluster",
     "ShardedStabilizer",
@@ -128,6 +142,7 @@ __all__ = [
     "SlaController",
     "SloAlerter",
     "SnapshotWriter",
+    "StabilizationStrategy",
     "Stabilizer",
     "StabilizerBroker",
     "StabilizerCluster",

@@ -887,7 +887,7 @@ def _hotpath_latency_histogram(
 ) -> Histogram:
     """Replay ``updates`` on a fresh incremental engine, timing each
     report individually into a microsecond histogram."""
-    from repro.core.acks import AckTable
+    from repro.core.strategy import AckTable
     from repro.core.frontier import FrontierEngine
 
     ctx = DslContext(node_names, groups, origin)
@@ -921,7 +921,7 @@ def run_hotpath_frontier(
     Both engines replay an identical deterministic update stream, and the
     resulting frontiers are compared cell-for-cell (``frontiers_match``).
     """
-    from repro.core.acks import AckTable
+    from repro.core.strategy import AckTable
     from repro.core.frontier import FrontierEngine
 
     rng = RngRegistry(seed).stream("hotpath")
@@ -1649,4 +1649,109 @@ def run_overload_bench(
         },
         "baseline": run_mode(controlled=False),
         "controlled": run_mode(controlled=True),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Strategy head-to-head: one WAN workload per stabilization engine.
+# ---------------------------------------------------------------------------
+
+
+def run_strategy_comparison(
+    strategies: Sequence[str] = ("acktable", "sequencer", "hybrid_clock"),
+    messages: int = 120,
+    rate: float = 100.0,
+    payload_bytes: int = 512,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The identical CloudLab WAN workload (Table II topology, sender at
+    UT1) once per stabilization engine (docs/strategies.md): ``messages``
+    payloads at ``rate`` Hz, each timed from send to all-nodes stability
+    at the sender.  Per engine: stability-latency percentiles, cluster-
+    wide control bytes per second, and delivered (stabilized) throughput.
+    Only the control protocol varies — workload, network, and cadence
+    knobs are held fixed, so the rows compare protocols, not tuning.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in strategies:
+        sim, net = build_network(cloudlab_topology(), seed)
+        cluster = _cluster(
+            net,
+            CLOUDLAB_SENDER,
+            predicates={"all": "MIN($ALLWNODES - $MYWNODE)"},
+            control_interval_s=0.005,
+            stabilization_strategy=name,
+        )
+        sender = cluster[CLOUDLAB_SENDER]
+        send_times: Dict[int, float] = {}
+        latencies: List[float] = []
+        done_at = [0.0]
+
+        def on_frontier(
+            origin, value, old, _st=send_times, _lat=latencies,
+            _done=done_at, _sim=sim,
+        ):
+            if origin != CLOUDLAB_SENDER:
+                return
+            for seq in range(old + 1, value + 1):
+                sent = _st.pop(seq, None)
+                if sent is not None:
+                    _lat.append(_sim.now - sent)
+                    _done[0] = _sim.now
+
+        sender.monitor_stability_frontier("all", on_frontier)
+
+        def send_one(_sender=sender, _st=send_times, _sim=sim):
+            seq = _sender.send(SyntheticPayload(payload_bytes))
+            _st[seq] = _sim.now
+
+        interval = 1.0 / rate
+        for i in range(messages):
+            sim.call_later(i * interval, send_one)
+        sim.run(until=messages * interval)
+        for _ in range(300):  # drain until every message stabilized
+            if len(latencies) >= messages:
+                break
+            sim.run(until=sim.now + 0.1)
+        converged = len(latencies) >= messages
+        span_s = done_at[0] or sim.now
+        control_bytes = control_frames = 0.0
+        for node_name in net.topology.node_names():
+            stats = cluster[node_name].stats()
+            control_bytes += stats["strategy.bytes_sent"]
+            control_frames += stats["strategy.frames_sent"]
+        ordered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            if not ordered:
+                return 0.0
+            return ordered[min(
+                len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))
+            )]
+
+        rows.append(
+            {
+                "strategy": name,
+                "converged": converged,
+                "stabilized": len(latencies),
+                "latency_p50_s": pct(50.0),
+                "latency_p99_s": pct(99.0),
+                "control_bytes": control_bytes,
+                "control_frames": control_frames,
+                "control_bytes_per_s": control_bytes / span_s,
+                "delivered_throughput_mps": len(latencies) / span_s,
+                "span_s": span_s,
+            }
+        )
+        cluster.close()
+    return {
+        "config": {
+            "topology": "cloudlab",
+            "sender": CLOUDLAB_SENDER,
+            "messages": messages,
+            "rate_per_s": rate,
+            "payload_bytes": payload_bytes,
+            "seed": seed,
+        },
+        "rows": rows,
     }

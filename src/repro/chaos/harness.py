@@ -87,6 +87,8 @@ class ChaosConfig:
         checkpoint_interval_s: Optional[float] = None,
         durability_batch: int = 8,
         durability_interval_s: float = 0.01,
+        stabilization_strategy: str = "acktable",
+        strategy_params: Optional[dict] = None,
         trace: bool = True,
         trace_capacity: int = 65536,
         trace_dir: str = ".",
@@ -118,6 +120,10 @@ class ChaosConfig:
         self.checkpoint_interval_s = checkpoint_interval_s
         self.durability_batch = durability_batch
         self.durability_interval_s = durability_interval_s
+        # Which stabilization engine the cluster runs (the invariants are
+        # engine-agnostic; make strategy-smoke sweeps all three).
+        self.stabilization_strategy = stabilization_strategy
+        self.strategy_params = dict(strategy_params or {})
         # Flight recorder: on by default — a failing seed must always
         # come with its interleaving.  The ring bounds the cost.
         self.trace = trace
@@ -200,6 +206,8 @@ class ChaosHarness:
             durability=self.config.durability,
             durability_group_commit_batch=self.config.durability_batch,
             durability_group_commit_interval_s=self.config.durability_interval_s,
+            stabilization_strategy=self.config.stabilization_strategy,
+            strategy_params=self.config.strategy_params,
         )
         fs_factory = None
         if self.config.durability:

@@ -1,11 +1,12 @@
 """The Stabilizer library core (the paper's primary contribution).
 
 See :mod:`repro.core.stabilizer` for the facade and the paper's API;
-:mod:`repro.core.frontier` for predicate evaluation; the data and control
-planes live in :mod:`repro.core.dataplane` / :mod:`repro.core.controlplane`.
+:mod:`repro.core.frontier` for predicate evaluation; the data plane lives
+in :mod:`repro.core.dataplane` and the stabilization engines (the paper's
+ACK-table control plane plus the sequencer and hybrid-clock alternatives)
+behind :mod:`repro.core.strategy`.
 """
 
-from repro.core.acks import AckTable
 from repro.core.admission import (
     AdmissionController,
     AdmissionOutcome,
@@ -44,9 +45,21 @@ from repro.core.sharding import (
 )
 from repro.core.slacontrol import SlaController, relaxation_ladder
 from repro.core.stabilizer import Stabilizer
+# AckTable is re-exported through the strategy module: the lint in
+# tests/core/test_import_lint.py keeps repro.core.acks private to the
+# strategy layer.
+from repro.core.strategy import (
+    AckTable,
+    AckTableStrategy,
+    StabilizationStrategy,
+    build_strategy,
+)
+from repro.core.strategy_hybrid import HybridClockStrategy
+from repro.core.strategy_sequencer import SequencerStrategy
 
 __all__ = [
     "AckTable",
+    "AckTableStrategy",
     "AdmissionController",
     "AdmissionOutcome",
     "CircuitBreaker",
@@ -58,21 +71,25 @@ __all__ = [
     "MaskSuspectedPolicy",
     "FrontierEngine",
     "HandoffManager",
+    "HybridClockStrategy",
     "RebalanceCoordinator",
     "RebalancePlan",
     "RebalancePlanner",
     "SendBuffer",
+    "SequencerStrategy",
     "ShardMap",
     "ShardMove",
     "ShardedCluster",
     "ShardedStabilizer",
     "SlaController",
+    "StabilizationStrategy",
     "Stabilizer",
     "StabilizerCluster",
     "StabilizerConfig",
     "TokenBucket",
     "build_cluster",
     "build_sharded_cluster",
+    "build_strategy",
     "load_snapshot",
     "relaxation_ladder",
     "remap_inner_snapshot",

@@ -118,6 +118,22 @@ class StabilizerConfig:
         node still running a superseded layout cannot corrupt ACK rows.
         The initial deployment is epoch 0; each rebalance cutover bumps
         it (see :mod:`repro.core.rebalance`).
+    stabilization_strategy:
+        The stabilization engine (``docs/strategies.md``):
+        ``"acktable"`` (the paper's per-cell ACK streaming, the default),
+        ``"sequencer"`` (deferred-update stabilization through one
+        sequencer node), or ``"hybrid_clock"`` (Okapi-style hybrid-clock
+        stable-time vectors).  All engines must agree across a
+        deployment — they speak different control protocols.
+    strategy_params:
+        Engine-specific knobs, e.g. ``{"sequencer": "b"}`` for the
+        sequencer engine or ``{"clock_interval_s": 0.02}`` for the
+        hybrid-clock engine.  Ignored by engines that do not read them.
+    shard_strategies:
+        Per-shard engine override (``{shard_id: strategy_name}``) applied
+        by :meth:`shard_view` — lets a :class:`~repro.core.sharding.ShardedStabilizer`
+        run, say, the sequencer engine on a write-hot shard while the
+        rest keep the deployment default.
     """
 
     def __init__(
@@ -150,6 +166,9 @@ class StabilizerConfig:
         shard_owners: Optional[Dict] = None,
         shard_id: Optional[int] = None,
         shard_epoch: int = 0,
+        stabilization_strategy: str = "acktable",
+        strategy_params: Optional[Dict] = None,
+        shard_strategies: Optional[Dict] = None,
     ):
         if local not in node_names:
             raise ConfigError(f"local node {local!r} not in node list")
@@ -200,6 +219,18 @@ class StabilizerConfig:
             raise ConfigError("shard_id must be non-negative")
         if shard_epoch < 0:
             raise ConfigError("shard_epoch must be non-negative")
+        if stabilization_strategy not in ("acktable", "sequencer", "hybrid_clock"):
+            raise ConfigError(
+                f"unknown stabilization strategy {stabilization_strategy!r}; "
+                f"known: acktable, sequencer, hybrid_clock"
+            )
+        if shard_strategies is not None:
+            for shard, name in shard_strategies.items():
+                if name not in ("acktable", "sequencer", "hybrid_clock"):
+                    raise ConfigError(
+                        f"unknown stabilization strategy {name!r} for "
+                        f"shard {shard}"
+                    )
 
         self.node_names = list(node_names)
         self.groups = {g: list(m) for g, m in groups.items()}
@@ -233,6 +264,13 @@ class StabilizerConfig:
         )
         self.shard_id = shard_id
         self.shard_epoch = int(shard_epoch)
+        self.stabilization_strategy = stabilization_strategy
+        self.strategy_params = dict(strategy_params or {})
+        self.shard_strategies = (
+            {int(k): v for k, v in shard_strategies.items()}
+            if shard_strategies is not None
+            else None
+        )
         self._shard_map = None
         if self.shard_owners is not None:
             self.shard_map()  # validate the explicit assignment eagerly
@@ -328,6 +366,15 @@ class StabilizerConfig:
                 "shard_owners": None,
                 "shard_id": shard,
                 "durability_dir": f"{self.durability_dir}/s{shard}",
+                # Per-shard engine choice: the override map wins over the
+                # deployment default, and does not propagate into the
+                # single-shard view (whose own map would be meaningless).
+                "stabilization_strategy": (
+                    (self.shard_strategies or {}).get(
+                        shard, self.stabilization_strategy
+                    )
+                ),
+                "shard_strategies": None,
             }
         )
 
@@ -372,6 +419,9 @@ class StabilizerConfig:
             shard_owners=self.shard_owners,
             shard_id=self.shard_id,
             shard_epoch=self.shard_epoch,
+            stabilization_strategy=self.stabilization_strategy,
+            strategy_params=self.strategy_params,
+            shard_strategies=self.shard_strategies,
         )
 
     def replace(self, **changes) -> "StabilizerConfig":
@@ -461,6 +511,13 @@ class StabilizerConfig:
             ),
             "shard_id": self.shard_id,
             "shard_epoch": self.shard_epoch,
+            "stabilization_strategy": self.stabilization_strategy,
+            "strategy_params": dict(self.strategy_params),
+            "shard_strategies": (
+                {str(k): v for k, v in self.shard_strategies.items()}
+                if self.shard_strategies is not None
+                else None
+            ),
         }
 
     @classmethod

@@ -1,4 +1,4 @@
-"""The control plane: batched, monotonic stability-report streaming.
+"""The control plane: the shared carrier and the ACK-table streamer.
 
 Section III-A: control information is held in the message ACK recorder and
 updated on every report; the control plane streams reports "aggressively as
@@ -6,17 +6,25 @@ long as data or receive buffering capacity is available", and monotonicity
 lets a batch of actions be reported with a single upcall — "the upcall for
 Y implies the stability of messages prior to Y".
 
-This module batches local acknowledgments (a flush at least every
-``control_interval_s`` or after ``control_batch`` newly acknowledged
-messages) and applies incoming reports to the per-origin ACK tables,
-notifying the frontier engine through a callback.
+Since the strategy redesign (``docs/strategies.md``) this module is split
+in two layers:
+
+- :class:`ControlChannelSet` — the strategy-agnostic *carrier*: one
+  control channel per peer, epoch fencing, liveness heartbeats, resume
+  broadcasting, and frame/byte accounting.  Every stabilization engine
+  ships its protocol frames through one of these; frames the carrier does
+  not recognise are routed to the owning strategy's ``on_frame`` callback.
+- :class:`ControlPlane` — the ACK-table engine's streamer on top of the
+  carrier: it batches local acknowledgments (a flush at least every
+  ``control_interval_s`` or after ``control_batch`` newly acknowledged
+  messages) and applies incoming reports to the per-origin ACK tables,
+  notifying the frontier engine through a callback.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
 from repro.core.dataplane import EPOCH_TAG
 from repro.errors import StabilizerError, TransportError
@@ -35,27 +43,36 @@ TableUpdateFn = Callable[[str, int, Sequence[Tuple[int, int]]], None]
 HeardFn = Callable[[str], None]
 # (peer name, {origin_index -> highest received seq} the peer already has)
 ResumeFn = Callable[[str, Dict[int, int]], None]
+# (peer name, engine-specific control frame)
+FrameFn = Callable[[str, object], None]
 
 
-class ControlPlane:
-    """See module docstring.  One instance per node."""
+class ControlChannelSet:
+    """The strategy-agnostic control carrier; see module docstring.
+
+    One instance per node (per shard stack, under sharding).  Engines use
+    :meth:`send_frame` / :meth:`broadcast_frame` for their protocol
+    traffic and receive unrecognised inbound frames via ``on_frame``;
+    the carrier itself owns epoch fencing, the liveness heartbeat, and
+    the resume (crash-restart catch-up) broadcast that every engine
+    shares.
+    """
 
     def __init__(
         self,
         endpoint: TransportEndpoint,
         config: StabilizerConfig,
-        tables: Dict[str, AckTable],
-        on_table_update: TableUpdateFn,
         on_heard: Optional[HeardFn] = None,
         on_resume: Optional[ResumeFn] = None,
     ):
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self.config = config
-        self.tables = tables
-        self.on_table_update = on_table_update
         self.on_heard = on_heard
         self.on_resume = on_resume
+        # Engine upcall for frames the carrier does not itself dispatch
+        # (anything that is not a resume, report, or bare heartbeat).
+        self.on_frame: Optional[FrameFn] = None
         self.local_index = config.local_index
         # Epoch fencing (see dataplane.EPOCH_TAG): control reports carry
         # table row indices, which only mean anything within one epoch's
@@ -71,17 +88,8 @@ class ControlPlane:
                 channel = endpoint.channel(peer, CONTROL_CHANNEL)
             channel.on_deliver = self._on_control
             self._out_channels[peer] = channel
-        # Pending local reports: origin -> {type_id -> seq}.
-        self._pending: Dict[str, Dict[int, int]] = {}
-        self._pending_count = 0
-        self._flush_timer = None
-        # The ack-coalescing cadence honours the data plane's frame clock:
-        # never flush faster than WAN frames are cut.
-        self._flush_interval_s = config.control_flush_interval_s()
         self.frames_sent = 0
         self.frames_received = 0
-        self.reports_sent = 0
-        self.reports_coalesced = 0
         # Total control-frame wire bytes offered to the transport — the
         # fan-out cost a shard's owner-set routing is meant to cut.
         self.bytes_sent = 0
@@ -97,6 +105,158 @@ class ControlPlane:
         self.tracer = endpoint.tracer
         self._trace_node = config.local
         self._type_names = config.type_names()
+
+    # -- outbound -------------------------------------------------------------------
+    def peers(self):
+        """Every peer this carrier holds a control channel to."""
+        return list(self._out_channels)
+
+    def send_frame(self, peer: str, frame) -> int:
+        """Ship one epoch-tagged control frame to ``peer``; returns its
+        wire size (already added to the byte counters)."""
+        channel = self._out_channels.get(peer)
+        if channel is None:
+            raise StabilizerError(f"no control channel to {peer!r}")
+        wire_size = frame.wire_size()
+        channel.send(
+            SyntheticPayload(wire_size),
+            meta=(EPOCH_TAG, self.epoch, frame),
+        )
+        self.frames_sent += 1
+        self.bytes_sent += wire_size
+        self._last_sent_to_any = self.sim.now
+        return wire_size
+
+    def broadcast_frame(self, frame) -> None:
+        """Ship one frame to every peer."""
+        for peer in self._out_channels:
+            self.send_frame(peer, frame)
+
+    def reset_stream(self, peer: str) -> None:
+        """Reset the control stream toward ``peer`` (drops queued
+        retransmissions) — used when resyncing a restarted peer."""
+        channel = self._out_channels.get(peer)
+        if channel is None:
+            raise StabilizerError(f"no control channel to {peer!r}")
+        channel.reset_stream()
+
+    def stream_suspended(self, peer: str) -> bool:
+        """True when the control channel toward ``peer`` has given up
+        retrying (dead-peer suspension).  A suspended channel retains its
+        unacked frames; once those fill the send window, *new* frames are
+        backlogged rather than transmitted — so an engine whose frames
+        supersede each other (clock frames, full-state resyncs) should
+        :meth:`reset_stream` before re-sending, which both drops the
+        stale queue and lets the fresh frame fly as a liveness probe."""
+        channel = self._out_channels.get(peer)
+        if channel is None:
+            raise StabilizerError(f"no control channel to {peer!r}")
+        return channel.suspended
+
+    def _heartbeat_tick(self) -> None:
+        self._heartbeat_timer = None
+        if self._closed:
+            return
+        if self.sim.now - self._last_sent_to_any >= self._heartbeat_interval:
+            frame = ControlFrame(
+                node_index=self.local_index,
+                origin_index=self.local_index,
+                entries={},
+            )
+            self.broadcast_frame(frame)
+        self._heartbeat_timer = self.sim.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+
+    def close(self) -> None:
+        """Stop timers (the node is shutting down)."""
+        self._closed = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    # -- crash-restart catch-up -----------------------------------------------------
+    def send_resume(self, have: Dict[int, int]) -> None:
+        """Broadcast a catch-up request: "I restarted; here is the highest
+        sequence I hold per origin — replay what I am missing"."""
+        frame = ResumeFrame(node_index=self.local_index, have=have)
+        self.broadcast_frame(frame)
+
+    # -- inbound --------------------------------------------------------------------
+    def _on_control(self, payload, frame) -> None:
+        if self._closed:
+            return
+        if isinstance(frame, tuple) and frame and frame[0] == EPOCH_TAG:
+            _tag, frame_epoch, frame = frame
+            if frame_epoch != self.epoch:
+                # Epoch fence: row indices in this report belong to a
+                # different owner set — applying them would corrupt the
+                # ACK tables.  Count and drop.
+                self.stale_epoch_frames += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self._trace_node,
+                        "control.epoch_fenced",
+                        frame_epoch=frame_epoch,
+                        local_epoch=self.epoch,
+                    )
+                return
+        self.frames_received += 1
+        reporter = frame.node_index
+        if self.on_heard is not None:
+            self.on_heard(self.config.node_names[reporter])
+        if isinstance(frame, ResumeFrame):
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self._trace_node,
+                    "control.resume",
+                    peer=self.config.node_names[reporter],
+                )
+            if self.on_resume is not None:
+                self.on_resume(self.config.node_names[reporter], frame.have)
+            return
+        self._dispatch(frame)
+
+    def _dispatch(self, frame) -> None:
+        """Route a non-resume frame.  The base carrier swallows bare
+        heartbeats (empty report frames — ``on_heard`` already saw the
+        sender) and hands everything else to the strategy callback."""
+        if isinstance(frame, ControlFrame) and not frame.entries:
+            return
+        if self.on_frame is not None:
+            self.on_frame(self.config.node_names[frame.node_index], frame)
+
+
+class ControlPlane(ControlChannelSet):
+    """The ACK-table engine's report streamer; see module docstring.
+
+    One instance per node.  This is the machinery
+    :class:`~repro.core.strategy.AckTableStrategy` wraps — application
+    code should not construct it directly (use the strategy interface),
+    but the constructor signature is stable for tests and tools that do.
+    """
+
+    def __init__(
+        self,
+        endpoint: TransportEndpoint,
+        config: StabilizerConfig,
+        tables,
+        on_table_update: TableUpdateFn,
+        on_heard: Optional[HeardFn] = None,
+        on_resume: Optional[ResumeFn] = None,
+    ):
+        super().__init__(endpoint, config, on_heard=on_heard, on_resume=on_resume)
+        self.tables = tables
+        self.on_table_update = on_table_update
+        # Pending local reports: origin -> {type_id -> seq}.
+        self._pending: Dict[str, Dict[int, int]] = {}
+        self._pending_count = 0
+        self._flush_timer = None
+        # The ack-coalescing cadence honours the data plane's frame clock:
+        # never flush faster than WAN frames are cut.
+        self._flush_interval_s = config.control_flush_interval_s()
+        self.reports_sent = 0
+        self.reports_coalesced = 0
 
     # -- local acknowledgments ------------------------------------------------------
     def note_local_ack(self, origin: str, type_id: int, seq: int) -> None:
@@ -161,15 +321,8 @@ class ControlPlane:
             else:
                 outgoing = ControlBatch(self.local_index, frames)
                 self.reports_coalesced += len(frames)
-            wire_size = outgoing.wire_size()
-            self._out_channels[peer].send(
-                SyntheticPayload(wire_size),
-                meta=(EPOCH_TAG, self.epoch, outgoing),
-            )
-            self.frames_sent += 1
-            self.bytes_sent += wire_size
+            self.send_frame(peer, outgoing)
             self.reports_sent += len(frames)
-            self._last_sent_to_any = self.sim.now
             if tracing:
                 # heads = the ack watermarks this flush carries, as
                 # [origin, type, seq] triples — the trace context that
@@ -204,61 +357,19 @@ class ControlPlane:
         self._flush_timer = None
         self.flush()
 
-    def _heartbeat_tick(self) -> None:
-        self._heartbeat_timer = None
-        if self._closed:
-            return
-        if self.sim.now - self._last_sent_to_any >= self._heartbeat_interval:
-            frame = ControlFrame(
-                node_index=self.local_index,
-                origin_index=self.local_index,
-                entries={},
-            )
-            for channel in self._out_channels.values():
-                channel.send(
-                    SyntheticPayload(frame.wire_size()),
-                    meta=(EPOCH_TAG, self.epoch, frame),
-                )
-                self.frames_sent += 1
-                self.bytes_sent += frame.wire_size()
-            self._last_sent_to_any = self.sim.now
-        self._heartbeat_timer = self.sim.call_later(
-            self._heartbeat_interval, self._heartbeat_tick
-        )
-
     def close(self) -> None:
-        """Stop timers (the node is shutting down)."""
-        self._closed = True
-        if self._heartbeat_timer is not None:
-            self._heartbeat_timer.cancel()
-            self._heartbeat_timer = None
+        super().close()
         if self._flush_timer is not None:
             self._flush_timer.cancel()
             self._flush_timer = None
 
     # -- crash-restart catch-up -----------------------------------------------------
-    def send_resume(self, have: Dict[int, int]) -> None:
-        """Broadcast a catch-up request: "I restarted; here is the highest
-        sequence I hold per origin — replay what I am missing"."""
-        frame = ResumeFrame(node_index=self.local_index, have=have)
-        for channel in self._out_channels.values():
-            channel.send(
-                SyntheticPayload(frame.wire_size()),
-                meta=(EPOCH_TAG, self.epoch, frame),
-            )
-            self.frames_sent += 1
-            self.bytes_sent += frame.wire_size()
-            self._last_sent_to_any = self.sim.now
-
     def resync_to(self, peer: str) -> None:
         """Re-send this node's full acknowledgment rows to ``peer`` on a
         reset control stream, so a restarted peer rebuilds its view of our
         column without waiting for organic re-acks (which, being
         monotonic, would never repeat old values)."""
-        channel = self._out_channels.get(peer)
-        if channel is None:
-            raise StabilizerError(f"no control channel to {peer!r}")
-        channel.reset_stream()
+        self.reset_stream(peer)
         for origin, table in self.tables.items():
             entries = {
                 type_id: seq
@@ -272,52 +383,18 @@ class ControlPlane:
                 origin_index=self.config.node_index(origin),
                 entries=entries,
             )
-            channel.send(
-                SyntheticPayload(frame.wire_size()),
-                meta=(EPOCH_TAG, self.epoch, frame),
-            )
-            self.frames_sent += 1
-            self.bytes_sent += frame.wire_size()
-            self._last_sent_to_any = self.sim.now
+            self.send_frame(peer, frame)
 
     # -- incoming reports --------------------------------------------------------------
-    def _on_control(self, payload, frame) -> None:
-        if self._closed:
-            return
-        if isinstance(frame, tuple) and frame and frame[0] == EPOCH_TAG:
-            _tag, frame_epoch, frame = frame
-            if frame_epoch != self.epoch:
-                # Epoch fence: row indices in this report belong to a
-                # different owner set — applying them would corrupt the
-                # ACK tables.  Count and drop.
-                self.stale_epoch_frames += 1
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        self._trace_node,
-                        "control.epoch_fenced",
-                        frame_epoch=frame_epoch,
-                        local_epoch=self.epoch,
-                    )
-                return
-        self.frames_received += 1
-        reporter = frame.node_index
-        if self.on_heard is not None:
-            self.on_heard(self.config.node_names[reporter])
-        if isinstance(frame, ResumeFrame):
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    self._trace_node,
-                    "control.resume",
-                    peer=self.config.node_names[reporter],
-                )
-            if self.on_resume is not None:
-                self.on_resume(self.config.node_names[reporter], frame.have)
-            return
+    def _dispatch(self, frame) -> None:
         if isinstance(frame, ControlBatch):
             for report in frame.frames:
                 self._apply_report(report)
             return
-        self._apply_report(frame)
+        if isinstance(frame, ControlFrame):
+            self._apply_report(frame)
+            return
+        super()._dispatch(frame)
 
     def _apply_report(self, frame: ControlFrame) -> None:
         reporter = frame.node_index

@@ -42,7 +42,6 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.acks import AckTable
 from repro.dsl.compiler import CompiledPredicate, PredicateCompiler
 from repro.dsl.semantics import DslContext
 from repro.errors import PredicateNotFound, StabilizerError

@@ -25,6 +25,11 @@ blobs parked in the :class:`~repro.core.rebalance.HandoffManager` —
 so a node crashing between transfer and cutover restarts without losing
 the handoff.  Version-4 envelopes still restore (epoch 0, nothing in
 flight).
+
+The strategy redesign added an optional ``strategy`` section (engine name
+plus engine-private state) to the version-3 envelope without a version
+bump: snapshots lacking it are ACK-table snapshots by construction, and
+restores refuse a cross-engine mismatch.
 """
 
 from __future__ import annotations
@@ -117,6 +122,16 @@ def snapshot_state(stabilizer) -> dict:
             if stabilizer.durability is not None
             else None
         ),
+        # Strategy-redesign addition (no version bump: the key is simply
+        # absent from older snapshots, which were all ACK-table): which
+        # stabilization engine filled these tables, plus its private
+        # protocol state.  Restores refuse a cross-engine mismatch —
+        # table *contents* would carry over, but the engines' control
+        # protocols cannot resume each other's streams.
+        "strategy": {
+            "name": stabilizer.strategy.name,
+            "state": stabilizer.strategy.snapshot(),
+        },
     }
 
 
@@ -151,6 +166,16 @@ def restore_state(stabilizer, snapshot: dict) -> None:
         raise StabilizerError(
             f"snapshot belongs to node {config['local']!r}, "
             f"not {stabilizer.config.local!r}"
+        )
+    # Engine check: snapshots made before the strategy redesign carry no
+    # strategy key and are all ACK-table snapshots.
+    snapshot_engine = (snapshot.get("strategy") or {}).get("name", "acktable")
+    if snapshot_engine != stabilizer.strategy.name:
+        raise StabilizerError(
+            f"snapshot was taken under the {snapshot_engine!r} "
+            f"stabilization strategy but this node runs "
+            f"{stabilizer.strategy.name!r} — engines cannot restore "
+            f"each other's control state"
         )
     # Durability honesty clamp: a snapshot may not reinstate a persisted
     # claim the recovered WAL cannot back.  (Snapshots are taken with the
@@ -205,6 +230,9 @@ def restore_state(stabilizer, snapshot: dict) -> None:
                 payload=_decode_payload(entry["payload"]),
                 chunk_meta=chunk_meta,
             )
+    strategy_state = (snapshot.get("strategy") or {}).get("state")
+    if strategy_state:
+        stabilizer.strategy.restore(strategy_state)
 
 
 def _restore_sharded(stabilizer, snapshot: dict) -> None:

@@ -492,7 +492,7 @@ class ShardedStabilizer:
             for origin, seq in adopt.items():
                 if seq > 0 and origin != self.name and origin in view.node_names:
                     inner.dataplane.restore_highest_received(origin, seq)
-                    inner.controlplane.note_local_ack(origin, received, seq)
+                    inner.strategy.grant_local(origin, received, seq)
             rebuilt.append(shard)
         return {"rebuilt": rebuilt, "released": released, "kept": kept}
 

@@ -24,14 +24,13 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.acks import AckTable
 from repro.core.config import StabilizerConfig
-from repro.core.controlplane import ControlPlane
 from repro.core.dataplane import DataPlane
 from repro.core.degradation import DegradationPolicy
 from repro.core.durability import DurabilityManager
 from repro.core.frontier import FrontierEngine
 from repro.core.membership import FailureDetector
+from repro.core.strategy import build_strategy
 from repro.errors import StabilizerError
 from repro.net.topology import Network
 from repro.obs import MetricsRegistry, StabilityInstruments
@@ -117,11 +116,12 @@ class Stabilizer:
         self.alerter = None
 
         self._type_ids: Dict[str, int] = config.type_ids()
-        type_count = len(self._type_ids)
-        self.tables: Dict[str, AckTable] = {
-            origin: AckTable(config.node_count(), type_count)
-            for origin in config.node_names
-        }
+        # The stabilization engine (docs/strategies.md): the protocol
+        # that fills the ACK tables.  All engines share the table/
+        # frontier substrate, so everything below this point is
+        # engine-agnostic.
+        self.strategy = build_strategy(config)
+        self.tables = self.strategy.build_tables()
         # Global-delivery watermark: the highest sequence of our own
         # stream that every node (us included) has acknowledged as
         # ``received``.  Send-buffer reclamation follows it — nothing else.
@@ -157,14 +157,12 @@ class Stabilizer:
             on_received=self._on_received,
             on_sent=self._on_sent if self.durability is not None else None,
         )
-        self.controlplane = ControlPlane(
-            self.endpoint,
-            config,
-            self.tables,
-            on_table_update=self._on_table_update,
-            on_heard=self.detector.heard_from,
-            on_resume=self._on_resume_request,
-        )
+        self.strategy.bind(self)
+        self.strategy.bind_obs(self.tracer, self.registry)
+        # The carrier keeps its historical attribute name: the chaos
+        # invariants, ops surfaces, and benchmarks read frame counters
+        # off ``node.controlplane`` whichever engine is running.
+        self.controlplane = self.strategy.carrier
         for key, source in config.predicates.items():
             self.engine.register_predicate(key, source)
             self.stability.register_key(key)
@@ -174,7 +172,7 @@ class Stabilizer:
         if self.durability is not None:
             persisted = self._type_ids["persisted"]
             for origin, seq in self.durability.watermarks().items():
-                self.controlplane.note_local_ack(origin, persisted, seq)
+                self.strategy.grant_local(origin, persisted, seq)
         # Partition-aware degradation (Section III-E): transport dead-peer
         # reports feed the detector; suspicion and recovery transitions are
         # logged and handed to the user-registered degradation policy.
@@ -224,19 +222,10 @@ class Stabilizer:
             self.admission.preflight()
         first, last = self.dataplane.send(payload, meta)
         self.stability.note_send(first, last)
-        table = self.tables[self.name]
         # With durability on, ``persisted`` is excluded from the
         # completeness rule: the origin may not claim its own bytes are
         # on disk until the WAL group commit's fsync says so.
-        advanced = table.set_all_types(
-            self.local_index, last, skip=self._persisted_skip
-        )
-        self.engine.reevaluate(
-            self.name,
-            table,
-            updated_node=self.local_index,
-            updated_cells=[(type_id, last) for type_id in advanced],
-        )
+        self.strategy.on_local_send(first, last)
         return last
 
     def last_sent_seq(self) -> int:
@@ -329,6 +318,7 @@ class Stabilizer:
         self._type_ids[type_name] = type_id
         self.engine.ctx.types[type_name] = type_id
         self.engine.compiler.invalidate()
+        self.strategy.on_type_registered(type_id)
         self._register_lag_gauges(type_name, type_id)
         # Completeness rule: the origin's own row holds every property.
         own = self.tables[self.name]
@@ -340,7 +330,7 @@ class Stabilizer:
     ) -> None:
         """Report that this node grants ``origin``'s ``seq`` the
         application-defined stability level ``type_name``."""
-        self.controlplane.note_local_ack(
+        self.strategy.grant_local(
             origin or self.name, self.type_id(type_name), seq
         )
 
@@ -493,6 +483,10 @@ class Stabilizer:
             peer_has = max(peer_has, self.dataplane.buffer.reclaimed_up_to)
             if self.dataplane.last_sent_seq() > peer_has:
                 self.dataplane.replay_to(peer, peer_has)
+        # Engine-specific restart work (e.g. re-reporting recovered grant
+        # floors to a sequencer).  No-op for the ACK-table engine: peers
+        # resync us in response to the resume broadcast above.
+        self.strategy.on_catchup()
 
     def _on_resume_request(self, peer: str, have: Dict[int, int]) -> None:
         """A restarted ``peer`` asked for catch-up: replay our stream
@@ -505,7 +499,7 @@ class Stabilizer:
             have.get(self.local_index, 0), self.dataplane.buffer.reclaimed_up_to
         )
         self.dataplane.replay_to(peer, from_seq)
-        self.controlplane.resync_to(peer)
+        self.strategy.on_resume_request(peer)
         self.detector.heard_from(peer)
 
     # ------------------------------------------------------------------ introspection
@@ -564,6 +558,10 @@ class Stabilizer:
             "messages_received": self.dataplane.messages_received,
             "buffered_bytes": self.dataplane.buffer.buffered_bytes(),
             "buffer_reclaimed": self.dataplane.buffer.total_reclaimed,
+            # Deprecated aliases of the strategy.* family (one release,
+            # mirroring the wal_* precedent) — dashboards should migrate
+            # to strategy.frames_sent / strategy.frames_received /
+            # strategy.bytes_sent, which are engine-comparable.
             "control_frames_sent": self.controlplane.frames_sent,
             "control_frames_received": self.controlplane.frames_received,
             "control_bytes_sent": self.controlplane.bytes_sent,
@@ -606,6 +604,10 @@ class Stabilizer:
             "window.opens": self.dataplane.window_opens,
             "backpressure.events": self.dataplane.backpressure_events,
         })
+        # The engine-comparable strategy.* family plus the running
+        # engine's strategy.<name>.* extras (e.g.
+        # strategy.acktable.reports_sent).
+        stats.update(self.strategy.stats())
         if self.durability is not None:
             # Only the durability.-prefixed names: the unprefixed wal_*
             # aliases were removed after their one deprecation release.
@@ -631,30 +633,13 @@ class Stabilizer:
         """A WAL group commit's fsync returned: everything of ``origin``
         up to ``seq`` is genuinely on this node's disk — only now may
         ``persisted`` be claimed (locally and to every peer)."""
-        self.controlplane.note_local_ack(
-            origin, self._type_ids["persisted"], seq
-        )
+        self.strategy.grant_local(origin, self._type_ids["persisted"], seq)
 
     def _on_received(self, origin: str, seq: int, payload: Payload) -> None:
         # The origin implicitly holds every property for what it sent —
         # except ``persisted`` under durability, which only the origin's
         # own fsyncs may claim (its control reports carry the claim here).
-        table = self.tables[origin]
-        origin_index = self.config.node_index(origin)
-        advanced = table.set_all_types(
-            origin_index, seq, skip=self._persisted_skip
-        )
-        if advanced:
-            self.engine.reevaluate(
-                origin,
-                table,
-                updated_node=origin_index,
-                updated_cells=[(type_id, seq) for type_id in advanced],
-            )
-        self.detector.heard_from(origin)
-        self.controlplane.note_local_ack(
-            origin, self._type_ids["received"], seq
-        )
+        self.strategy.on_remote_deliver(origin, seq)
         if self.durability is not None:
             self.durability.append(origin, seq, payload)
 
@@ -708,7 +693,7 @@ class Stabilizer:
         if self.durability is not None:
             self.durability.close(sync=True)
         self.detector.stop()
-        self.controlplane.close()
+        self.strategy.close()
         self.dataplane.close()
         self.endpoint.close()
 
@@ -721,6 +706,6 @@ class Stabilizer:
         if self.durability is not None:
             self.durability.crash()
         self.detector.stop()
-        self.controlplane.close()
+        self.strategy.crash()
         self.dataplane.close()  # partial frames die with the node
         self.endpoint.close()

@@ -1,0 +1,262 @@
+"""Deferred-update stabilization: the sequencer engine.
+
+After Gunawardhana, Bravo & Rodrigues (*Unobtrusive Deferred Update
+Stabilization*, PAPERS.md): instead of every node streaming ACK reports
+to every peer (the paper's O(n²) fan-out), grant floors funnel to a
+single *sequencer* node per deployment (per shard, under sharding).  The
+sequencer tracks, for each ``(origin, type)``, the minimum floor over
+all nodes — the globally stable counter — and broadcasts only when that
+minimum advances.  Steady-state control traffic is O(n) report streams
+in plus O(n) stable broadcasts out.
+
+The trade: receivers learn "stable *everywhere* up to N", never *which*
+peer has acknowledged what, so the engine bulk-sets entire table columns
+(:meth:`~repro.core.strategy.StabilizationStrategy._apply_stable`) and
+per-node predicate forms (``MAX``, ``KTH_MAX``, group subtraction) all
+degrade to MIN timing — they fire, but only once the slowest node has
+acknowledged.  A crashed sequencer stalls *all* stability advance until
+it restarts (restored floors plus every peer's resume re-report rebuild
+its min state); choose the sequencer with ``strategy_params``::
+
+    StabilizerConfig(..., stabilization_strategy="sequencer",
+                     strategy_params={"sequencer": "b"})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.strategy import StabilizationStrategy
+from repro.errors import StabilizerError
+from repro.transport.messages import SequencerReportFrame, SequencerStableFrame
+
+
+class SequencerStrategy(StabilizationStrategy):
+    """Deferred-update stabilization via one sequencer; module docstring."""
+
+    name = "sequencer"
+
+    def __init__(self, config):
+        super().__init__(config)
+        params = getattr(config, "strategy_params", None) or {}
+        self.sequencer = params.get("sequencer", config.node_names[0])
+        if self.sequencer not in config.node_names:
+            raise StabilizerError(
+                f"sequencer {self.sequencer!r} is not a cluster node"
+            )
+        self.is_sequencer = config.local == self.sequencer
+        # Sequencer-side min tracking: (origin_idx, type_id) -> one floor
+        # per node, and the last broadcast stable value.
+        self._floors: Dict[Tuple[int, int], List[int]] = {}
+        self._stable: Dict[Tuple[int, int], int] = {}
+        # Reporter-side batch, same cadence knobs as the ACK-table engine
+        # (control_batch / control_flush_interval_s) so the benchmark
+        # compares protocols, not tuning.
+        self._pending: Dict[Tuple[int, int], int] = {}
+        self._flush_timer = None
+        self._flush_interval_s = config.control_flush_interval_s()
+        self.reports_sent = 0
+        self.stable_broadcasts = 0
+        self.stable_entries = 0
+
+    # ------------------------------------------------------------------ reporting side
+    def on_local_send(self, first: int, last: int):
+        advanced = super().on_local_send(first, last)
+        # The origin's own completeness jump is itself a grant floor the
+        # sequencer must hear about, or nothing would ever stabilize.
+        local_origin = self.config.local_index
+        for type_id in advanced:
+            self._report(local_origin, type_id, last)
+        return advanced
+
+    def _propagate_grant(self, origin: str, type_id: int, seq: int) -> None:
+        self._report(self.config.node_index(origin), type_id, seq)
+
+    def _report(self, origin_index: int, type_id: int, seq: int) -> None:
+        key = (origin_index, type_id)
+        if self._pending.get(key, -1) >= seq:
+            return
+        self._pending[key] = seq
+        if len(self._pending) >= self.config.control_batch:
+            self._flush()
+        elif self._flush_timer is None:
+            self._flush_timer = self.carrier.sim.call_later(
+                self._flush_interval_s, self._flush_tick
+            )
+
+    def _flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        self.reports_sent += len(pending)
+        if self.is_sequencer:
+            # The sequencer's own grants skip the wire entirely.
+            self._absorb(self.config.local_index, pending)
+            return
+        if self.carrier.stream_suspended(self.sequencer):
+            # The suspended channel's retained frames pin the send window
+            # shut — new deltas would queue unsent and the link would
+            # never probe back to life.  Reports are deltas, so before
+            # resetting the stream widen this one to the full grant
+            # record (our own table rows), which subsumes every dropped
+            # frame; monotone absorption makes the re-send harmless.
+            self.carrier.reset_stream(self.sequencer)
+            pending = dict(pending)
+            local_row = self.config.local_index
+            for origin, table in self.tables.items():
+                origin_index = self.config.node_index(origin)
+                for type_id, seq in enumerate(table.row(local_row)):
+                    if seq > 0 and pending.get((origin_index, type_id), 0) < seq:
+                        pending[(origin_index, type_id)] = seq
+        frame = SequencerReportFrame(
+            node_index=self.config.local_index, entries=pending
+        )
+        self.carrier.send_frame(self.sequencer, frame)
+
+    def _flush_tick(self) -> None:
+        self._flush_timer = None
+        self._flush()
+
+    def advance_candidates(self) -> None:
+        self._flush()
+
+    # ------------------------------------------------------------------ sequencer side
+    def _absorb(self, reporter: int, entries: Dict[Tuple[int, int], int]) -> None:
+        """Fold one node's grant floors into the min state; broadcast any
+        (origin, type) whose global minimum advanced."""
+        node_count = self.config.node_count()
+        delta: Dict[Tuple[int, int], int] = {}
+        for key, seq in entries.items():
+            floors = self._floors.get(key)
+            if floors is None:
+                floors = self._floors[key] = [0] * node_count
+            if seq <= floors[reporter]:
+                continue
+            floors[reporter] = seq
+            stable = min(floors)
+            if stable > self._stable.get(key, 0):
+                self._stable[key] = stable
+                delta[key] = stable
+        if not delta:
+            return
+        self.stable_broadcasts += 1
+        self.stable_entries += len(delta)
+        tracer = self.carrier.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.config.local,
+                "strategy.sequencer.stable",
+                entries=len(delta),
+            )
+        frame = SequencerStableFrame(
+            node_index=self.config.local_index, entries=delta
+        )
+        full = None
+        for peer in self.carrier.peers():
+            if self.carrier.stream_suspended(peer):
+                # Same window-pinning hazard as the report path, but
+                # stable broadcasts are deltas a dropped queue cannot
+                # reconstruct — replace it with the full stable map.
+                self.carrier.reset_stream(peer)
+                if full is None:
+                    full = SequencerStableFrame(
+                        node_index=self.config.local_index,
+                        entries=dict(self._stable),
+                    )
+                self.carrier.send_frame(peer, full)
+            else:
+                self.carrier.send_frame(peer, frame)
+        self._apply_stable_entries(delta)
+
+    # ------------------------------------------------------------------ receiving side
+    def on_control_frame(self, peer: str, frame) -> None:
+        if isinstance(frame, SequencerReportFrame):
+            if not self.is_sequencer:
+                raise StabilizerError(
+                    f"sequencer report from {peer!r} at non-sequencer node"
+                )
+            self._absorb(frame.node_index, frame.entries)
+            return
+        if isinstance(frame, SequencerStableFrame):
+            self._apply_stable_entries(frame.entries)
+            return
+        super().on_control_frame(peer, frame)
+
+    def _apply_stable_entries(
+        self, entries: Dict[Tuple[int, int], int]
+    ) -> None:
+        by_origin: Dict[str, list] = {}
+        for (origin_index, type_id), seq in entries.items():
+            origin = self.config.node_names[origin_index]
+            by_origin.setdefault(origin, []).append((type_id, seq))
+        for origin, cells in by_origin.items():
+            self._apply_stable(origin, cells)
+
+    # ------------------------------------------------------------------ recovery
+    def on_resume_request(self, peer: str) -> None:
+        self.carrier.reset_stream(peer)
+        if self.is_sequencer:
+            # The restarted node lost every stable broadcast it missed;
+            # replay the full stable map (monotone, so re-sends are safe).
+            if self._stable:
+                frame = SequencerStableFrame(
+                    node_index=self.config.local_index,
+                    entries=dict(self._stable),
+                )
+                self.carrier.send_frame(peer, frame)
+        if peer == self.sequencer:
+            # The sequencer lost its min state: re-offer our full grant
+            # floors (our own rows ARE the grant record).
+            self._report_full_floors()
+
+    def on_catchup(self) -> None:
+        # We restarted: floors restored from the snapshot may be behind
+        # grants we made after it was taken — but also ahead of anything
+        # the sequencer heard if we crashed mid-batch.  Re-report all.
+        self._report_full_floors()
+
+    def _report_full_floors(self) -> None:
+        local_row = self.config.local_index
+        for origin, table in self.tables.items():
+            origin_index = self.config.node_index(origin)
+            for type_id, seq in enumerate(table.row(local_row)):
+                if seq > 0:
+                    self._report(origin_index, type_id, seq)
+        self._flush()
+
+    def snapshot(self) -> dict:
+        state = {"sequencer": self.sequencer}
+        if self.is_sequencer:
+            state["floors"] = [
+                [oi, t, list(floors)] for (oi, t), floors in self._floors.items()
+            ]
+            state["stable"] = [
+                [oi, t, seq] for (oi, t), seq in self._stable.items()
+            ]
+        return state
+
+    def restore(self, state: dict) -> None:
+        if self.is_sequencer:
+            self._floors = {
+                (oi, t): list(floors)
+                for oi, t, floors in state.get("floors", [])
+            }
+            self._stable = {
+                (oi, t): seq for oi, t, seq in state.get("stable", [])
+            }
+
+    # ------------------------------------------------------------------ introspection
+    def _engine_stats(self) -> Dict[str, float]:
+        return {
+            "reports_sent": self.reports_sent,
+            "stable_broadcasts": self.stable_broadcasts,
+            "stable_entries": self.stable_entries,
+        }
+
+    def _stop(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None

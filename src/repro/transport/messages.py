@@ -10,7 +10,7 @@ experiments use :class:`SyntheticPayload`, which carries only a length.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 from repro.errors import TransportError
 
@@ -29,6 +29,15 @@ KIND_CONTROL = 3
 KIND_RESUME = 4
 KIND_BATCH = 5
 KIND_CONTROL_BATCH = 6
+KIND_SEQ_REPORT = 7
+KIND_SEQ_STABLE = 8
+KIND_CLOCK = 9
+
+# Strategy frames (see repro.core.strategy_sequencer / strategy_hybrid).
+SEQ_HEADER = struct.Struct("!BHH")  # kind, node-index, entry count
+SEQ_ENTRY = struct.Struct("!HHQ")  # origin-index, type-id, seq
+CLOCK_HEADER = struct.Struct("!BHdQdH")  # kind, node, clock, head seq/stamp, count
+CLOCK_ENTRY = struct.Struct("!Hd")  # type-id, stable time
 
 
 class SyntheticPayload:
@@ -321,6 +330,142 @@ class ControlBatch:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ControlBatch from={self.node_index} reports={len(self.frames)}>"
+
+
+class _SequencerEntriesFrame:
+    """Shared layout of the deferred-update engine's two frame types:
+    monotone ``(origin_index, type_id) -> seq`` entries from one node."""
+
+    __slots__ = ("node_index", "entries")
+    KIND = None
+
+    def __init__(self, node_index: int, entries: Dict[Tuple[int, int], int]):
+        self.node_index = node_index
+        self.entries = dict(entries)
+
+    def wire_size(self) -> int:
+        return SEQ_HEADER.size + SEQ_ENTRY.size * len(self.entries)
+
+    def encode(self) -> bytes:
+        parts = [SEQ_HEADER.pack(self.KIND, self.node_index, len(self.entries))]
+        for (origin, type_id), seq in sorted(self.entries.items()):
+            parts.append(SEQ_ENTRY.pack(origin, type_id, seq))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes):
+        try:
+            kind, node, count = SEQ_HEADER.unpack_from(data)
+        except struct.error as exc:
+            raise TransportError(f"malformed sequencer frame: {exc}") from exc
+        if kind != cls.KIND:
+            raise TransportError(f"not a {cls.__name__} (kind={kind})")
+        offset = SEQ_HEADER.size
+        entries: Dict[Tuple[int, int], int] = {}
+        for _ in range(count):
+            try:
+                origin, type_id, seq = SEQ_ENTRY.unpack_from(data, offset)
+            except struct.error as exc:
+                raise TransportError(f"truncated sequencer frame: {exc}") from exc
+            offset += SEQ_ENTRY.size
+            entries[(origin, type_id)] = seq
+        return cls(node, entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} from={self.node_index} "
+            f"entries={len(self.entries)}>"
+        )
+
+
+class SequencerReportFrame(_SequencerEntriesFrame):
+    """A node's batched grant-floor report to the shard's sequencer:
+    "I have delivered/granted ``origin``'s stream up to ``seq`` at each
+    listed stability type".  Fan-in is O(n) — every node reports to one
+    sequencer instead of streaming to every peer."""
+
+    KIND = KIND_SEQ_REPORT
+
+
+class SequencerStableFrame(_SequencerEntriesFrame):
+    """The sequencer's stable-counter broadcast: the minimum grant floor
+    over every node, per (origin, type).  Receivers advance *all* rows of
+    the named origin tables at once — the deferred-update engine tracks a
+    single stable counter, not per-node cells."""
+
+    KIND = KIND_SEQ_STABLE
+
+
+class ClockFrame:
+    """One node's periodic hybrid-clock announcement (Okapi-style).
+
+    Carries the sender's hybrid logical/physical clock, the head of its
+    own stream as a ``(seq, stamp)`` point, and its per-type *stable
+    time* scalars — "every message stamped at or before this time is
+    granted type ``t`` by me".  Fixed-size regardless of message rate:
+    the metadata-vs-latency trade of the hybrid-clock engine.
+    """
+
+    __slots__ = ("node_index", "clock", "head_seq", "head_stamp", "stable_times")
+
+    def __init__(
+        self,
+        node_index: int,
+        clock: float,
+        head_seq: int,
+        head_stamp: float,
+        stable_times: Dict[int, float],
+    ):
+        self.node_index = node_index
+        self.clock = float(clock)
+        self.head_seq = int(head_seq)
+        self.head_stamp = float(head_stamp)
+        self.stable_times = dict(stable_times)
+
+    def wire_size(self) -> int:
+        return CLOCK_HEADER.size + CLOCK_ENTRY.size * len(self.stable_times)
+
+    def encode(self) -> bytes:
+        parts = [
+            CLOCK_HEADER.pack(
+                KIND_CLOCK,
+                self.node_index,
+                self.clock,
+                self.head_seq,
+                self.head_stamp,
+                len(self.stable_times),
+            )
+        ]
+        for type_id, stable in sorted(self.stable_times.items()):
+            parts.append(CLOCK_ENTRY.pack(type_id, stable))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ClockFrame":
+        try:
+            kind, node, clock, head_seq, head_stamp, count = (
+                CLOCK_HEADER.unpack_from(data)
+            )
+        except struct.error as exc:
+            raise TransportError(f"malformed clock frame: {exc}") from exc
+        if kind != KIND_CLOCK:
+            raise TransportError(f"not a clock frame (kind={kind})")
+        offset = CLOCK_HEADER.size
+        stable_times: Dict[int, float] = {}
+        for _ in range(count):
+            try:
+                type_id, stable = CLOCK_ENTRY.unpack_from(data, offset)
+            except struct.error as exc:
+                raise TransportError(f"truncated clock frame: {exc}") from exc
+            offset += CLOCK_ENTRY.size
+            stable_times[type_id] = stable
+        return cls(node, clock, head_seq, head_stamp, stable_times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClockFrame from={self.node_index} clock={self.clock:.6f} "
+            f"head=({self.head_seq}, {self.head_stamp:.6f})>"
+        )
 
 
 class ResumeFrame:

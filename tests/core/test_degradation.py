@@ -1,17 +1,49 @@
-"""Degradation policies: partition-aware predicate adjustment (Section III-E)."""
+"""Degradation policies: partition-aware predicate adjustment (Section III-E).
+
+Parameterized over the stabilization engines (docs/strategies.md).
+Suspicion, policy bookkeeping, and predicate rewriting are engine-
+agnostic, but the *payoff* of masking differs: the ACK-table engine
+tracks per-node floors, so excluding a dead node lets stability advance
+on the survivors; the sequencer and hybrid-clock engines bulk-set whole
+table columns from one cluster-wide stable counter/GST that needs every
+node's reports — a suspect pins that counter no matter how the predicate
+is rewritten.  Those cases are strict xfails below, with this reason.
+"""
 
 import pytest
 
 from repro.core import MaskSuspectedPolicy, StabilizerCluster, StabilizerConfig
 from repro.core.degradation import DegradationPolicy
+from repro.core.strategy import STRATEGY_NAMES
 from repro.net import NetemSpec, Topology
 from repro.sim import Simulator
 
 NODES = ["a", "b", "c"]
 GROUPS = {"east": ["a"], "west": ["b", "c"]}
 
+#: Engines whose predicates all share one cluster-wide stable counter:
+#: masking a suspect out of the predicate cannot unblock stability,
+#: because the counter itself still waits on the suspect's reports.
+MASKING_UNBLOCKS = [
+    "acktable",
+    *(
+        pytest.param(
+            name,
+            marks=pytest.mark.xfail(
+                strict=True,
+                reason=(
+                    "bulk-set engine: the stable counter/GST needs every "
+                    "node's reports, so masking a suspect cannot unblock "
+                    "stability (docs/strategies.md)"
+                ),
+            ),
+        )
+        for name in ("sequencer", "hybrid_clock")
+    ),
+]
 
-def build(failure_timeout_s=0.3, predicates=None, **config_kwargs):
+
+def build(failure_timeout_s=0.3, predicates=None, strategy="acktable", **config_kwargs):
     topo = Topology()
     topo.add_node("a", "east")
     topo.add_node("b", "west")
@@ -27,13 +59,15 @@ def build(failure_timeout_s=0.3, predicates=None, **config_kwargs):
         or {"all": "MIN($ALLWNODES - $MYWNODE)"},
         control_interval_s=0.001,
         failure_timeout_s=failure_timeout_s,
+        stabilization_strategy=strategy,
         **config_kwargs,
     )
     return sim, net, StabilizerCluster(net, config)
 
 
-def test_masking_policy_unblocks_stability_past_a_dead_node():
-    sim, net, cluster = build()
+@pytest.mark.parametrize("strategy", MASKING_UNBLOCKS)
+def test_masking_policy_unblocks_stability_past_a_dead_node(strategy):
+    sim, net, cluster = build(strategy=strategy)
     a = cluster["a"]
     policy = a.set_degradation_policy()
     a.send(b"warmup")
@@ -49,8 +83,9 @@ def test_masking_policy_unblocks_stability_past_a_dead_node():
     assert a.get_stability_frontier("all") == seq
 
 
-def test_recovery_restores_the_pristine_predicate():
-    sim, net, cluster = build()
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_recovery_restores_the_pristine_predicate(strategy):
+    sim, net, cluster = build(strategy=strategy)
     a = cluster["a"]
     policy = a.set_degradation_policy()
     a.send(b"warmup")
@@ -70,8 +105,9 @@ def test_recovery_restores_the_pristine_predicate():
     assert a.stats()["reinclusions"] >= 1
 
 
-def test_degradation_log_records_transitions_in_order():
-    sim, net, cluster = build()
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_degradation_log_records_transitions_in_order(strategy):
+    sim, net, cluster = build(strategy=strategy)
     a = cluster["a"]
     a.set_degradation_policy()
     a.send(b"warmup")
@@ -98,8 +134,9 @@ def test_degradation_log_records_transitions_in_order():
     assert stats["recoveries"] >= 1
 
 
-def test_policy_installed_late_applies_to_current_suspects():
-    sim, net, cluster = build()
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_policy_installed_late_applies_to_current_suspects(strategy):
+    sim, net, cluster = build(strategy=strategy)
     a = cluster["a"]
     a.send(b"warmup")
     sim.run(until=0.2)
@@ -111,8 +148,10 @@ def test_policy_installed_late_applies_to_current_suspects():
     assert policy.excluded_nodes() == {"c"}
 
 
-def test_protected_keys_are_never_rewritten():
+@pytest.mark.parametrize("strategy", MASKING_UNBLOCKS)
+def test_protected_keys_are_never_rewritten(strategy):
     sim, net, cluster = build(
+        strategy=strategy,
         predicates={
             "all": "MIN($ALLWNODES - $MYWNODE)",
             "quorum": "MIN($ALLWNODES - $MYWNODE)",
@@ -131,8 +170,9 @@ def test_protected_keys_are_never_rewritten():
     assert a.get_stability_frontier("quorum") < seq
 
 
-def test_base_policy_is_a_noop():
-    sim, net, cluster = build()
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_base_policy_is_a_noop(strategy):
+    sim, net, cluster = build(strategy=strategy)
     a = cluster["a"]
     a.set_degradation_policy(DegradationPolicy())
     a.send(b"warmup")
@@ -155,10 +195,12 @@ def test_one_policy_serves_one_stabilizer():
         policy.on_suspect(b, "c")
 
 
-def test_transport_dead_report_feeds_suspicion():
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_transport_dead_report_feeds_suspicion(strategy):
     # A long heartbeat timeout: only the transport's retransmit budget can
     # produce the suspicion within the test horizon.
     sim, net, cluster = build(
+        strategy=strategy,
         failure_timeout_s=30.0,
         max_retransmit_attempts=3,
         transport_max_rto_s=0.5,

@@ -1,0 +1,88 @@
+"""Lint: ``repro.core.acks`` is private to the strategy layer.
+
+The strategy redesign (``docs/strategies.md``) put the ACK tables behind
+:class:`repro.core.strategy.StabilizationStrategy`: engines own the
+tables and the wire protocol that fills them, and everything else — the
+facade, frontier engine, recovery, benchmarks — goes through the
+strategy interface (or the ``AckTable`` re-export on
+``repro.core.strategy``).  A direct import of ``repro.core.acks``
+outside that layer would quietly re-couple callers to one engine's
+internals, which is exactly what the redesign removed.  This AST lint
+walks the source tree and keeps the boundary real.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The strategy layer: the one place allowed to import the table module.
+#: Engine modules (strategy_*.py) import AckTable via repro.core.strategy,
+#: but adding one here is legitimate if an engine ever needs the module
+#: directly — that is what the allowlist is for.
+ALLOWED = {
+    "core/strategy.py",
+    "core/strategy_sequencer.py",
+    "core/strategy_hybrid.py",
+}
+
+ACKS_MODULE = "repro.core.acks"
+
+
+def _acks_imports(tree):
+    """Yield (lineno, description) for every import that reaches the
+    acks module — absolute, from-import, or ``from repro.core import
+    acks``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == ACKS_MODULE or alias.name.startswith(
+                    ACKS_MODULE + "."
+                ):
+                    yield node.lineno, f"import {alias.name}"
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == ACKS_MODULE or module.startswith(ACKS_MODULE + "."):
+                names = ", ".join(alias.name for alias in node.names)
+                yield node.lineno, f"from {module} import {names}"
+            elif module == "repro.core":
+                for alias in node.names:
+                    if alias.name == "acks":
+                        yield node.lineno, "from repro.core import acks"
+
+
+def test_only_the_strategy_layer_imports_acks():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED or rel == "core/acks.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for lineno, description in _acks_imports(tree):
+            violations.append(f"{rel}:{lineno} {description}")
+    assert not violations, (
+        "repro.core.acks is private to the strategy layer — import "
+        "AckTable from repro.core.strategy instead:\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_the_strategy_module_still_owns_the_tables():
+    """The allowlist must not rot: the strategy module really does import
+    the table implementation (if that moves, move the lint with it)."""
+    tree = ast.parse((SRC / "core" / "strategy.py").read_text(encoding="utf-8"))
+    assert list(_acks_imports(tree)), "core/strategy.py no longer imports acks"
+
+
+def test_lint_catches_each_import_shape():
+    """The lint itself must not be vacuous."""
+    for source in (
+        "import repro.core.acks",
+        "import repro.core.acks as acks",
+        "from repro.core.acks import AckTable",
+        "from repro.core import acks",
+    ):
+        assert list(_acks_imports(ast.parse(source))), source
+    assert not list(
+        _acks_imports(ast.parse("from repro.core.strategy import AckTable"))
+    )

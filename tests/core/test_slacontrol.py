@@ -1,4 +1,14 @@
-"""Tests for the closed-loop SLA controller and its windowed signals."""
+"""Tests for the closed-loop SLA controller and its windowed signals.
+
+The controller-unit tests inject latency samples by hand and are engine-
+independent; the integration tests at the bottom — pending-age breach on
+a dead peer, ladder steps composing with an active degradation mask —
+run once per stabilization engine (docs/strategies.md).  Note the ladder
+rungs (``KTH_MAX``/``MAX``) relax *latency* only under the ACK-table
+engine; under the bulk-set engines they compile and install fine but
+deliver MIN timing, which is exactly why these tests assert predicate
+wiring, not stabilization speed.
+"""
 
 import pytest
 
@@ -8,6 +18,7 @@ from repro.core.slacontrol import (
     _HistogramWindow,
     relaxation_ladder,
 )
+from repro.core.strategy import STRATEGY_NAMES
 from repro.net import NetemSpec, Topology
 from repro.obs import MetricsRegistry
 from repro.sim import Simulator
@@ -252,8 +263,11 @@ def test_neutral_zone_resets_the_streak():
     cluster.close()
 
 
-def test_pending_age_breaches_without_samples():
-    sim, net, cluster = build(nodes=("a", "b"))
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_pending_age_breaches_without_samples(strategy):
+    # Engine-independent by design: with the only peer dead, *no* engine
+    # can stabilize the message, and the pending-age signal must breach.
+    sim, net, cluster = build(nodes=("a", "b"), stabilization_strategy=strategy)
     node = cluster["a"]
     ctrl = controller_for(node)
     cluster["b"].crash()
@@ -338,9 +352,11 @@ def test_remote_lag_breaches_when_enabled():
 # ---------------------------------------------------------------------------
 
 
-def masked_setup():
+def masked_setup(strategy="acktable"):
     sim, net, cluster = build(
-        nodes=("a", "b", "c"), failure_timeout_s=0.3
+        nodes=("a", "b", "c"),
+        failure_timeout_s=0.3,
+        stabilization_strategy=strategy,
     )
     node = cluster["a"]
     policy = node.set_degradation_policy()
@@ -357,8 +373,9 @@ def masked_setup():
     return sim, net, cluster, node, ctrl, adjuster
 
 
-def test_ladder_steps_compose_with_active_mask():
-    sim, net, cluster, node, ctrl, adjuster = masked_setup()
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_ladder_steps_compose_with_active_mask(strategy):
+    sim, net, cluster, node, ctrl, adjuster = masked_setup(strategy)
     masked_strict = node.engine.predicate("all").source
     assert masked_strict != STRICT
     inject(node, 2.0)
@@ -373,8 +390,29 @@ def test_ladder_steps_compose_with_active_mask():
     cluster.close()
 
 
-def test_restored_accepts_an_active_mask():
-    sim, net, cluster, node, ctrl, adjuster = masked_setup()
+@pytest.mark.parametrize(
+    "strategy",
+    [
+        "acktable",
+        *(
+            pytest.param(
+                name,
+                marks=pytest.mark.xfail(
+                    strict=True,
+                    reason=(
+                        "bulk-set engine: the masked message never "
+                        "stabilizes (the stable counter/GST still waits on "
+                        "the dead node), so the pending-age signal breaches "
+                        "every tick and the controller never restores"
+                    ),
+                ),
+            )
+            for name in ("sequencer", "hybrid_clock")
+        ),
+    ],
+)
+def test_restored_accepts_an_active_mask(strategy):
+    sim, net, cluster, node, ctrl, adjuster = masked_setup(strategy)
     inject(node, 2.0)
     tick(sim, ctrl)
     tick(sim, ctrl, advance=0.2)  # healthy, streak 1

@@ -1,0 +1,236 @@
+"""Unit tests for the pluggable stabilization engines (docs/strategies.md).
+
+The equivalence suite (test_strategy_equivalence.py) holds the default
+ACK-table engine to the pre-refactor golden traces, and the chaos sweep
+(test_strategy_chaos.py) exercises every engine under failures; this
+file covers the seams in between — the factory and config validation,
+end-to-end stabilization on the non-default engines, cross-engine
+snapshot refusal, per-shard engine overrides, and the namespaced stats
+contract.
+"""
+
+import pytest
+
+from repro.core import (
+    AckTableStrategy,
+    HybridClockStrategy,
+    SequencerStrategy,
+    StabilizerCluster,
+    StabilizerConfig,
+    build_sharded_cluster,
+    restore_state,
+    snapshot_state,
+)
+from repro.core.stabilizer import Stabilizer
+from repro.core.strategy import STRATEGY_NAMES, build_strategy
+from repro.errors import ConfigError, StabilizerError
+from repro.net import NetemSpec, Topology
+from repro.sim import Simulator
+
+NODES = ["a", "b", "c"]
+GROUPS = {n: [n] for n in NODES}
+STRICT = "MIN($ALLWNODES - $MYWNODE)"
+
+
+def config_for(strategy, **kwargs):
+    return StabilizerConfig(
+        NODES,
+        GROUPS,
+        "a",
+        predicates={"all": STRICT},
+        control_interval_s=0.001,
+        stabilization_strategy=strategy,
+        **kwargs,
+    )
+
+
+def build(strategy, **config_kwargs):
+    topo = Topology()
+    for i, name in enumerate(NODES):
+        topo.add_node(name, f"az{i}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    return sim, net, StabilizerCluster(net, config_for(strategy, **config_kwargs))
+
+
+# ---------------------------------------------------------------------------
+# The factory and config validation
+# ---------------------------------------------------------------------------
+
+
+def test_factory_builds_the_configured_engine():
+    expected = {
+        "acktable": AckTableStrategy,
+        "sequencer": SequencerStrategy,
+        "hybrid_clock": HybridClockStrategy,
+    }
+    assert set(expected) == set(STRATEGY_NAMES)
+    for name, cls in expected.items():
+        strategy = build_strategy(config_for(name))
+        assert isinstance(strategy, cls)
+        assert strategy.name == name
+
+
+def test_unknown_strategy_name_is_rejected():
+    with pytest.raises(ConfigError, match="unknown stabilization strategy"):
+        config_for("vector_clock")
+
+
+def test_unknown_shard_override_is_rejected():
+    with pytest.raises(ConfigError, match="shard 1"):
+        config_for("acktable", shard_strategies={1: "vector_clock"})
+
+
+def test_sequencer_must_be_a_cluster_node():
+    config = config_for("sequencer", strategy_params={"sequencer": "zz"})
+    with pytest.raises(StabilizerError, match="not a cluster node"):
+        build_strategy(config)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end stabilization on the non-default engines
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ("sequencer", "hybrid_clock"))
+def test_engine_stabilizes_a_healthy_cluster(strategy):
+    sim, net, cluster = build(strategy)
+    a = cluster["a"]
+    seq = a.send(b"hello from %s" % strategy.encode())
+    event = a.waitfor(seq, "all", timeout_s=5.0)
+    sim.run_until_triggered(event, limit=5.0)
+    assert event.ok
+    assert a.get_stability_frontier("all") == seq
+    cluster.close()
+
+
+def test_non_default_sequencer_node_serves_the_cluster():
+    sim, net, cluster = build(
+        "sequencer", strategy_params={"sequencer": "b"}
+    )
+    for name in NODES:
+        strat = cluster[name].strategy
+        assert strat.sequencer == "b"
+        assert strat.is_sequencer == (name == "b")
+    a = cluster["a"]
+    seq = a.send(b"through b")
+    event = a.waitfor(seq, "all", timeout_s=5.0)
+    sim.run_until_triggered(event, limit=5.0)
+    assert event.ok
+    # Only the sequencer broadcasts stable frames; reporters never do.
+    assert cluster["b"].strategy.stable_broadcasts > 0
+    assert cluster["a"].strategy.stable_broadcasts == 0
+    cluster.close()
+
+
+def test_hybrid_stability_waits_for_the_next_clock_tick():
+    sim, net, cluster = build("hybrid_clock")
+    a = cluster["a"]
+    interval = a.strategy.clock_interval_s
+    seq = a.send(b"tick-gated")
+    event = a.waitfor(seq, "all", timeout_s=5.0)
+    sim.run_until_triggered(event, limit=5.0)
+    assert event.ok
+    # The GST only moves on broadcast: stability cannot have landed
+    # before one full clock interval elapsed.
+    assert sim.now >= interval
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Snapshots are engine-stamped
+# ---------------------------------------------------------------------------
+
+
+def test_cross_engine_restore_is_refused():
+    sim, net, cluster = build("acktable")
+    a = cluster["a"]
+    seq = a.send(b"state")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=5.0)
+    snap = snapshot_state(a)
+    assert snap["strategy"]["name"] == "acktable"
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    mismatched = Stabilizer(net2, a.config.replace(
+        stabilization_strategy="sequencer"
+    ))
+    with pytest.raises(StabilizerError, match="cannot restore"):
+        restore_state(mismatched, snap)
+    cluster.close()
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_same_engine_snapshot_roundtrips(strategy):
+    sim, net, cluster = build(strategy)
+    a = cluster["a"]
+    seq = a.send(b"round trip")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=5.0)
+    snap = snapshot_state(a)
+    assert snap["strategy"]["name"] == strategy
+
+    sim2 = Simulator()
+    net2 = net.topology.build(sim2)
+    cluster2 = StabilizerCluster(net2, a.config)
+    restarted = cluster2["a"]
+    restore_state(restarted, snap)
+    assert restarted.get_stability_frontier("all") == seq
+    cluster2.close()
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Per-shard overrides
+# ---------------------------------------------------------------------------
+
+
+def test_per_shard_strategy_override():
+    topo = Topology()
+    for i, name in enumerate(NODES):
+        topo.add_node(name, f"az{i}")
+    topo.set_default(NetemSpec(latency_ms=5, rate_mbit=100))
+    sim = Simulator()
+    net = topo.build(sim)
+    cluster = build_sharded_cluster(
+        net,
+        {"all": STRICT},
+        shard_count=2,
+        control_interval_s=0.005,
+        shard_strategies={1: "sequencer"},
+    )
+    node = cluster["a"]
+    assert node.shards[0].strategy.name == "acktable"
+    assert node.shards[1].strategy.name == "sequencer"
+    # The override map itself must not leak into the single-shard views.
+    assert node.shards[1].config.shard_strategies is None
+    cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# The stats contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+def test_stats_are_namespaced_per_engine(strategy):
+    sim, net, cluster = build(strategy)
+    a = cluster["a"]
+    seq = a.send(b"counted")
+    sim.run_until_triggered(a.waitfor(seq, "all"), limit=5.0)
+    stats = a.stats()
+    # The origin always *hears* control traffic (its peers' reports,
+    # stable broadcasts, or clock frames — whatever the engine speaks).
+    assert stats["strategy.frames_received"] > 0
+    # Engine-private counters live under the engine's own prefix, so a
+    # dashboard can tell which protocol produced them.
+    prefix = f"strategy.{strategy}."
+    assert any(key.startswith(prefix) for key in stats)
+    for other in STRATEGY_NAMES:
+        if other != strategy:
+            assert not any(
+                key.startswith(f"strategy.{other}.") for key in stats
+            )
+    # The pre-redesign aliases survive one release for dashboards.
+    assert stats["control_frames_sent"] == stats["strategy.frames_sent"]
+    cluster.close()
